@@ -1,0 +1,284 @@
+// Package dnebench holds one benchmark per table and figure of the paper's
+// evaluation, plus ablation benches for the design decisions called out in
+// DESIGN.md §4. Benchmarks run the same experiment designs as cmd/expbench
+// at reduced scale; `go test -bench . -benchmem` regenerates every series.
+package dnebench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/distributedne/dne/internal/dne"
+	"github.com/distributedne/dne/internal/dynpart"
+	"github.com/distributedne/dne/internal/experiments"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/hyperpart"
+	"github.com/distributedne/dne/internal/partition"
+	"github.com/distributedne/dne/internal/streampart"
+)
+
+func benchOpts(b *testing.B) experiments.Options {
+	b.Helper()
+	return experiments.Options{Shift: -2, Seed: 1, PRIters: 5, Quick: true, Out: io.Discard}
+}
+
+func runExperiment(b *testing.B, fn func(experiments.Options) error) {
+	b.Helper()
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		if err := fn(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6LambdaSweep regenerates Fig. 6 (iterations & RF vs λ).
+func BenchmarkFig6LambdaSweep(b *testing.B) { runExperiment(b, experiments.Fig6) }
+
+// BenchmarkTable1Bounds regenerates Table 1 (theoretical upper bounds).
+func BenchmarkTable1Bounds(b *testing.B) { runExperiment(b, experiments.Table1) }
+
+// BenchmarkFig8Quality regenerates Fig. 8(a)-(g) (RF of skewed graphs).
+func BenchmarkFig8Quality(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig8RMAT regenerates Fig. 8(h)-(j) (RF of RMAT vs edge factor).
+func BenchmarkFig8RMAT(b *testing.B) { runExperiment(b, experiments.Fig8RMAT) }
+
+// BenchmarkFig9Memory regenerates Fig. 9 (memory scores).
+func BenchmarkFig9Memory(b *testing.B) { runExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10Elapsed regenerates Fig. 10(a)-(g) (time vs machines).
+func BenchmarkFig10Elapsed(b *testing.B) { runExperiment(b, experiments.Fig10) }
+
+// BenchmarkFig10EdgeFactor regenerates Fig. 10(h) (time vs edge factor).
+func BenchmarkFig10EdgeFactor(b *testing.B) { runExperiment(b, experiments.Fig10EF) }
+
+// BenchmarkFig10Scale regenerates Fig. 10(i) (time vs scale).
+func BenchmarkFig10Scale(b *testing.B) { runExperiment(b, experiments.Fig10Scale) }
+
+// BenchmarkFig10jWeakScaling regenerates Fig. 10(j) (§7.4 weak scaling
+// toward the trillion-edge configuration).
+func BenchmarkFig10jWeakScaling(b *testing.B) { runExperiment(b, experiments.Fig10J) }
+
+// BenchmarkTable4Sequential regenerates Table 4 (HDRF/NE/SNE vs D.NE).
+func BenchmarkTable4Sequential(b *testing.B) { runExperiment(b, experiments.Table4) }
+
+// BenchmarkTable5Apps regenerates Table 5 (SSSP/WCC/PageRank over
+// partitionings).
+func BenchmarkTable5Apps(b *testing.B) { runExperiment(b, experiments.Table5) }
+
+// BenchmarkTable6Roads regenerates Table 6 (road networks).
+func BenchmarkTable6Roads(b *testing.B) { runExperiment(b, experiments.Table6) }
+
+// --- Ablations (DESIGN.md §4) ---
+
+func ablationGraph() *graph.Graph { return gen.RMAT(13, 16, 9) }
+
+// BenchmarkAblationLambda compares single-expansion (Theorem-1 mode) against
+// the paper's λ=0.1 multi-expansion on the same graph: the iteration-count
+// gap is the entire point of §5.
+func BenchmarkAblationLambda(b *testing.B) {
+	g := ablationGraph()
+	for _, mode := range []struct {
+		name   string
+		single bool
+	}{{"single", true}, {"lambda0.1", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := dne.DefaultConfig()
+			cfg.SingleExpansion = mode.single
+			if mode.single {
+				// Single expansion on a 2M-edge graph takes ~|E|/P steps;
+				// use a smaller instance to keep the bench honest but fast.
+				cfg.MaxIterations = 1 << 22
+			}
+			gg := g
+			if mode.single {
+				gg = gen.RMAT(10, 8, 9)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := dne.Partition(gg, 8, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Iterations), "iterations")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitionCount shows how DNE's runtime and communication
+// scale with the machine count on a fixed graph.
+func BenchmarkAblationPartitionCount(b *testing.B) {
+	g := ablationGraph()
+	for _, p := range []int{4, 16, 64} {
+		b.Run(benchName("P", p), func(b *testing.B) {
+			cfg := dne.DefaultConfig()
+			for i := 0; i < b.N; i++ {
+				res, err := dne.Partition(g, p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.CommBytes)/(1<<20), "comm-MB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAlpha measures the quality/balance trade as the imbalance
+// factor α varies (Eq. 2's constraint tightness).
+func BenchmarkAblationAlpha(b *testing.B) {
+	g := ablationGraph()
+	for _, alpha := range []float64{1.01, 1.1, 1.5} {
+		b.Run(benchName("alpha", int(alpha*100)), func(b *testing.B) {
+			cfg := dne.DefaultConfig()
+			cfg.Alpha = alpha
+			for i := 0; i < b.N; i++ {
+				res, err := dne.Partition(g, 16, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := res.Partitioning.Measure(g)
+				b.ReportMetric(q.ReplicationFactor, "RF")
+				b.ReportMetric(q.EdgeBalance, "EB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConflictRate enables the paper-faithful intra-machine
+// parallel allocation (Alg. 3 "do in parallel") and reports how many edge
+// claims are lost to the CAS as the machine count grows (DESIGN.md §4.1).
+func BenchmarkAblationConflictRate(b *testing.B) {
+	g := ablationGraph()
+	for _, p := range []int{4, 16, 64} {
+		b.Run(benchName("P", p), func(b *testing.B) {
+			cfg := dne.DefaultConfig()
+			cfg.ParallelAllocation = true
+			for i := 0; i < b.N; i++ {
+				res, err := dne.Partition(g, p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.CASConflicts), "conflicts")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMulticastFanout compares the O(√P) grid multicast against
+// broadcasting replica updates to all machines (DESIGN.md §4.2): identical
+// partitions, very different traffic.
+func BenchmarkAblationMulticastFanout(b *testing.B) {
+	g := ablationGraph()
+	for _, mode := range []struct {
+		name      string
+		broadcast bool
+	}{{"grid", false}, {"broadcast", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := dne.DefaultConfig()
+			cfg.BroadcastReplicas = mode.broadcast
+			for i := 0; i < b.N; i++ {
+				res, err := dne.Partition(g, 16, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.CommBytes)/(1<<20), "comm-MB")
+				b.ReportMetric(float64(res.CommMessages), "msgs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDrestStaleness reports the fraction of selection
+// deliveries that allocate nothing — the price of refreshing boundary Drest
+// scores only on re-entry (DESIGN.md §4.4) — across λ (staleness grows with
+// the batch size).
+func BenchmarkAblationDrestStaleness(b *testing.B) {
+	g := ablationGraph()
+	for _, lambda := range []float64{0.01, 0.1, 1.0} {
+		b.Run(fmt.Sprintf("lambda=%g", lambda), func(b *testing.B) {
+			cfg := dne.DefaultConfig()
+			cfg.Lambda = lambda
+			for i := 0; i < b.N; i++ {
+				res, err := dne.Partition(g, 16, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.WastedSelections)/float64(res.TotalSelections), "waste-rate")
+			}
+		})
+	}
+}
+
+// --- Extensions (paper §8 future work; internal/dynpart, internal/hyperpart) ---
+
+// BenchmarkDynamicChurn measures incremental-maintenance throughput
+// (events/sec) and the RF drift of a DNE-seeded dynamic partitioning under a
+// 20%-deletion churn stream.
+func BenchmarkDynamicChurn(b *testing.B) {
+	g := gen.RMAT(13, 16, 21)
+	res, err := dne.Partition(g, 16, dne.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := dynpart.Churn(g, 100_000, 0.2, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := dynpart.FromStatic(g, res.Partitioning, dynpart.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		d.Apply(events)
+		b.StopTimer()
+		b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(d.ReplicationFactor(), "RF")
+		b.StartTimer()
+	}
+}
+
+// BenchmarkHypergraphPartitioners compares the hypergraph partitioners' RF
+// on a skewed hypergraph (paper §8's hypergraph direction).
+func BenchmarkHypergraphPartitioners(b *testing.B) {
+	h := hyperpart.RandomHypergraph(1<<13, 16_000, 5, 3)
+	for _, pr := range []hyperpart.Partitioner{
+		hyperpart.Random{Seed: 1}, hyperpart.Greedy{Seed: 1}, hyperpart.NE{Seed: 1},
+	} {
+		b.Run(pr.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := pr.Partition(h, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pt.Measure(h).ReplicationFactor, "RF")
+			}
+		})
+	}
+}
+
+// BenchmarkFennelVsHDRF compares the two streaming edge partitioners' RF and
+// speed on the same skewed graph.
+func BenchmarkFennelVsHDRF(b *testing.B) {
+	g := gen.RMAT(13, 16, 5)
+	for _, pr := range []partition.Partitioner{
+		streampart.Fennel{Seed: 1}, streampart.HDRF{Seed: 1},
+	} {
+		b.Run(pr.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := pr.Partition(g, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pt.Measure(g).ReplicationFactor, "RF")
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return fmt.Sprintf("%s=%d", prefix, v)
+}

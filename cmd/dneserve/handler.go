@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/distributedne/dne/internal/dne"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/methods"
+)
+
+// RMATSpec asks the server to generate the input graph.
+type RMATSpec struct {
+	Scale int   `json:"scale"`
+	EF    int   `json:"ef"`
+	Seed  int64 `json:"seed"`
+}
+
+// Request is the /api/partition body.
+type Request struct {
+	Method string      `json:"method"`
+	Parts  int         `json:"parts"`
+	Alpha  float64     `json:"alpha,omitempty"`
+	Lambda float64     `json:"lambda,omitempty"`
+	Seed   int64       `json:"seed,omitempty"`
+	Edges  [][2]uint32 `json:"edges,omitempty"`
+	RMAT   *RMATSpec   `json:"rmat,omitempty"`
+	// EchoEdges returns the canonical (deduplicated, U<=V, sorted) edge
+	// list the owners are aligned with.
+	EchoEdges bool `json:"echoEdges,omitempty"`
+}
+
+// Quality is the metrics block of a Response.
+type Quality struct {
+	ReplicationFactor float64 `json:"replicationFactor"`
+	EdgeBalance       float64 `json:"edgeBalance"`
+	VertexBalance     float64 `json:"vertexBalance"`
+	VertexCuts        int64   `json:"vertexCuts"`
+}
+
+// Response is the /api/partition reply.
+type Response struct {
+	Method    string      `json:"method"`
+	Parts     int         `json:"parts"`
+	NumVerts  uint32      `json:"numVertices"`
+	NumEdges  int64       `json:"numEdges"`
+	Owners    []int32     `json:"owners"`
+	Edges     [][2]uint32 `json:"edges,omitempty"`
+	Quality   Quality     `json:"quality"`
+	ElapsedMS float64     `json:"elapsedMs"`
+	// Iterations is set for method "dne" (superstep count, Fig. 6 metric).
+	Iterations int `json:"iterations,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func newHandler(maxEdges int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /api/methods", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, methods.Names())
+	})
+	mux.HandleFunc("POST /api/partition", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+			return
+		}
+		resp, status, err := servePartition(&req, maxEdges)
+		if err != nil {
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+func servePartition(req *Request, maxEdges int64) (*Response, int, error) {
+	if req.Parts <= 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("parts must be positive, got %d", req.Parts)
+	}
+	if req.Method == "" {
+		req.Method = "dne"
+	}
+	g, err := buildGraph(req, maxEdges)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if g.NumEdges() == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("graph has no edges")
+	}
+	if g.NumEdges() > maxEdges {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph has %d edges, server cap is %d", g.NumEdges(), maxEdges)
+	}
+	pr, err := methods.New(req.Method, methods.Options{
+		Seed: req.Seed, Alpha: req.Alpha, Lambda: req.Lambda,
+	})
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	start := time.Now()
+	pt, err := pr.Partition(g, req.Parts)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	elapsed := time.Since(start)
+	if err := pt.Validate(g); err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("internal: invalid partitioning: %w", err)
+	}
+	q := pt.Measure(g)
+	resp := &Response{
+		Method:   pr.Name(),
+		Parts:    req.Parts,
+		NumVerts: g.NumVertices(),
+		NumEdges: g.NumEdges(),
+		Owners:   pt.Owner,
+		Quality: Quality{
+			ReplicationFactor: q.ReplicationFactor,
+			EdgeBalance:       q.EdgeBalance,
+			VertexBalance:     q.VertexBalance,
+			VertexCuts:        q.VertexCuts,
+		},
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	if d, ok := pr.(*dne.Partitioner); ok && d.Last != nil {
+		resp.Iterations = d.Last.Iterations
+	}
+	if req.EchoEdges {
+		resp.Edges = make([][2]uint32, g.NumEdges())
+		for i, e := range g.Edges() {
+			resp.Edges[i] = [2]uint32{e.U, e.V}
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+func buildGraph(req *Request, maxEdges int64) (*graph.Graph, error) {
+	switch {
+	case len(req.Edges) > 0 && req.RMAT != nil:
+		return nil, fmt.Errorf("supply either edges or rmat, not both")
+	case len(req.Edges) > 0:
+		if int64(len(req.Edges)) > maxEdges {
+			return nil, fmt.Errorf("%d edges exceed server cap %d", len(req.Edges), maxEdges)
+		}
+		edges := make([]graph.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			edges[i] = graph.Edge{U: e[0], V: e[1]}
+		}
+		return graph.FromEdges(0, edges), nil
+	case req.RMAT != nil:
+		s := req.RMAT
+		if s.Scale < 1 || s.Scale > 24 {
+			return nil, fmt.Errorf("rmat scale %d outside [1,24]", s.Scale)
+		}
+		if s.EF < 1 || s.EF > 1024 {
+			return nil, fmt.Errorf("rmat edge factor %d outside [1,1024]", s.EF)
+		}
+		if est := int64(1) << s.Scale * int64(s.EF); est > maxEdges {
+			return nil, fmt.Errorf("rmat spec generates ~%d edges, server cap is %d", est, maxEdges)
+		}
+		return gen.RMAT(s.Scale, s.EF, s.Seed), nil
+	}
+	return nil, fmt.Errorf("supply edges or an rmat spec")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	rec := doJSON(t, newHandler(1000), http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestMethodsList(t *testing.T) {
+	rec := doJSON(t, newHandler(1000), http.MethodGet, "/api/methods", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var names []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"dne": true, "hdrf": true, "fennel": true, "random": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) > 0 {
+		t.Errorf("missing methods: %v (got %v)", want, names)
+	}
+}
+
+func TestPartitionExplicitEdges(t *testing.T) {
+	req := Request{
+		Method: "dne", Parts: 2, EchoEdges: true,
+		Edges: [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 3}},
+	}
+	rec := doJSON(t, newHandler(1000), http.MethodPost, "/api/partition", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.NumEdges != 6 || len(resp.Owners) != 6 || len(resp.Edges) != 6 {
+		t.Fatalf("shape: %+v", resp)
+	}
+	for i, o := range resp.Owners {
+		if o < 0 || o >= 2 {
+			t.Fatalf("owner[%d] = %d", i, o)
+		}
+	}
+	if resp.Quality.ReplicationFactor < 1 {
+		t.Errorf("RF %v", resp.Quality.ReplicationFactor)
+	}
+	if resp.Iterations <= 0 {
+		t.Errorf("dne response missing iterations: %+v", resp)
+	}
+}
+
+func TestPartitionRMATSpec(t *testing.T) {
+	req := Request{Method: "hdrf", Parts: 8, RMAT: &RMATSpec{Scale: 10, EF: 8, Seed: 3}}
+	rec := doJSON(t, newHandler(1_000_000), http.MethodPost, "/api/partition", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != "HDRF" || int64(len(resp.Owners)) != resp.NumEdges {
+		t.Fatalf("resp %+v", resp)
+	}
+	if resp.Edges != nil {
+		t.Error("edges echoed without echoEdges")
+	}
+}
+
+func TestPartitionDeterministicForSeed(t *testing.T) {
+	req := Request{Method: "dne", Parts: 4, Seed: 9, RMAT: &RMATSpec{Scale: 9, EF: 8, Seed: 3}}
+	h := newHandler(1_000_000)
+	var a, b Response
+	if err := json.Unmarshal(doJSON(t, h, http.MethodPost, "/api/partition", req).Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(doJSON(t, h, http.MethodPost, "/api/partition", req).Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Owners {
+		if a.Owners[i] != b.Owners[i] {
+			t.Fatalf("owners differ at %d", i)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	h := newHandler(100)
+	cases := []struct {
+		name string
+		req  Request
+		code int
+	}{
+		{"no graph", Request{Method: "dne", Parts: 4}, http.StatusBadRequest},
+		{"both inputs", Request{Method: "dne", Parts: 4,
+			Edges: [][2]uint32{{0, 1}}, RMAT: &RMATSpec{Scale: 5, EF: 2}}, http.StatusBadRequest},
+		{"bad parts", Request{Method: "dne", Parts: 0, Edges: [][2]uint32{{0, 1}}}, http.StatusBadRequest},
+		{"unknown method", Request{Method: "nope", Parts: 2, Edges: [][2]uint32{{0, 1}}}, http.StatusBadRequest},
+		{"self loops only", Request{Method: "dne", Parts: 2, Edges: [][2]uint32{{1, 1}}}, http.StatusBadRequest},
+		{"rmat too big", Request{Method: "dne", Parts: 2, RMAT: &RMATSpec{Scale: 20, EF: 64}}, http.StatusBadRequest},
+		{"rmat bad scale", Request{Method: "dne", Parts: 2, RMAT: &RMATSpec{Scale: 0, EF: 2}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := doJSON(t, h, http.MethodPost, "/api/partition", c.req)
+		if rec.Code != c.code {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, rec.Code, c.code, rec.Body)
+		}
+	}
+}
+
+func TestPartitionRejectsUnknownFields(t *testing.T) {
+	req := httptest.NewRequest(http.MethodPost, "/api/partition",
+		bytes.NewBufferString(`{"method":"dne","parts":2,"bogus":1}`))
+	rec := httptest.NewRecorder()
+	newHandler(100).ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestPartitionEdgeCap(t *testing.T) {
+	edges := make([][2]uint32, 50)
+	for i := range edges {
+		edges[i] = [2]uint32{uint32(i), uint32(i + 1)}
+	}
+	rec := doJSON(t, newHandler(10), http.MethodPost, "/api/partition",
+		Request{Method: "random", Parts: 2, Edges: edges})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (cap)", rec.Code)
+	}
+}
+
+func TestAllRegisteredMethodsServable(t *testing.T) {
+	// Every registry name must partition a small graph through the service.
+	var names []string
+	rec := doJSON(t, newHandler(100_000), http.MethodGet, "/api/methods", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
+		t.Fatal(err)
+	}
+	h := newHandler(100_000)
+	for _, name := range names {
+		req := Request{Method: name, Parts: 4, RMAT: &RMATSpec{Scale: 8, EF: 4, Seed: 1}}
+		rec := doJSON(t, h, http.MethodPost, "/api/partition", req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("method %s: status %d (%s)", name, rec.Code, rec.Body)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Command dneserve exposes the repository's edge partitioners as an HTTP
+// service — the shape a downstream system would embed the library behind.
+//
+//	dneserve -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness probe
+//	GET  /api/methods        JSON list of method names
+//	POST /api/partition      partition a graph (JSON; see Request)
+//
+// A request supplies either explicit edges or a synthetic-generator spec:
+//
+//	{"method":"dne","parts":8,"edges":[[0,1],[1,2]]}
+//	{"method":"hdrf","parts":16,"rmat":{"scale":14,"ef":16,"seed":7}}
+//
+// The response carries the per-edge owners (aligned with the canonical,
+// deduplicated edge order returned in "edges" when "echoEdges" is set) plus
+// the quality metrics of §2 and §7.6.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxEdges := flag.Int64("max-edges", 5_000_000, "reject requests beyond this edge count")
+	flag.Parse()
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(*maxEdges)}
+	log.Printf("dneserve: listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

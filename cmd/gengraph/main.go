@@ -1,0 +1,68 @@
+// Command gengraph emits synthetic graphs as edge lists.
+//
+// Usage:
+//
+//	gengraph -kind rmat -scale 16 -ef 16 > graph.txt
+//	gengraph -kind powerlaw -n 100000 -alpha 2.4 > graph.txt
+//	gengraph -kind road -rows 200 -cols 220 > road.txt
+//	gengraph -kind ringcomplete -n 8 > thm2.txt
+//
+// Kinds: rmat (Graph500 parameters), powerlaw (Chung–Lu), er, road,
+// ringcomplete (the Theorem-2 tightness construction), star.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "rmat", "rmat | powerlaw | er | road | ringcomplete | star")
+		scale = flag.Int("scale", 16, "rmat: 2^scale vertices")
+		ef    = flag.Int("ef", 16, "rmat/er: edge factor")
+		n     = flag.Int("n", 1<<16, "powerlaw/er/star: vertices; ringcomplete: clique size")
+		alpha = flag.Float64("alpha", 2.4, "powerlaw scaling parameter")
+		rows  = flag.Int("rows", 200, "road: rows")
+		cols  = flag.Int("cols", 220, "road: cols")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "rmat":
+		g = gen.RMAT(*scale, *ef, *seed)
+	case "powerlaw":
+		g = gen.PowerLaw(uint32(*n), *alpha, *seed)
+	case "er":
+		g = gen.ER(uint32(*n), int64(*n**ef), *seed)
+	case "road":
+		g = gen.Road(*rows, *cols, *seed)
+	case "ringcomplete":
+		g = gen.RingPlusComplete(*n)
+	case "star":
+		g = gen.Star(uint32(*n))
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "# %s |V|=%d |E|=%d\n", *kind, g.NumVertices(), g.NumEdges())
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Package bench is the experiment harness shared by cmd/expbench and the
+// top-level benchmarks: it times partitioner runs, computes the paper's
+// metrics, estimates memory scores, and renders aligned tables whose rows
+// and series match the paper's figures.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// Run is one partitioner execution with its measurements.
+type Run struct {
+	Partitioner string
+	Graph       string
+	NumParts    int
+	Elapsed     time.Duration
+	Quality     partition.Quality
+	MemBytes    int64 // analytic or sampled peak, see MeasureMem
+	Err         error
+}
+
+// MemScore returns bytes per edge (the Fig. 9 metric).
+func (r Run) MemScore(numEdges int64) float64 {
+	if numEdges == 0 {
+		return 0
+	}
+	return float64(r.MemBytes) / float64(numEdges)
+}
+
+// Execute runs p on g and measures elapsed time and quality. Memory is
+// sampled via the Go heap delta unless the partitioner reports an analytic
+// footprint through the MemReporter interface.
+func Execute(p partition.Partitioner, g *graph.Graph, numParts int) Run {
+	run := Run{Partitioner: p.Name(), NumParts: numParts}
+	before := heapInUse()
+	start := time.Now()
+	pt, err := p.Partition(g, numParts)
+	run.Elapsed = time.Since(start)
+	if err != nil {
+		run.Err = err
+		return run
+	}
+	if mr, ok := p.(MemReporter); ok {
+		run.MemBytes = mr.MemBytes()
+	} else {
+		// Heap delta plus the input CSR: every offline partitioner holds
+		// the whole graph, and the delta alone would credit sequential
+		// baselines with near-zero footprint.
+		after := heapInUse()
+		run.MemBytes = int64(after) - int64(before)
+		if run.MemBytes < 0 {
+			run.MemBytes = 0
+		}
+		run.MemBytes += g.MemoryFootprint()
+	}
+	run.Quality = pt.Measure(g)
+	return run
+}
+
+// MemReporter is implemented by partitioners that account their own peak
+// memory analytically (DNE, METIS).
+type MemReporter interface {
+	MemBytes() int64
+}
+
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// Table renders aligned rows for terminal output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v, floats with 3 digits.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3fs", v.Seconds())
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Print writes the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	fmt.Fprintln(w, line(t.Header))
+	var rule []string
+	for _, wd := range widths {
+		rule = append(rule, strings.Repeat("-", wd))
+	}
+	fmt.Fprintln(w, line(rule))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/distributedne/dne/internal/datasets"
+	"github.com/distributedne/dne/internal/dne"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/hashpart"
+	"github.com/distributedne/dne/internal/lppart"
+	"github.com/distributedne/dne/internal/metispart"
+	"github.com/distributedne/dne/internal/nepart"
+	"github.com/distributedne/dne/internal/partition"
+	"github.com/distributedne/dne/internal/sheep"
+	"github.com/distributedne/dne/internal/streampart"
+)
+
+// allPartitioners returns one instance of every partitioner in the repo.
+func allPartitioners() []partition.Partitioner {
+	return []partition.Partitioner{
+		hashpart.Random{Seed: 1},
+		hashpart.Grid{Seed: 1},
+		hashpart.DBH{Seed: 1},
+		hashpart.Hybrid{Seed: 1},
+		hashpart.Oblivious{Seed: 1},
+		hashpart.HybridGinger{Seed: 1},
+		streampart.HDRF{Seed: 1},
+		streampart.SNE{Seed: 1},
+		nepart.NE{Seed: 1},
+		sheep.Sheep{Seed: 1},
+		lppart.Spinner{Seed: 1},
+		lppart.XtraPuLP{Seed: 1},
+		&metispart.METIS{Seed: 1},
+		dne.New(),
+	}
+}
+
+func smallGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return datasets.Skewed[0].Build(-4) // Pokec stand-in at 2^10 vertices
+}
+
+func TestEveryPartitionerProducesValidPartitioning(t *testing.T) {
+	g := smallGraph(t)
+	for _, p := range allPartitioners() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			pt, err := p.Partition(g, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pt.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+			q := pt.Measure(g)
+			if q.ReplicationFactor < 1.0 {
+				t.Errorf("RF %.3f < 1", q.ReplicationFactor)
+			}
+		})
+	}
+}
+
+func TestQualityOrderingMatchesPaper(t *testing.T) {
+	// The paper's central quality claims (Fig. 8, Table 4) on skewed graphs:
+	// NE <= DNE < hash-based; Random is the worst of the hash family.
+	g := smallGraph(t)
+	rf := func(p partition.Partitioner) float64 {
+		pt, err := p.Partition(g, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		return pt.Measure(g).ReplicationFactor
+	}
+	random := rf(hashpart.Random{Seed: 1})
+	grid := rf(hashpart.Grid{Seed: 1})
+	dneRF := rf(dne.New())
+	neRF := rf(nepart.NE{Seed: 1})
+	if dneRF >= grid {
+		t.Errorf("DNE RF %.3f should beat Grid %.3f", dneRF, grid)
+	}
+	if dneRF >= random {
+		t.Errorf("DNE RF %.3f should beat Random %.3f", dneRF, random)
+	}
+	if neRF > dneRF*1.25 {
+		t.Errorf("sequential NE RF %.3f should be <= ~DNE RF %.3f", neRF, dneRF)
+	}
+}
+
+func TestExecuteReportsMetrics(t *testing.T) {
+	g := smallGraph(t)
+	run := Execute(dne.New(), g, 4)
+	if run.Err != nil {
+		t.Fatal(run.Err)
+	}
+	if run.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+	if run.Quality.ReplicationFactor < 1 {
+		t.Error("missing quality metrics")
+	}
+	if run.MemBytes <= 0 {
+		t.Error("DNE should report an analytic memory footprint")
+	}
+}

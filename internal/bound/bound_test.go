@@ -1,0 +1,94 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZetaAgainstKnownValues(t *testing.T) {
+	cases := []struct {
+		s, q, want float64
+	}{
+		{2, 1, math.Pi * math.Pi / 6}, // ζ(2) = π²/6
+		{4, 1, math.Pow(math.Pi, 4) / 90},
+		{2, 2, math.Pi*math.Pi/6 - 1}, // Hurwitz shift
+	}
+	for _, c := range cases {
+		got := Zeta(c.s, c.q)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("Zeta(%g,%g) = %.9f, want %.9f", c.s, c.q, got, c.want)
+		}
+	}
+}
+
+func TestTable1PaperValues(t *testing.T) {
+	// The rows this implementation reproduces near-exactly (see package doc
+	// for the Grid/DBH deviation): Random and Distributed NE at |P|=256.
+	const parts = 256
+	cases := []struct {
+		alpha        float64
+		random, dneV float64
+	}{
+		{2.2, 5.88, 2.88},
+		{2.4, 3.46, 2.12},
+		{2.6, 2.64, 1.88},
+		{2.8, 2.23, 1.75},
+	}
+	for _, c := range cases {
+		if got := Random(c.alpha, parts); math.Abs(got-c.random) > 0.08 {
+			t.Errorf("Random(α=%g) = %.3f, paper %.2f", c.alpha, got, c.random)
+		}
+		if got := DNE(c.alpha); math.Abs(got-c.dneV) > 0.01 {
+			t.Errorf("DNE(α=%g) = %.3f, paper %.2f", c.alpha, got, c.dneV)
+		}
+	}
+}
+
+func TestTable1Orderings(t *testing.T) {
+	// The table's qualitative claim: DNE's bound beats every hash method,
+	// more so at small α. Grid beats Random.
+	for _, alpha := range []float64{2.2, 2.4, 2.6} {
+		d := DNE(alpha)
+		r := Random(alpha, 256)
+		g := Grid(alpha, 256)
+		b := DBH(alpha, 256)
+		if d >= r || d >= g || d >= b {
+			t.Errorf("α=%g: DNE %.3f must beat Random %.3f, Grid %.3f, DBH %.3f", alpha, d, r, g, b)
+		}
+		if g >= r {
+			t.Errorf("α=%g: Grid %.3f must beat Random %.3f", alpha, g, r)
+		}
+	}
+}
+
+func TestTheorem1Formula(t *testing.T) {
+	if got := Theorem1(100, 50, 10); got != 3.2 {
+		t.Errorf("Theorem1 = %g, want 3.2", got)
+	}
+}
+
+func TestQuickTheorem1Monotonicity(t *testing.T) {
+	// Property: the bound grows with |E| and |P|, shrinks with |V|.
+	f := func(e, v uint16, p uint8) bool {
+		ee, vv, pp := int64(e)+1, int64(v)+1, int(p)+1
+		b := Theorem1(ee, vv, pp)
+		return Theorem1(ee+1, vv, pp) >= b &&
+			Theorem1(ee, vv, pp+1) >= b &&
+			b > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerLawMeans(t *testing.T) {
+	// Discrete zeta mean at α=2.2: ζ(1.2)/ζ(2.2) ≈ 3.7514.
+	if m := PowerLawMeanDegree(2.2); math.Abs(m-3.7514) > 0.01 {
+		t.Errorf("zeta mean = %.4f, want ≈3.7514", m)
+	}
+	// Continuous Pareto mean (α−1)/(α−2) at α=2.2 is 6.
+	if m := ParetoMeanDegree(2.2); math.Abs(m-6.0) > 1e-12 {
+		t.Errorf("pareto mean = %g, want 6", m)
+	}
+}

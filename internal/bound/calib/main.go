@@ -1,0 +1,36 @@
+// Command calib prints the Table-1 bounds next to the paper's values.
+package main
+
+import (
+	"fmt"
+
+	"github.com/distributedne/dne/internal/bound"
+)
+
+func main() {
+	alphas := []float64{2.2, 2.4, 2.6, 2.8}
+	paper := map[string][]float64{
+		"Random": {5.88, 3.46, 2.64, 2.23},
+		"Grid":   {4.82, 3.13, 2.47, 2.13},
+		"DBH":    {5.54, 3.19, 2.42, 2.05},
+		"D.NE":   {2.88, 2.12, 1.88, 1.75},
+	}
+	for _, m := range []string{"Random", "Grid", "DBH", "D.NE"} {
+		fmt.Printf("%-8s", m)
+		for i, a := range alphas {
+			var v float64
+			switch m {
+			case "Random":
+				v = bound.Random(a, 256)
+			case "Grid":
+				v = bound.Grid(a, 256)
+			case "DBH":
+				v = bound.DBH(a, 256)
+			case "D.NE":
+				v = bound.DNE(a)
+			}
+			fmt.Printf("  %6.3f(paper %4.2f)", v, paper[m][i])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,300 @@
+// Package cluster is the message-passing substrate that stands in for the
+// paper's MPI cluster (§7.1: up to 256 machines, IntelMPI). A Cluster hosts N
+// logical machines; each machine is driven by one goroutine and owns a
+// mailbox. Machines communicate only by sending tagged, sized messages, and
+// synchronise with MPI-style collectives (Barrier, AllGatherSum, AllGatherMax)
+// that are themselves built from messages so that communication volume is
+// accounted exactly.
+//
+// Two implementations of the Comm interface exist: the in-process one in this
+// file (goroutines + mailboxes) and a TCP one in tcp.go used by cmd/dneworker
+// for true multi-process runs. Algorithms are written against Comm and cannot
+// tell the difference.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Tag identifies a message class. Algorithms define their own tags; the
+// collective implementations reserve the tags below.
+type Tag uint8
+
+// Reserved collective tags. User tags must be >= TagUser.
+const (
+	tagBarrier Tag = iota
+	tagReduce
+	tagBcast
+	// TagUser is the first tag available to algorithms.
+	TagUser
+)
+
+// Body is a message payload. WireSize reports the number of bytes the payload
+// would occupy on the wire and is used for communication accounting.
+type Body interface {
+	WireSize() int
+}
+
+// headerBytes is the accounted per-message framing overhead (from, to, tag,
+// length), mirroring a compact RPC framing.
+const headerBytes = 16
+
+// Message is a delivered message.
+type Message struct {
+	From int
+	To   int
+	Tag  Tag
+	Seq  uint64 // per-sender sequence number, for deterministic ordering
+	Body Body
+}
+
+// Int64Body is a ready-made payload carrying a single int64 (collectives,
+// counters).
+type Int64Body int64
+
+// WireSize implements Body.
+func (Int64Body) WireSize() int { return 8 }
+
+// Stats accumulates per-machine communication counters.
+type Stats struct {
+	MessagesSent atomic.Int64
+	BytesSent    atomic.Int64
+}
+
+// Comm is the communicator handed to each machine. All methods are
+// goroutine-safe with respect to other machines but a single machine must not
+// call them concurrently with itself (same contract as an MPI rank).
+type Comm interface {
+	// Rank is this machine's id in [0, Size).
+	Rank() int
+	// Size is the number of machines.
+	Size() int
+	// Send delivers body to machine `to` under tag. Send never blocks.
+	Send(to int, tag Tag, body Body)
+	// Recv blocks until a message with the given tag is available and
+	// returns it. Messages with other tags are retained.
+	Recv(tag Tag) Message
+	// RecvN receives exactly n messages with the given tag, returned in
+	// deterministic (From, Seq) order.
+	RecvN(tag Tag, n int) []Message
+	// TryRecvAll returns all currently buffered messages with the tag, in
+	// deterministic order, without blocking.
+	TryRecvAll(tag Tag) []Message
+	// Barrier blocks until every machine has entered the barrier.
+	Barrier()
+	// Stats returns this machine's communication counters.
+	Stats() *Stats
+}
+
+// Cluster is an in-process set of machines.
+type Cluster struct {
+	n     int
+	boxes []*mailbox
+	stats []*Stats
+	bar   *barrier
+	seq   []atomic.Uint64
+}
+
+// New creates a cluster of n machines.
+func New(n int) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: size must be positive, got %d", n))
+	}
+	c := &Cluster{
+		n:     n,
+		boxes: make([]*mailbox, n),
+		stats: make([]*Stats, n),
+		bar:   newBarrier(n),
+		seq:   make([]atomic.Uint64, n),
+	}
+	for i := range c.boxes {
+		c.boxes[i] = newMailbox()
+		c.stats[i] = &Stats{}
+	}
+	return c
+}
+
+// Size returns the number of machines.
+func (c *Cluster) Size() int { return c.n }
+
+// Node returns the communicator for machine rank.
+func (c *Cluster) Node(rank int) Comm {
+	return &node{c: c, rank: rank}
+}
+
+// TotalBytes returns the total bytes sent across all machines.
+func (c *Cluster) TotalBytes() int64 {
+	var t int64
+	for _, s := range c.stats {
+		t += s.BytesSent.Load()
+	}
+	return t
+}
+
+// TotalMessages returns the total messages sent across all machines.
+func (c *Cluster) TotalMessages() int64 {
+	var t int64
+	for _, s := range c.stats {
+		t += s.MessagesSent.Load()
+	}
+	return t
+}
+
+// Run starts fn on every machine concurrently and waits for all to return.
+// The first error (by rank) is returned.
+func (c *Cluster) Run(fn func(comm Comm) error) error {
+	errs := make([]error, c.n)
+	var wg sync.WaitGroup
+	for r := 0; r < c.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(c.Node(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type node struct {
+	c    *Cluster
+	rank int
+}
+
+func (n *node) Rank() int     { return n.rank }
+func (n *node) Size() int     { return n.c.n }
+func (n *node) Stats() *Stats { return n.c.stats[n.rank] }
+
+func (n *node) Send(to int, tag Tag, body Body) {
+	if to < 0 || to >= n.c.n {
+		panic(fmt.Sprintf("cluster: send to invalid rank %d (size %d)", to, n.c.n))
+	}
+	msg := Message{From: n.rank, To: to, Tag: tag, Seq: n.c.seq[n.rank].Add(1), Body: body}
+	if to != n.rank {
+		// Local (same-machine) traffic is free, as in the paper's
+		// communication-cost accounting.
+		n.Stats().MessagesSent.Add(1)
+		n.Stats().BytesSent.Add(int64(headerBytes + body.WireSize()))
+	}
+	n.c.boxes[to].put(msg)
+}
+
+func (n *node) Recv(tag Tag) Message { return n.c.boxes[n.rank].take(tag) }
+func (n *node) RecvN(tag Tag, k int) []Message {
+	msgs := make([]Message, 0, k)
+	for len(msgs) < k {
+		msgs = append(msgs, n.c.boxes[n.rank].take(tag))
+	}
+	sortMessages(msgs)
+	return msgs
+}
+
+func (n *node) TryRecvAll(tag Tag) []Message {
+	msgs := n.c.boxes[n.rank].takeAll(tag)
+	sortMessages(msgs)
+	return msgs
+}
+
+func (n *node) Barrier() { n.c.bar.wait() }
+
+func sortMessages(msgs []Message) {
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].From != msgs[j].From {
+			return msgs[i].From < msgs[j].From
+		}
+		return msgs[i].Seq < msgs[j].Seq
+	})
+}
+
+// mailbox is an unbounded, tag-filterable message queue.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []Message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg Message) {
+	m.mu.Lock()
+	m.msgs = append(m.msgs, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first message with the given tag, blocking
+// until one arrives.
+func (m *mailbox) take(tag Tag) Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.msgs {
+			if msg.Tag == tag {
+				m.msgs = append(m.msgs[:i], m.msgs[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// takeAll removes and returns all buffered messages with the given tag.
+func (m *mailbox) takeAll(tag Tag) []Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Message
+	kept := m.msgs[:0]
+	for _, msg := range m.msgs {
+		if msg.Tag == tag {
+			out = append(out, msg)
+		} else {
+			kept = append(kept, msg)
+		}
+	}
+	m.msgs = kept
+	return out
+}
+
+// barrier is a reusable N-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

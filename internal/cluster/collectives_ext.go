@@ -1,0 +1,160 @@
+package cluster
+
+// Extended collectives. Like the core ones, every collective is built from
+// point-to-point messages so its traffic is accounted, and all machines must
+// call the same collective in the same order.
+
+// AllGatherMin returns the minimum of x across all machines, at every machine.
+func AllGatherMin(c Comm, x int64) int64 {
+	if c.Size() == 1 {
+		return x
+	}
+	if c.Rank() == 0 {
+		min := x
+		for i := 1; i < c.Size(); i++ {
+			m := c.Recv(tagReduce)
+			if v := int64(m.Body.(Int64Body)); v < min {
+				min = v
+			}
+		}
+		for i := 1; i < c.Size(); i++ {
+			c.Send(i, tagBcast, Int64Body(min))
+		}
+		return min
+	}
+	c.Send(0, tagReduce, Int64Body(x))
+	return int64(c.Recv(tagBcast).Body.(Int64Body))
+}
+
+// Bcast distributes root's value to every machine; non-root inputs are
+// ignored.
+func Bcast(c Comm, root int, x int64) int64 {
+	if c.Size() == 1 {
+		return x
+	}
+	if c.Rank() == root {
+		for i := 0; i < c.Size(); i++ {
+			if i != root {
+				c.Send(i, tagBcast, Int64Body(x))
+			}
+		}
+		return x
+	}
+	return int64(c.Recv(tagBcast).Body.(Int64Body))
+}
+
+// Gather collects one value per machine at root, indexed by rank. Non-root
+// machines receive nil.
+func Gather(c Comm, root int, x int64) []int64 {
+	if c.Rank() == root {
+		out := make([]int64, c.Size())
+		out[root] = x
+		for i := 0; i < c.Size()-1; i++ {
+			m := c.Recv(tagReduce)
+			out[m.From] = int64(m.Body.(Int64Body))
+		}
+		return out
+	}
+	c.Send(root, tagReduce, Int64Body(x))
+	return nil
+}
+
+// AllGather collects one value per machine at every machine, indexed by rank
+// (gather to rank 0, then broadcast the vector).
+func AllGather(c Comm, x int64) []int64 {
+	vec := Gather(c, 0, x)
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ {
+			c.Send(i, tagBcast, Int64SliceBody(vec))
+		}
+		return vec
+	}
+	in := c.Recv(tagBcast).Body.(Int64SliceBody)
+	out := make([]int64, len(in))
+	copy(out, in)
+	return out
+}
+
+// ExclusiveScanSum returns the exclusive prefix sum of x over ranks: machine
+// r receives Σ_{q<r} x_q. Implemented by an all-gather; the result at rank 0
+// is 0.
+func ExclusiveScanSum(c Comm, x int64) int64 {
+	vec := AllGather(c, x)
+	var s int64
+	for r := 0; r < c.Rank(); r++ {
+		s += vec[r]
+	}
+	return s
+}
+
+// AllToAll performs a personalized exchange: out[q] is this machine's vector
+// for machine q; the result's element [q] is the vector machine q sent here.
+// out must have length Size().
+func AllToAll(c Comm, out [][]int64) [][]int64 {
+	size := c.Size()
+	if len(out) != size {
+		panic("cluster: AllToAll out length must equal Size()")
+	}
+	for q := 0; q < size; q++ {
+		c.Send(q, tagReduce, Int64SliceBody(out[q]))
+	}
+	in := make([][]int64, size)
+	for _, m := range c.RecvN(tagReduce, size) {
+		v := m.Body.(Int64SliceBody)
+		cp := make([]int64, len(v))
+		copy(cp, v)
+		in[m.From] = cp
+	}
+	return in
+}
+
+// AllGatherMaxVec element-wise maximizes vector x across machines; every
+// machine receives the full max vector. x is not mutated.
+func AllGatherMaxVec(c Comm, x []int64) []int64 {
+	if c.Size() == 1 {
+		out := make([]int64, len(x))
+		copy(out, x)
+		return out
+	}
+	if c.Rank() == 0 {
+		max := make([]int64, len(x))
+		copy(max, x)
+		for i := 1; i < c.Size(); i++ {
+			m := c.Recv(tagReduce)
+			for j, v := range m.Body.(Int64SliceBody) {
+				if v > max[j] {
+					max[j] = v
+				}
+			}
+		}
+		for i := 1; i < c.Size(); i++ {
+			c.Send(i, tagBcast, Int64SliceBody(max))
+		}
+		return max
+	}
+	c.Send(0, tagReduce, Int64SliceBody(x))
+	in := c.Recv(tagBcast).Body.(Int64SliceBody)
+	out := make([]int64, len(in))
+	copy(out, in)
+	return out
+}
+
+// AllGatherAnd returns the logical AND of every machine's flag (consensus
+// "are we all done?"), at every machine.
+func AllGatherAnd(c Comm, flag bool) bool {
+	x := int64(1)
+	if !flag {
+		x = 0
+	}
+	return AllGatherMin(c, x) == 1
+}
+
+// AllGatherOr returns the logical OR of every machine's flag, at every
+// machine.
+func AllGatherOr(c Comm, flag bool) bool {
+	x := int64(0)
+	if flag {
+		x = 1
+	}
+	return AllGatherMax(c, x) == 1
+}

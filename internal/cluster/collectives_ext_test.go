@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// runAll drives fn on every machine of a fresh n-cluster and fails the test
+// on any error.
+func runAll(t *testing.T, n int, fn func(c Comm) error) {
+	t.Helper()
+	if err := New(n).Run(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherMin(t *testing.T) {
+	runAll(t, 5, func(c Comm) error {
+		got := AllGatherMin(c, int64(10-c.Rank()))
+		if got != 6 {
+			t.Errorf("rank %d: min %d, want 6", c.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	for root := 0; root < 4; root++ {
+		root := root
+		runAll(t, 4, func(c Comm) error {
+			x := int64(-1)
+			if c.Rank() == root {
+				x = int64(100 + root)
+			}
+			if got := Bcast(c, root, x); got != int64(100+root) {
+				t.Errorf("root %d rank %d: got %d", root, c.Rank(), got)
+			}
+			return nil
+		})
+	}
+}
+
+func TestGatherAndAllGather(t *testing.T) {
+	runAll(t, 6, func(c Comm) error {
+		vec := Gather(c, 2, int64(c.Rank()*c.Rank()))
+		if c.Rank() == 2 {
+			for r, v := range vec {
+				if v != int64(r*r) {
+					t.Errorf("gather[%d] = %d", r, v)
+				}
+			}
+		} else if vec != nil {
+			t.Errorf("rank %d: non-root got %v", c.Rank(), vec)
+		}
+		all := AllGather(c, int64(c.Rank()+1))
+		for r, v := range all {
+			if v != int64(r+1) {
+				t.Errorf("allgather[%d] = %d at rank %d", r, v, c.Rank())
+			}
+		}
+		return nil
+	})
+}
+
+func TestExclusiveScanSum(t *testing.T) {
+	runAll(t, 5, func(c Comm) error {
+		// x_r = r+1 ⇒ scan at r = r(r+1)/2.
+		got := ExclusiveScanSum(c, int64(c.Rank()+1))
+		want := int64(c.Rank() * (c.Rank() + 1) / 2)
+		if got != want {
+			t.Errorf("rank %d: scan %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestAllToAll(t *testing.T) {
+	const n = 4
+	runAll(t, n, func(c Comm) error {
+		out := make([][]int64, n)
+		for q := 0; q < n; q++ {
+			out[q] = []int64{int64(c.Rank()), int64(q), int64(c.Rank() * q)}
+		}
+		in := AllToAll(c, out)
+		for src := 0; src < n; src++ {
+			want := []int64{int64(src), int64(c.Rank()), int64(src * c.Rank())}
+			for j := range want {
+				if in[src][j] != want[j] {
+					t.Errorf("rank %d from %d: %v want %v", c.Rank(), src, in[src], want)
+					break
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllGatherMaxVec(t *testing.T) {
+	runAll(t, 4, func(c Comm) error {
+		x := []int64{int64(c.Rank()), int64(-c.Rank()), 7}
+		got := AllGatherMaxVec(c, x)
+		want := []int64{3, 0, 7}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("rank %d: %v want %v", c.Rank(), got, want)
+				break
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllGatherAndOr(t *testing.T) {
+	runAll(t, 4, func(c Comm) error {
+		if AllGatherAnd(c, c.Rank() != 2) {
+			t.Errorf("rank %d: AND should be false (rank 2 votes no)", c.Rank())
+		}
+		if !AllGatherAnd(c, true) {
+			t.Errorf("rank %d: AND of all-true should be true", c.Rank())
+		}
+		if AllGatherOr(c, false) {
+			t.Errorf("rank %d: OR of all-false should be false", c.Rank())
+		}
+		if !AllGatherOr(c, c.Rank() == 3) {
+			t.Errorf("rank %d: OR should be true (rank 3 votes yes)", c.Rank())
+		}
+		return nil
+	})
+}
+
+func TestExtCollectivesSingleMachine(t *testing.T) {
+	runAll(t, 1, func(c Comm) error {
+		if AllGatherMin(c, 9) != 9 || Bcast(c, 0, 4) != 4 || ExclusiveScanSum(c, 5) != 0 {
+			t.Error("size-1 collectives must be identities")
+		}
+		if v := AllGather(c, 3); len(v) != 1 || v[0] != 3 {
+			t.Errorf("AllGather size-1: %v", v)
+		}
+		return nil
+	})
+}
+
+func TestQuickAllGatherSumVecMatchesLocalSum(t *testing.T) {
+	f := func(vals [][4]int16, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		if len(vals) < n {
+			return true
+		}
+		want := [4]int64{}
+		for r := 0; r < n; r++ {
+			for j := 0; j < 4; j++ {
+				want[j] += int64(vals[r][j])
+			}
+		}
+		ok := true
+		err := New(n).Run(func(c Comm) error {
+			x := make([]int64, 4)
+			for j := 0; j < 4; j++ {
+				x[j] = int64(vals[c.Rank()][j])
+			}
+			got := AllGatherSumVec(c, x)
+			for j := 0; j < 4; j++ {
+				if got[j] != want[j] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrumentedCountsPerTag(t *testing.T) {
+	const tagA, tagB = TagUser, TagUser + 1
+	runAll(t, 3, func(c Comm) error {
+		w := Instrument(c)
+		for q := 0; q < w.Size(); q++ {
+			w.Send(q, tagA, Int64Body(1))
+		}
+		if w.Rank() == 0 {
+			w.Send(1, tagB, Int64SliceBody{1, 2, 3})
+		}
+		w.RecvN(tagA, 3)
+		if w.Rank() == 1 {
+			w.Recv(tagB)
+		}
+		// Self-sends are free: 2 remote tagA messages each.
+		if got := w.TagMessages(tagA); got != 2 {
+			t.Errorf("rank %d: tagA msgs %d, want 2", w.Rank(), got)
+		}
+		if w.Rank() == 0 {
+			if got := w.TagBytes(tagB); got != headerBytes+24 {
+				t.Errorf("tagB bytes %d", got)
+			}
+		} else if got := w.TagMessages(tagB); got != 0 {
+			t.Errorf("rank %d: tagB msgs %d, want 0", w.Rank(), got)
+		}
+		w.Barrier()
+		return nil
+	})
+}
+
+func TestChaosPreservesCollectiveResults(t *testing.T) {
+	// The same collective sequence under Chaos must give identical results:
+	// receivers re-sort by (From, Seq) and the wrapper preserves per-sender
+	// order.
+	runAll(t, 5, func(c Comm) error {
+		w := NewChaos(c, int64(c.Rank())*31+7, 200*time.Microsecond)
+		defer w.Close()
+		for round := 0; round < 5; round++ {
+			sum := AllGatherSum(w, int64(c.Rank()+round))
+			want := int64(10 + 5*round)
+			if sum != want {
+				t.Errorf("round %d rank %d: sum %d, want %d", round, c.Rank(), sum, want)
+			}
+			vec := AllGatherSumVec(w, []int64{int64(c.Rank()), 1})
+			if vec[0] != 10 || vec[1] != 5 {
+				t.Errorf("round %d rank %d: vec %v", round, c.Rank(), vec)
+			}
+			w.Barrier()
+		}
+		return nil
+	})
+}

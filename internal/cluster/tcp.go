@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP transport: the same Comm contract as the in-process cluster, but each
+// machine is its own OS process. A router in the rank-0 process accepts one
+// connection per worker and forwards frames by destination rank, so workers
+// need no mesh of connections. Payloads are gob-encoded Body values; register
+// concrete body types with RegisterBody before dialing.
+//
+// This transport exists to demonstrate that the algorithms are written
+// against message passing only (cmd/dneworker, examples/multiprocess); the
+// in-process transport remains the default for experiments because it
+// eliminates serialisation noise from measurements.
+
+// RegisterBody registers a concrete Body implementation for gob transport.
+func RegisterBody(b Body) { gob.Register(b) }
+
+// frame is the unit forwarded by the router; Payload is an opaque
+// gob-encoded bodyEnvelope so the router never needs body types.
+type frame struct {
+	From, To int
+	Tag      Tag
+	Seq      uint64
+	Payload  []byte
+	Hello    bool // first frame on a connection: From identifies the worker
+	Bye      bool // worker is done; router closes after all byes
+}
+
+// bodyEnvelope wraps the Body interface for gob.
+type bodyEnvelope struct {
+	B Body
+}
+
+// TCPNode is a Comm over the router.
+type TCPNode struct {
+	rank, size int
+	conn       net.Conn
+	enc        *gob.Encoder
+	encMu      sync.Mutex
+	box        *mailbox
+	stats      *Stats
+	seq        uint64
+	readErr    chan error
+}
+
+var _ Comm = (*TCPNode)(nil)
+
+// StartRouter listens on addr and forwards frames among size machines. It
+// returns the listener address (useful with ":0") and a function that blocks
+// until all machines have said goodbye.
+func StartRouter(addr string, size int) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("cluster: router listen: %w", err)
+	}
+	type peer struct {
+		enc *gob.Encoder
+		mu  sync.Mutex
+	}
+	peers := make([]*peer, size)
+	done := make(chan error, size+1)
+	// fatal carries accept-phase failures (bad hello, duplicate rank): the
+	// mesh never forms, so no byes will arrive and wait must not block on
+	// them.
+	fatal := make(chan error, 1)
+
+	forward := func(dec *gob.Decoder, rank int) {
+		for {
+			var f frame
+			if err := dec.Decode(&f); err != nil {
+				done <- fmt.Errorf("cluster: router: decode from %d: %w", rank, err)
+				return
+			}
+			if f.Bye {
+				done <- nil
+				return
+			}
+			p := peers[f.To]
+			p.mu.Lock()
+			err := p.enc.Encode(f)
+			p.mu.Unlock()
+			if err != nil {
+				done <- fmt.Errorf("cluster: router: forward to %d: %w", f.To, err)
+				return
+			}
+		}
+	}
+	go func() {
+		// Collect every worker's hello before forwarding anything: early
+		// frames for not-yet-connected ranks simply sit in their sender's
+		// TCP buffer until the mesh is complete.
+		decs := make([]*gob.Decoder, 0, size)
+		ranks := make([]int, 0, size)
+		for i := 0; i < size; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				fatal <- err
+				return
+			}
+			dec := gob.NewDecoder(conn)
+			var hello frame
+			if err := dec.Decode(&hello); err != nil || !hello.Hello {
+				conn.Close()
+				fatal <- fmt.Errorf("cluster: router: bad hello: %v", err)
+				return
+			}
+			if hello.From < 0 || hello.From >= size || peers[hello.From] != nil {
+				conn.Close()
+				fatal <- fmt.Errorf("cluster: router: invalid or duplicate rank %d", hello.From)
+				return
+			}
+			peers[hello.From] = &peer{enc: gob.NewEncoder(conn)}
+			decs = append(decs, dec)
+			ranks = append(ranks, hello.From)
+		}
+		for i := range decs {
+			go forward(decs[i], ranks[i])
+		}
+	}()
+	wait := func() error {
+		var firstErr error
+		for i := 0; i < size; i++ {
+			select {
+			case err := <-done:
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+			case err := <-fatal:
+				ln.Close()
+				return err
+			}
+		}
+		ln.Close()
+		return firstErr
+	}
+	return ln.Addr().String(), wait, nil
+}
+
+// DialTCP connects a machine to the router.
+func DialTCP(addr string, rank, size int) (*TCPNode, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial router: %w", err)
+	}
+	n := &TCPNode{
+		rank: rank, size: size,
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		box:     newMailbox(),
+		stats:   &Stats{},
+		readErr: make(chan error, 1),
+	}
+	if err := n.enc.Encode(frame{From: rank, Hello: true}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: hello: %w", err)
+	}
+	go n.readLoop()
+	return n, nil
+}
+
+func (n *TCPNode) readLoop() {
+	dec := gob.NewDecoder(n.conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			n.readErr <- err
+			return
+		}
+		var env bodyEnvelope
+		if err := gob.NewDecoder(bytes.NewReader(f.Payload)).Decode(&env); err != nil {
+			n.readErr <- fmt.Errorf("cluster: decode body: %w", err)
+			return
+		}
+		n.box.put(Message{From: f.From, To: f.To, Tag: f.Tag, Seq: f.Seq, Body: env.B})
+	}
+}
+
+// Rank implements Comm.
+func (n *TCPNode) Rank() int { return n.rank }
+
+// Size implements Comm.
+func (n *TCPNode) Size() int { return n.size }
+
+// Stats implements Comm.
+func (n *TCPNode) Stats() *Stats { return n.stats }
+
+// Send implements Comm.
+func (n *TCPNode) Send(to int, tag Tag, body Body) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(bodyEnvelope{B: body}); err != nil {
+		panic(fmt.Sprintf("cluster: encode body: %v", err))
+	}
+	n.seq++
+	f := frame{From: n.rank, To: to, Tag: tag, Seq: n.seq, Payload: payload.Bytes()}
+	if to == n.rank {
+		// Local loopback without a network round trip, like the in-process
+		// transport (free).
+		var env bodyEnvelope
+		if err := gob.NewDecoder(bytes.NewReader(f.Payload)).Decode(&env); err != nil {
+			panic(err)
+		}
+		n.box.put(Message{From: f.From, To: to, Tag: tag, Seq: f.Seq, Body: env.B})
+		return
+	}
+	n.stats.MessagesSent.Add(1)
+	n.stats.BytesSent.Add(int64(headerBytes + body.WireSize()))
+	n.encMu.Lock()
+	err := n.enc.Encode(f)
+	n.encMu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("cluster: send to %d: %v", to, err))
+	}
+}
+
+// Recv implements Comm.
+func (n *TCPNode) Recv(tag Tag) Message { return n.box.take(tag) }
+
+// RecvN implements Comm.
+func (n *TCPNode) RecvN(tag Tag, k int) []Message {
+	msgs := make([]Message, 0, k)
+	for len(msgs) < k {
+		msgs = append(msgs, n.box.take(tag))
+	}
+	sortMessages(msgs)
+	return msgs
+}
+
+// TryRecvAll implements Comm.
+func (n *TCPNode) TryRecvAll(tag Tag) []Message {
+	msgs := n.box.takeAll(tag)
+	sortMessages(msgs)
+	return msgs
+}
+
+// Barrier implements Comm: workers report to rank 0 and wait for release.
+func (n *TCPNode) Barrier() {
+	if n.rank == 0 {
+		for i := 1; i < n.size; i++ {
+			n.Recv(tagBarrier)
+		}
+		for i := 1; i < n.size; i++ {
+			n.Send(i, tagBarrier, Int64Body(1))
+		}
+		return
+	}
+	n.Send(0, tagBarrier, Int64Body(1))
+	n.Recv(tagBarrier)
+}
+
+// Close says goodbye to the router and closes the connection.
+func (n *TCPNode) Close() error {
+	n.encMu.Lock()
+	err := n.enc.Encode(frame{From: n.rank, Bye: true})
+	n.encMu.Unlock()
+	if err != nil {
+		n.conn.Close()
+		return err
+	}
+	return n.conn.Close()
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRouterRejectsDuplicateRank(t *testing.T) {
+	addr, wait, err := StartRouter("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := DialTCP(addr, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Second hello with the same rank: the router must reject it and wait()
+	// must surface the error.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(conn).Encode(frame{From: 0, Hello: true}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	err = wait()
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("wait() = %v, want duplicate-rank error", err)
+	}
+}
+
+func TestRouterRejectsOutOfRangeRank(t *testing.T) {
+	addr, wait, err := StartRouter("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(conn).Encode(frame{From: 99, Hello: true}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := wait(); err == nil {
+		t.Fatal("wait() accepted an out-of-range rank")
+	}
+}
+
+func TestRouterRejectsBadHello(t *testing.T) {
+	addr, wait, err := StartRouter("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A data frame before any hello.
+	if err := gob.NewEncoder(conn).Encode(frame{From: 0, To: 0, Tag: TagUser}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := wait(); err == nil {
+		t.Fatal("wait() accepted a connection without a hello")
+	}
+}
+
+func TestTCPLargePayloadRoundTrip(t *testing.T) {
+	// Vectors far beyond one TCP segment must arrive intact and in order.
+	const n = 1 << 16
+	runTCP(t, 2, func(comm Comm) error {
+		if comm.Rank() == 0 {
+			big := make(Int64SliceBody, n)
+			for i := range big {
+				big[i] = int64(i)
+			}
+			comm.Send(1, TagUser, big)
+		} else {
+			got := comm.Recv(TagUser).Body.(Int64SliceBody)
+			if len(got) != n {
+				t.Errorf("len %d", len(got))
+			}
+			for i, v := range got {
+				if v != int64(i) {
+					t.Errorf("elem %d = %d", i, v)
+					break
+				}
+			}
+		}
+		comm.Barrier()
+		return nil
+	})
+}
+
+func TestTCPManySmallMessagesOrdered(t *testing.T) {
+	// Per-sender Seq order must survive the router.
+	const k = 500
+	runTCP(t, 2, func(comm Comm) error {
+		if comm.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				comm.Send(1, TagUser, Int64Body(i))
+			}
+		} else {
+			msgs := comm.RecvN(TagUser, k)
+			for i, m := range msgs {
+				if int64(m.Body.(Int64Body)) != int64(i) {
+					t.Errorf("message %d out of order: %v", i, m.Body)
+					break
+				}
+			}
+		}
+		comm.Barrier()
+		return nil
+	})
+}
+
+func TestTCPConcurrentSendersToOneReceiver(t *testing.T) {
+	const sizeN = 5
+	runTCP(t, sizeN, func(comm Comm) error {
+		if comm.Rank() != 0 {
+			var wg sync.WaitGroup
+			// Each worker sends from its own goroutine bursts to rank 0;
+			// receiver just needs the right totals.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					comm.Send(0, TagUser, Int64Body(1))
+				}
+			}()
+			wg.Wait()
+		} else {
+			var total int64
+			for _, m := range comm.RecvN(TagUser, 100*(sizeN-1)) {
+				total += int64(m.Body.(Int64Body))
+			}
+			if total != 100*(sizeN-1) {
+				t.Errorf("total %d", total)
+			}
+		}
+		comm.Barrier()
+		return nil
+	})
+}

@@ -1,0 +1,193 @@
+// Package dne implements Distributed Neighbor Expansion (Distributed NE),
+// the parallel and distributed edge-partitioning algorithm of Hanai et al.,
+// "Distributed Edge Partitioning for Trillion-edge Graphs", VLDB 2019.
+//
+// The algorithm computes a |P|-way edge partitioning by growing all |P|
+// partitions simultaneously ("parallel expansion", §3): each partition
+// greedily expands its edge set from a random seed vertex, always expanding
+// the boundary vertex whose remaining degree — and therefore the increase in
+// vertex replication — is minimal. Edges are held uniquely by 2D-hashed
+// allocation processes; vertices are replicated and synchronised (§4).
+// Multi-expansion (§5) batches the λ·|B| best boundary vertices per
+// superstep to cut iteration counts by orders of magnitude.
+//
+// The distributed runtime is an in-process message-passing cluster
+// (internal/cluster); every machine is a goroutine, and all coordination is
+// via tagged, size-accounted messages, so communication volume and iteration
+// counts are faithful to the distributed algorithm even on one host.
+package dne
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/distributedne/dne/internal/cluster"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// defaultMaxIterations bounds the superstep loop as a safety net; realistic
+// runs with λ=0.1 finish in tens of iterations (§5, Fig. 6).
+const defaultMaxIterations = 1 << 20
+
+// Config holds the algorithm parameters. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Alpha is the imbalance factor α ≥ 1.0 of Eq. (2). Paper setting: 1.1.
+	Alpha float64
+	// Lambda is the multi-expansion factor λ ∈ (0,1] (§5). Paper setting:
+	// 0.1. Ignored when SingleExpansion is set.
+	Lambda float64
+	// SingleExpansion selects exactly one boundary vertex per iteration,
+	// the Theorem-1 setting (§6).
+	SingleExpansion bool
+	// Seed drives every random choice (initial vertices, seed scans).
+	Seed int64
+	// MaxIterations bounds the superstep loop (0 = a large default).
+	MaxIterations int
+	// BroadcastReplicas disables the 2D-hash fanout optimisation: selected
+	// vertices are multicast to all |P| machines instead of the O(√P) grid
+	// row ∪ column. Ablation knob for DESIGN.md §4.2; quality is unaffected,
+	// communication volume grows.
+	BroadcastReplicas bool
+	// ParallelAllocation processes the received selections of each
+	// allocation superstep on multiple goroutines per machine, resolving
+	// contended edge claims by CAS exactly as the paper's Algorithm 3 ("do
+	// in parallel", conflicts "solved by a CAS operation"). Edge ownership
+	// between simultaneously-requesting partitions then depends on race
+	// winners, so runs are NOT bit-reproducible; the default sequential mode
+	// is deterministic and allocates identically. Ablation knob for
+	// DESIGN.md §4.1 (Result.CASConflicts).
+	ParallelAllocation bool
+}
+
+// DefaultConfig returns the paper's parameter setting (α=1.1, λ=0.1).
+func DefaultConfig() Config {
+	return Config{Alpha: 1.1, Lambda: 0.1}
+}
+
+// Result is a partitioning together with the run's execution metrics.
+type Result struct {
+	Partitioning *partition.Partitioning
+	// Iterations is the number of supersteps executed (Fig. 6 metric).
+	Iterations int
+	// SweptEdges counts edges assigned by the final leftover sweep
+	// (normally 0).
+	SweptEdges int64
+	// CommBytes / CommMessages are the total inter-machine traffic of the
+	// partitioning itself (result collection excluded).
+	CommBytes    int64
+	CommMessages int64
+	// MemBytes is the analytic peak memory across all machines (graph
+	// shares + partition edge sets + boundaries); MemScore = MemBytes/|E|
+	// is the Fig. 9 metric.
+	MemBytes int64
+	Elapsed  time.Duration
+	// CASConflicts counts contended edge claims lost to a concurrent
+	// partition (non-zero only with Config.ParallelAllocation).
+	CASConflicts int64
+	// WastedSelections counts selection deliveries ⟨v,p⟩ that allocated no
+	// one-hop edge on the receiving machine — the cost of stale boundary
+	// Drest scores (DESIGN.md §4.4).
+	WastedSelections int64
+	// TotalSelections counts all selection deliveries, the denominator for
+	// the staleness rate.
+	TotalSelections int64
+}
+
+// MemScore returns MemBytes normalised by the number of edges (Fig. 9).
+func (r *Result) MemScore(numEdges int64) float64 {
+	if numEdges == 0 {
+		return 0
+	}
+	return float64(r.MemBytes) / float64(numEdges)
+}
+
+// SimulatedNetworkTime estimates the network component this run would add
+// on a physical cluster of the given size under the cost model — the
+// substitution bridge between the in-process runtime (memcpy-fast
+// communication) and the paper's InfiniBand testbed. Each superstep is
+// charged four synchronisation rounds (select, sync, boundary/edges, and
+// the termination all-gathers), matching the protocol in machine.go.
+func (r *Result) SimulatedNetworkTime(m cluster.CostModel, machines int) time.Duration {
+	return m.Estimate(r.CommMessages, r.CommBytes, r.Iterations*4, machines)
+}
+
+// Partition runs Distributed NE on g with numParts machines (the paper runs
+// one partition per machine, §3.3) and returns the partitioning plus metrics.
+func Partition(g *graph.Graph, numParts int, cfg Config) (*Result, error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("dne: numParts must be positive, got %d", numParts)
+	}
+	if cfg.Alpha < 1.0 {
+		return nil, fmt.Errorf("dne: alpha must be >= 1.0, got %g", cfg.Alpha)
+	}
+	if !cfg.SingleExpansion && (cfg.Lambda <= 0 || cfg.Lambda > 1) {
+		return nil, fmt.Errorf("dne: lambda must be in (0,1], got %g", cfg.Lambda)
+	}
+	if g.NumEdges() == 0 {
+		return nil, errors.New("dne: graph has no edges")
+	}
+
+	c := cluster.New(numParts)
+	results := make([]machineResult, numParts)
+	p := partition.New(numParts, g.NumEdges())
+
+	start := time.Now()
+	err := c.Run(func(comm cluster.Comm) error {
+		return runMachine(comm, g, cfg, &results[comm.Rank()], p.Owner)
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Partitioning: p, Elapsed: elapsed}
+	for _, mr := range results {
+		if mr.iterations > res.Iterations {
+			res.Iterations = mr.iterations
+		}
+		res.MemBytes += mr.memBytes
+		res.CommBytes += mr.commBytes
+		res.CommMessages += mr.commMsgs
+		res.CASConflicts += mr.conflicts
+		res.WastedSelections += mr.wasted
+		res.TotalSelections += mr.selections
+	}
+	res.SweptEdges = results[0].swept
+	return res, nil
+}
+
+// Partitioner adapts Partition to the partition.Partitioner interface used
+// by the experiment harness. It retains the last Result so the harness can
+// read iteration counts, communication volume and the analytic memory score.
+type Partitioner struct {
+	Cfg  Config
+	Last *Result
+}
+
+// New returns a Partitioner with the paper's default configuration.
+func New() *Partitioner { return &Partitioner{Cfg: DefaultConfig()} }
+
+// Name implements partition.Partitioner.
+func (pt *Partitioner) Name() string { return "D.NE" }
+
+// Partition implements partition.Partitioner.
+func (pt *Partitioner) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	res, err := Partition(g, numParts, pt.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	pt.Last = res
+	return res.Partitioning, nil
+}
+
+// MemBytes implements the harness's MemReporter: the analytic peak memory of
+// the last run, summed across machines.
+func (pt *Partitioner) MemBytes() int64 {
+	if pt.Last == nil {
+		return 0
+	}
+	return pt.Last.MemBytes
+}

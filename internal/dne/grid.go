@@ -1,0 +1,62 @@
+package dne
+
+import "sort"
+
+// grid implements the 2D-hash initial distribution of §4 ("Data Structure").
+// Machines are arranged in an R×C logical grid (R·C ≥ P, cells folded onto
+// machines modulo P). An edge (u,v) is owned by the cell at (h1(u) mod R,
+// h2(v) mod C); consequently every edge incident to a vertex x lives in x's
+// grid row or column, so the replica set of x is *computed* from its id —
+// O(√P) machines — instead of being stored, which is the paper's
+// space-efficiency argument for trillion-edge graphs.
+type grid struct {
+	r, c, p int
+}
+
+func newGrid(p int) grid {
+	r := 1
+	for (r+1)*(r+1) <= p {
+		r++
+	}
+	c := (p + r - 1) / r
+	return grid{r: r, c: c, p: p}
+}
+
+// splitmix64 is a strong, cheap 64-bit mixer (public-domain constants).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashRow(v uint32) uint64 { return splitmix64(uint64(v) ^ 0xDEC0DE) }
+func hashCol(v uint32) uint64 { return splitmix64(uint64(v) ^ 0xC0FFEE) }
+
+// edgeOwner returns the machine owning canonical edge (u,v).
+func (g grid) edgeOwner(u, v uint32) int {
+	i := int(hashRow(u) % uint64(g.r))
+	j := int(hashCol(v) % uint64(g.c))
+	return (i*g.c + j) % g.p
+}
+
+// vertexProcs appends to dst the sorted, deduplicated set of machines that
+// can hold edges incident to x (x's grid row ∪ column).
+func (g grid) vertexProcs(x uint32, dst []int) []int {
+	i := int(hashRow(x) % uint64(g.r))
+	j := int(hashCol(x) % uint64(g.c))
+	for jj := 0; jj < g.c; jj++ {
+		dst = append(dst, (i*g.c+jj)%g.p)
+	}
+	for ii := 0; ii < g.r; ii++ {
+		dst = append(dst, (ii*g.c+j)%g.p)
+	}
+	sort.Ints(dst)
+	out := dst[:0]
+	for k, pr := range dst {
+		if k == 0 || pr != dst[k-1] {
+			out = append(out, pr)
+		}
+	}
+	return out
+}

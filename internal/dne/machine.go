@@ -1,0 +1,393 @@
+package dne
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/distributedne/dne/internal/bitset"
+	"github.com/distributedne/dne/internal/cluster"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// machineResult is what one machine reports back to the driver.
+type machineResult struct {
+	iterations int
+	swept      int64
+	memBytes   int64
+	partEdges  int64 // |Ep| held by this machine's expansion process at the end
+	commBytes  int64
+	commMsgs   int64
+	conflicts  int64 // lost CAS claims (ParallelAllocation only)
+	wasted     int64 // selection deliveries that allocated nothing here
+	selections int64 // all selection deliveries processed here
+}
+
+// runMachine executes one machine's combined expansion + allocation process
+// (§3.3: one expansion process and one allocation process per machine; this
+// machine's expansion process computes partition `rank`).
+func runMachine(comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResult, ownerOut []int32) error {
+	p := comm.Size()
+	rank := comm.Rank()
+	gd := newGrid(p)
+	sg := buildSubGraph(g, gd, rank, p)
+	if cfg.ParallelAllocation {
+		// Superstep tags for conflict accounting; iter starts at 1, so the
+		// zero value never aliases a live superstep.
+		sg.claimIter = make([]int32, len(sg.edges))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(rank)+1)*0x9e3779b9))
+	bnd := newBoundary()
+
+	// replicaProcs resolves a vertex's replica machine set: the grid
+	// row ∪ column by default, or all machines under the BroadcastReplicas
+	// ablation (DESIGN.md §4.2).
+	allProcs := make([]int, p)
+	for q := range allProcs {
+		allProcs[q] = q
+	}
+	replicaProcs := func(v graph.Vertex, buf []int) []int {
+		if cfg.BroadcastReplicas {
+			return allProcs
+		}
+		return gd.vertexProcs(v, buf)
+	}
+
+	totalE := g.NumEdges()
+	capEdges := int64(cfg.Alpha * float64(totalE) / float64(p))
+	if capEdges < 1 {
+		capEdges = 1
+	}
+
+	// Globally gathered state, refreshed once per iteration.
+	partSizes := make([]int64, p)    // |Eq| for every partition q
+	freeVec := make([]int64, p)      // free (unallocated) edges per machine
+	localPerPart := make([]int64, p) // edges this machine allocated, per owner
+
+	myFree := make([]int64, p)
+	myFree[rank] = sg.freeEdges
+	freeVec = cluster.AllGatherSumVec(comm, myFree)
+
+	epEdges := make([]graph.Edge, 0, capEdges)
+	scratch := bitset.New(p)
+	var procsBuf []int
+	outPairs := make([][]vp, p)
+	syncOut := make([][]vp, p)
+	bItems := make([][]boundaryItem, p)
+	eOut := make([][]graph.Edge, p)
+
+	done := false // this machine's expansion finished
+	iter := 0
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = defaultMaxIterations
+	}
+
+	for {
+		iter++
+		if iter > maxIter {
+			return fmt.Errorf("dne: machine %d exceeded %d iterations (|E| allocated: %d/%d)",
+				rank, maxIter, sum(partSizes), totalE)
+		}
+
+		// ------- Phase A: vertex selection (Alg. 1 L3–7 / Alg. 4) -------
+		for q := 0; q < p; q++ {
+			outPairs[q] = outPairs[q][:0]
+		}
+		seedTo := -1
+		if !done {
+			if bnd.len() > 0 {
+				k := 1
+				if !cfg.SingleExpansion {
+					k = int(math.Ceil(cfg.Lambda * float64(bnd.len())))
+					if k < 1 {
+						k = 1
+					}
+				}
+				budget := capEdges - int64(len(epEdges))
+				for _, v := range bnd.popK(k, budget) {
+					procsBuf = replicaProcs(v, procsBuf[:0])
+					for _, pr := range procsBuf {
+						outPairs[pr] = append(outPairs[pr], vp{V: v, P: int32(rank)})
+					}
+				}
+			} else {
+				// Random seed (Alg. 1 L7): prefer the local allocation
+				// process, fall back to the nearest machine with free edges.
+				if freeVec[rank] > 0 {
+					seedTo = rank
+				} else {
+					for off := 1; off < p; off++ {
+						t := (rank + off) % p
+						if freeVec[t] > 0 {
+							seedTo = t
+							break
+						}
+					}
+				}
+			}
+		}
+		for q := 0; q < p; q++ {
+			body := selectBody{Pairs: outPairs[q]}
+			if q == seedTo {
+				body.SeedReq = true
+				body.SeedPart = int32(rank)
+			}
+			comm.Send(q, tagSelect, body)
+		}
+
+		// ------- Phase B1: one-hop allocation (Alg. 2 L2, Alg. 3) -------
+		for q := 0; q < p; q++ {
+			bItems[q] = bItems[q][:0]
+			syncOut[q] = syncOut[q][:0]
+			eOut[q] = eOut[q][:0]
+		}
+		var allocLocal []int32
+		var orderBP []vp
+		seenBP := make(map[vp]struct{})
+		// Working view of global |Eq|: last gather plus local increments,
+		// used to enforce the α cap within the iteration.
+		sizesView := make([]int64, p)
+		copy(sizesView, partSizes)
+		var pairs []vp
+		for _, m := range comm.RecvN(tagSelect, p) {
+			body := m.Body.(selectBody)
+			pairs = append(pairs, body.Pairs...)
+			if body.SeedReq {
+				if v, ok := sg.randomSeed(rng); ok {
+					bItems[m.From] = append(bItems[m.From],
+						boundaryItem{V: v, Drest: sg.localDrest(v)})
+				}
+			}
+		}
+		res.selections += int64(len(pairs))
+		if cfg.ParallelAllocation && len(pairs) > 1 {
+			bp := allocOneHopParallel(sg, pairs, int32(iter), sizesView, capEdges, &allocLocal, &res.wasted)
+			for _, b := range bp {
+				if _, ok := seenBP[b]; !ok {
+					seenBP[b] = struct{}{}
+					orderBP = append(orderBP, b)
+				}
+			}
+		} else {
+			for _, pair := range pairs {
+				if sizesView[pair.P] >= capEdges {
+					continue // partition's budget already exhausted
+				}
+				before := len(allocLocal)
+				for _, b := range sg.allocOneHop(pair.V, pair.P, &allocLocal) {
+					if _, ok := seenBP[b]; !ok {
+						seenBP[b] = struct{}{}
+						orderBP = append(orderBP, b)
+					}
+				}
+				if len(allocLocal) == before {
+					res.wasted++
+				}
+				sizesView[pair.P] += int64(len(allocLocal) - before)
+			}
+		}
+
+		// ------- Phase B2: replica synchronisation (Alg. 2 L3) -------
+		for _, bpPair := range orderBP {
+			procsBuf = replicaProcs(bpPair.V, procsBuf[:0])
+			for _, pr := range procsBuf {
+				if pr != rank {
+					syncOut[pr] = append(syncOut[pr], bpPair)
+				}
+			}
+		}
+		for q := 0; q < p; q++ {
+			comm.Send(q, tagSync, syncBody{Pairs: syncOut[q]})
+		}
+		synced := orderBP
+		for _, m := range comm.RecvN(tagSync, p) {
+			for _, pair := range m.Body.(syncBody).Pairs {
+				if sg.applySync(pair.V, pair.P) >= 0 {
+					if _, ok := seenBP[pair]; !ok {
+						seenBP[pair] = struct{}{}
+						synced = append(synced, pair)
+					}
+				}
+			}
+		}
+
+		// ------- Phase B3: two-hop allocation (Alg. 2 L4, Alg. 3) -------
+		twoBudget := make([]int64, p)
+		for q := 0; q < p; q++ {
+			if rem := capEdges - partSizes[q]; rem > 0 {
+				twoBudget[q] = rem/int64(p) + 1
+			}
+		}
+		seenV := make(map[graph.Vertex]struct{}, len(synced))
+		for _, pair := range synced {
+			if _, ok := seenV[pair.V]; ok {
+				continue
+			}
+			seenV[pair.V] = struct{}{}
+			sg.allocTwoHop(pair.V, sizesView, twoBudget, capEdges, scratch, &allocLocal)
+		}
+
+		// ------- Phase B4: local Drest + result shipping (Alg. 2 L5–7) -------
+		for _, pair := range synced {
+			bItems[pair.P] = append(bItems[pair.P],
+				boundaryItem{V: pair.V, Drest: sg.localDrest(pair.V)})
+		}
+		for _, le := range allocLocal {
+			q := sg.owner[le]
+			eOut[q] = append(eOut[q], sg.edges[le])
+			localPerPart[q]++
+		}
+		for q := 0; q < p; q++ {
+			comm.Send(q, tagBoundary, boundaryBody{Items: bItems[q]})
+			comm.Send(q, tagEdges, edgesBody{Edges: eOut[q]})
+		}
+
+		// ------- Phase C: boundary/edge-set update (Alg. 1 L10–13) -------
+		merged := make(map[graph.Vertex]int32)
+		var mergedOrder []graph.Vertex
+		for _, m := range comm.RecvN(tagBoundary, p) {
+			for _, it := range m.Body.(boundaryBody).Items {
+				if _, ok := merged[it.V]; !ok {
+					mergedOrder = append(mergedOrder, it.V)
+				}
+				merged[it.V] += it.Drest
+			}
+		}
+		for _, v := range mergedOrder {
+			bnd.update(v, merged[v])
+		}
+		for _, m := range comm.RecvN(tagEdges, p) {
+			epEdges = append(epEdges, m.Body.(edgesBody).Edges...)
+		}
+
+		// ------- Termination check (Alg. 1 L14–15) -------
+		partSizes = cluster.AllGatherSumVec(comm, localPerPart)
+		myFree[rank] = sg.freeEdges
+		for q := range myFree {
+			if q != rank {
+				myFree[q] = 0
+			}
+		}
+		freeVec = cluster.AllGatherSumVec(comm, myFree)
+		allocated := sum(partSizes)
+		// |Ep| of this machine's own partition is known exactly: every edge
+		// allocated to q is shipped to q within the same superstep.
+		done = int64(len(epEdges)) >= capEdges || allocated == totalE
+		if allocated == totalE {
+			break
+		}
+		allDone := true
+		for q := 0; q < p; q++ {
+			if partSizes[q] < capEdges {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+
+	// Leftover sweep: only reachable when every partition saturated its α cap
+	// while edges remained.
+	var swept int64
+	if sum(partSizes) < totalE {
+		swept = sg.sweepLeftovers(partSizes, scratch)
+		swept = cluster.AllGatherSum(comm, swept)
+	}
+
+	// Snapshot communication stats before result collection: the gather below
+	// is measurement plumbing, not part of the algorithm's traffic.
+	res.commBytes = comm.Stats().BytesSent.Load()
+	res.commMsgs = comm.Stats().MessagesSent.Load()
+	res.conflicts = atomic.LoadInt64(&sg.conflicts)
+	res.iterations = iter
+	res.swept = swept
+	res.partEdges = int64(len(epEdges))
+	res.memBytes = sg.memoryFootprint() + int64(len(epEdges))*8 + bnd.memoryFootprint()
+
+	// Result collection: every machine (including the master, via a free
+	// self-send) ships its (global edge index, owner) pairs to rank 0, which
+	// writes them into the driver-provided output slice.
+	comm.Send(0, tagResult, resultBody{Idx: sg.globalIdx, Owner: sg.owner})
+	if rank == 0 {
+		for _, m := range comm.RecvN(tagResult, p) {
+			body := m.Body.(resultBody)
+			for i, gi := range body.Idx {
+				ownerOut[gi] = body.Owner[i]
+			}
+		}
+	}
+	return nil
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// allocOneHopParallel is the Config.ParallelAllocation implementation of
+// phase B1: selection pairs are processed by a strided worker pool; edge
+// claims race through the CAS in allocateEdge (lost claims increment
+// sg.conflicts), budget enforcement uses an atomic view of the per-partition
+// sizes, and partition-bitset updates are deferred to a sequential
+// application after the workers join (bitsets are not atomic). sizesView is
+// updated in place to reflect the allocations. Returns the new boundary
+// pairs (possibly with duplicates; the caller dedups).
+func allocOneHopParallel(sg *subGraph, pairs []vp, iter int32, sizesView []int64, capEdges int64, allocOut *[]int32, wasted *int64) []vp {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(pairs) {
+		nw = len(pairs)
+	}
+	if nw > 8 {
+		nw = 8
+	}
+	type workerResult struct {
+		alloc  []int32
+		bp     []vp
+		defs   []vp
+		wasted int64
+	}
+	results := make([]workerResult, nw)
+	atomicSizes := make([]int64, len(sizesView))
+	copy(atomicSizes, sizesView)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			for i := w; i < len(pairs); i += nw {
+				pair := pairs[i]
+				if atomic.LoadInt64(&atomicSizes[pair.P]) >= capEdges {
+					continue
+				}
+				n := sg.allocOneHopDeferred(pair.V, pair.P, iter, &r.alloc, &r.bp, &r.defs)
+				if n == 0 {
+					r.wasted++
+				} else {
+					atomic.AddInt64(&atomicSizes[pair.P], int64(n))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var bp []vp
+	for w := range results {
+		*allocOut = append(*allocOut, results[w].alloc...)
+		bp = append(bp, results[w].bp...)
+		*wasted += results[w].wasted
+		for _, d := range results[w].defs {
+			sg.applySync(d.V, d.P)
+		}
+	}
+	copy(sizesView, atomicSizes)
+	return bp
+}

@@ -1,0 +1,365 @@
+package dne
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"github.com/distributedne/dne/internal/bitset"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// subGraph is one allocation process's share of the input graph (§4 "Data
+// Structure"): a CSR over the locally-owned (unique) edges, per-edge atomic
+// owner words, and per-local-vertex partition bitsets and free-degree
+// counters. Vertices are replicated across machines; edges are not.
+type subGraph struct {
+	numParts int
+
+	// Distinct local vertices, sorted; index into the arrays below is the
+	// "local vertex id".
+	verts []graph.Vertex
+
+	// CSR over local edges: each local undirected edge appears in two
+	// adjacency lists.
+	off    []int64
+	target []graph.Vertex // neighbor (global id)
+	eIdx   []int32        // local edge index for the adjacency slot
+
+	edges     []graph.Edge // local edges
+	globalIdx []int64      // canonical (global) edge index of each local edge
+	owner     []int32      // partition owning local edge i, or -1 (CAS'd)
+
+	partSets []bitset.Set // partitions each local vertex belongs to
+	drest    []int32      // free (unallocated) local degree per local vertex
+
+	freeEdges int64 // number of unallocated local edges
+	seedCur   int   // rotating cursor for random-seed scans
+
+	// conflicts counts same-superstep contention: a partition found an edge
+	// it wanted already claimed *in the current superstep* by a different
+	// partition (the paper's CAS-resolved allocation conflict, §4). Only
+	// populated under Config.ParallelAllocation. Read atomically.
+	conflicts int64
+	// claimIter tags each local edge with the superstep in which it was
+	// claimed (parallel mode only; used to recognise same-round contention).
+	claimIter []int32
+}
+
+// buildSubGraph extracts rank's 2D-hash share of g.
+func buildSubGraph(g *graph.Graph, gd grid, rank, numParts int) *subGraph {
+	sg := &subGraph{numParts: numParts}
+	for i, e := range g.Edges() {
+		if gd.edgeOwner(e.U, e.V) != rank {
+			continue
+		}
+		sg.edges = append(sg.edges, e)
+		sg.globalIdx = append(sg.globalIdx, int64(i))
+	}
+	// Collect distinct local vertices.
+	sg.verts = make([]graph.Vertex, 0, len(sg.edges))
+	for _, e := range sg.edges {
+		sg.verts = append(sg.verts, e.U, e.V)
+	}
+	sort.Slice(sg.verts, func(i, j int) bool { return sg.verts[i] < sg.verts[j] })
+	uniq := sg.verts[:0]
+	for i, v := range sg.verts {
+		if i == 0 || v != sg.verts[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	sg.verts = uniq
+
+	n := len(sg.verts)
+	sg.off = make([]int64, n+1)
+	for _, e := range sg.edges {
+		sg.off[sg.localID(e.U)+1]++
+		sg.off[sg.localID(e.V)+1]++
+	}
+	for v := 0; v < n; v++ {
+		sg.off[v+1] += sg.off[v]
+	}
+	sg.target = make([]graph.Vertex, sg.off[n])
+	sg.eIdx = make([]int32, sg.off[n])
+	cursor := make([]int64, n)
+	for i, e := range sg.edges {
+		lu, lv := sg.localID(e.U), sg.localID(e.V)
+		pu := sg.off[lu] + cursor[lu]
+		sg.target[pu] = e.V
+		sg.eIdx[pu] = int32(i)
+		cursor[lu]++
+		pv := sg.off[lv] + cursor[lv]
+		sg.target[pv] = e.U
+		sg.eIdx[pv] = int32(i)
+		cursor[lv]++
+	}
+	sg.owner = make([]int32, len(sg.edges))
+	for i := range sg.owner {
+		sg.owner[i] = -1
+	}
+	sg.partSets = make([]bitset.Set, n)
+	for v := range sg.partSets {
+		sg.partSets[v] = bitset.New(numParts)
+	}
+	sg.drest = make([]int32, n)
+	for v := 0; v < n; v++ {
+		sg.drest[v] = int32(sg.off[v+1] - sg.off[v])
+	}
+	sg.freeEdges = int64(len(sg.edges))
+	return sg
+}
+
+// localID returns the local index of global vertex v, or -1 if v is not
+// local.
+func (sg *subGraph) localID(v graph.Vertex) int {
+	i := sort.Search(len(sg.verts), func(i int) bool { return sg.verts[i] >= v })
+	if i < len(sg.verts) && sg.verts[i] == v {
+		return i
+	}
+	return -1
+}
+
+// allocateEdge tries to claim local edge le for partition p; it returns true
+// on success. Conflicts between concurrently expanding partitions are
+// resolved by this CAS (§4: "The conflict ... is solved by a CAS operation").
+func (sg *subGraph) allocateEdge(le int32, p int32) bool {
+	if !atomic.CompareAndSwapInt32(&sg.owner[le], -1, p) {
+		return false
+	}
+	e := sg.edges[le]
+	if lu := sg.localID(e.U); lu >= 0 {
+		atomic.AddInt32(&sg.drest[lu], -1)
+	}
+	if lv := sg.localID(e.V); lv >= 0 {
+		atomic.AddInt32(&sg.drest[lv], -1)
+	}
+	atomic.AddInt64(&sg.freeEdges, -1)
+	return true
+}
+
+// allocOneHop performs Alg. 3 AllocateOneHopNeighbors for a single received
+// ⟨v, p⟩ pair. It returns the new local boundary pairs ⟨u, p⟩ and appends the
+// allocated local edge indices to out.
+func (sg *subGraph) allocOneHop(v graph.Vertex, p int32, out *[]int32) []vp {
+	lv := sg.localID(v)
+	if lv < 0 {
+		return nil
+	}
+	var bp []vp
+	for s := sg.off[lv]; s < sg.off[lv+1]; s++ {
+		le := sg.eIdx[s]
+		if atomic.LoadInt32(&sg.owner[le]) != -1 {
+			continue
+		}
+		if !sg.allocateEdge(le, p) {
+			continue
+		}
+		u := sg.target[s]
+		sg.partSets[lv].Set(int(p))
+		if lu := sg.localID(u); lu >= 0 {
+			sg.partSets[lu].Set(int(p))
+		}
+		bp = append(bp, vp{V: u, P: p})
+		*out = append(*out, le)
+	}
+	return bp
+}
+
+// allocOneHopDeferred is allocOneHop for the intra-machine parallel mode
+// (Config.ParallelAllocation): edge claims use the CAS exactly as in the
+// paper's Algorithm 3, but partition-bitset updates are *recorded* into defs
+// instead of applied, because bitsets are not atomic; the caller applies them
+// sequentially after the parallel phase. iter tags claims so that losing a
+// wanted edge to a different partition *within the same superstep* is
+// counted as an allocation conflict (§4). Returns the number of edges
+// claimed.
+func (sg *subGraph) allocOneHopDeferred(v graph.Vertex, p int32, iter int32, out *[]int32, bp *[]vp, defs *[]vp) int {
+	lv := sg.localID(v)
+	if lv < 0 {
+		return 0
+	}
+	if sg.claimIter == nil {
+		panic("dne: allocOneHopDeferred requires claimIter (parallel mode)")
+	}
+	claimed := 0
+	for s := sg.off[lv]; s < sg.off[lv+1]; s++ {
+		le := sg.eIdx[s]
+		if o := atomic.LoadInt32(&sg.owner[le]); o != -1 {
+			if o != p && atomic.LoadInt32(&sg.claimIter[le]) == iter {
+				atomic.AddInt64(&sg.conflicts, 1)
+			}
+			continue
+		}
+		if !sg.allocateEdge(le, p) {
+			atomic.AddInt64(&sg.conflicts, 1)
+			continue // lost the CAS race itself
+		}
+		atomic.StoreInt32(&sg.claimIter[le], iter)
+		claimed++
+		u := sg.target[s]
+		*defs = append(*defs, vp{V: v, P: p}, vp{V: u, P: p})
+		*bp = append(*bp, vp{V: u, P: p})
+		*out = append(*out, le)
+	}
+	return claimed
+}
+
+// applySync records that vertex v now belongs to partition p (replica
+// synchronisation, Alg. 2 Line 3). Returns the local id, or -1.
+func (sg *subGraph) applySync(v graph.Vertex, p int32) int {
+	lv := sg.localID(v)
+	if lv >= 0 {
+		sg.partSets[lv].Set(int(p))
+	}
+	return lv
+}
+
+// allocTwoHop performs Alg. 3 AllocateTwoHopNeighbors for one synced boundary
+// vertex u: any free local edge (u,w) whose endpoints already share a
+// partition is allocated to the smallest such partition (Condition (5) never
+// increases replication). sizesView is this machine's working view of the
+// global |Eq| vector (gathered last iteration plus local increments); it is
+// used both for the argmin on Line 16 and to enforce the α cap of Eq. (2),
+// and is incremented for every allocation made here. Allocated local edge
+// indices are appended to out.
+// twoBudget additionally caps how many two-hop edges this machine may give
+// each partition this iteration (a 1/P fair share of the partition's
+// remaining capacity), bounding the cross-machine overshoot that the
+// one-iteration-stale sizesView cannot see.
+func (sg *subGraph) allocTwoHop(u graph.Vertex, sizesView, twoBudget []int64, capEdges int64, scratch bitset.Set, out *[]int32) {
+	lu := sg.localID(u)
+	if lu < 0 {
+		return
+	}
+	if atomic.LoadInt32(&sg.drest[lu]) == 0 {
+		return
+	}
+	for s := sg.off[lu]; s < sg.off[lu+1]; s++ {
+		le := sg.eIdx[s]
+		if atomic.LoadInt32(&sg.owner[le]) != -1 {
+			continue
+		}
+		w := sg.target[s]
+		lw := sg.localID(w)
+		if lw < 0 {
+			continue
+		}
+		if !bitset.IntersectInto(scratch, sg.partSets[lu], sg.partSets[lw]) {
+			continue
+		}
+		best := int32(-1)
+		var bestSize int64
+		scratch.ForEach(func(q int) {
+			if sizesView[q] >= capEdges || twoBudget[q] <= 0 {
+				return // would violate the balance constraint
+			}
+			if best == -1 || sizesView[q] < bestSize {
+				best = int32(q)
+				bestSize = sizesView[q]
+			}
+		})
+		if best == -1 {
+			continue
+		}
+		if sg.allocateEdge(le, best) {
+			sizesView[best]++
+			twoBudget[best]--
+			*out = append(*out, le)
+		}
+	}
+}
+
+// localDrest returns the current free local degree of v (Alg. 2 Line 5).
+func (sg *subGraph) localDrest(v graph.Vertex) int32 {
+	lv := sg.localID(v)
+	if lv < 0 {
+		return 0
+	}
+	return atomic.LoadInt32(&sg.drest[lv])
+}
+
+// randomSeed picks a vertex that still has a free local edge, scanning from a
+// rotating cursor so repeated seeds cover the whole subgraph. Returns false
+// if every local edge is allocated.
+func (sg *subGraph) randomSeed(rng *rand.Rand) (graph.Vertex, bool) {
+	if atomic.LoadInt64(&sg.freeEdges) == 0 {
+		return 0, false
+	}
+	n := len(sg.edges)
+	start := sg.seedCur
+	if n > 0 {
+		start = (sg.seedCur + rng.Intn(n)) % n
+	}
+	for k := 0; k < n; k++ {
+		le := (start + k) % n
+		if atomic.LoadInt32(&sg.owner[le]) == -1 {
+			sg.seedCur = (le + 1) % n
+			e := sg.edges[le]
+			if rng.Intn(2) == 0 {
+				return e.U, true
+			}
+			return e.V, true
+		}
+	}
+	return 0, false
+}
+
+// sweepLeftovers force-assigns every remaining free edge to the smallest
+// candidate partition (preferring partitions already covering an endpoint).
+// It returns the number of swept edges. Used only when every partition hit
+// the α cap with edges still unallocated (§ DESIGN.md "leftover sweep").
+func (sg *subGraph) sweepLeftovers(partSizes []int64, scratch bitset.Set) int64 {
+	var swept int64
+	for le := range sg.edges {
+		if atomic.LoadInt32(&sg.owner[le]) != -1 {
+			continue
+		}
+		e := sg.edges[le]
+		lu, lv := sg.localID(e.U), sg.localID(e.V)
+		best := int32(-1)
+		var bestSize int64
+		consider := func(q int) {
+			if best == -1 || partSizes[q] < bestSize {
+				best = int32(q)
+				bestSize = partSizes[q]
+			}
+		}
+		scratch.Reset()
+		if lu >= 0 {
+			scratch.Or(sg.partSets[lu])
+		}
+		if lv >= 0 {
+			scratch.Or(sg.partSets[lv])
+		}
+		if !scratch.Empty() {
+			scratch.ForEach(consider)
+		} else {
+			for q := 0; q < sg.numParts; q++ {
+				consider(q)
+			}
+		}
+		if sg.allocateEdge(int32(le), best) {
+			partSizes[best]++
+			swept++
+		}
+	}
+	return swept
+}
+
+// memoryFootprint returns an analytic byte count of this subgraph's arrays,
+// used by the Fig-9 memory score.
+func (sg *subGraph) memoryFootprint() int64 {
+	bytes := int64(len(sg.verts))*4 +
+		int64(len(sg.off))*8 +
+		int64(len(sg.target))*4 +
+		int64(len(sg.eIdx))*4 +
+		int64(len(sg.edges))*8 +
+		int64(len(sg.globalIdx))*8 +
+		int64(len(sg.owner))*4 +
+		int64(len(sg.claimIter))*4 +
+		int64(len(sg.drest))*4
+	for _, s := range sg.partSets {
+		bytes += s.MemoryFootprint()
+	}
+	return bytes
+}

@@ -1,0 +1,57 @@
+package dne
+
+import (
+	"github.com/distributedne/dne/internal/cluster"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// init registers every DNE message body with the gob-based TCP transport so
+// cmd/dneworker can run the identical superstep protocol across OS
+// processes.
+func init() {
+	cluster.RegisterBody(selectBody{})
+	cluster.RegisterBody(syncBody{})
+	cluster.RegisterBody(boundaryBody{})
+	cluster.RegisterBody(edgesBody{})
+	cluster.RegisterBody(resultBody{})
+	cluster.RegisterBody(sweepBody{})
+	cluster.RegisterBody(cluster.Int64Body(0))
+	cluster.RegisterBody(cluster.Int64SliceBody(nil))
+}
+
+// PartitionOver runs this machine's share of Distributed NE over an
+// arbitrary communicator (in-process or TCP). Every rank must call it with
+// the same graph, configuration and partition count (= comm.Size()). The
+// returned slice is non-nil only at rank 0 and holds the owner of every
+// canonical edge of g.
+func PartitionOver(comm cluster.Comm, g *graph.Graph, cfg Config) ([]int32, *MachineStats, error) {
+	var res machineResult
+	var owner []int32
+	if comm.Rank() == 0 {
+		owner = make([]int32, g.NumEdges())
+		for i := range owner {
+			owner[i] = -1
+		}
+	}
+	if err := runMachine(comm, g, cfg, &res, owner); err != nil {
+		return nil, nil, err
+	}
+	return owner, &MachineStats{
+		Iterations: res.iterations,
+		SweptEdges: res.swept,
+		MemBytes:   res.memBytes,
+		PartEdges:  res.partEdges,
+		CommBytes:  res.commBytes,
+		CommMsgs:   res.commMsgs,
+	}, nil
+}
+
+// MachineStats is the public view of one machine's execution metrics.
+type MachineStats struct {
+	Iterations int
+	SweptEdges int64
+	MemBytes   int64
+	PartEdges  int64
+	CommBytes  int64
+	CommMsgs   int64
+}

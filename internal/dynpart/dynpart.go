@@ -1,0 +1,432 @@
+// Package dynpart maintains an edge partitioning under a stream of edge
+// insertions and deletions — the "dynamic graphs" extension the paper lists
+// as future work (§8, citing Leopard, Huang & Abadi VLDB'16). The intended
+// workflow is:
+//
+//  1. partition a snapshot with Distributed NE (internal/dne),
+//  2. seed a dynpart.Partitioner from that result via FromStatic,
+//  3. apply the update stream; each insertion is placed greedily with a
+//     replication-aware score, deletions retract replicas exactly, and an
+//     optional bounded Rebalance pass migrates edges off overloaded
+//     partitions.
+//
+// The placement score follows the same two heuristics as neighbor expansion
+// (§3.1): reuse partitions that already hold both endpoints (Condition (5) —
+// zero new replicas), else one endpoint, else the least-loaded partition,
+// with a convex balance penalty to keep Eq. (2)'s α constraint.
+package dynpart
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// Options configures the dynamic partitioner.
+type Options struct {
+	// Alpha is the imbalance factor α ≥ 1 of Eq. (2), enforced against the
+	// current (moving) edge count. Default 1.1.
+	Alpha float64
+	// BalanceWeight scales the balance penalty in the placement score.
+	// Default 1.0.
+	BalanceWeight float64
+}
+
+// DefaultOptions mirrors the paper's α=1.1 setting.
+func DefaultOptions() Options { return Options{Alpha: 1.1, BalanceWeight: 1.0} }
+
+// vertexState tracks one vertex's replica multiset: how many of its incident
+// edges live on each partition.
+type vertexState struct {
+	counts map[int32]int32 // partition -> incident-edge count
+}
+
+// Partitioner is an incrementally maintained |P|-way edge partitioning.
+// It is not safe for concurrent use.
+type Partitioner struct {
+	numParts int
+	opts     Options
+
+	owner map[graph.Edge]int32 // canonical edge -> partition
+	verts map[graph.Vertex]*vertexState
+	sizes []int64
+
+	// replicas is Σ_v |parts(v)|, maintained incrementally so RF is O(1).
+	replicas int64
+	// moved counts edges migrated by Rebalance (observability).
+	moved int64
+}
+
+// New returns an empty dynamic partitioner.
+func New(numParts int, opts Options) (*Partitioner, error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("dynpart: numParts must be positive, got %d", numParts)
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 1.1
+	}
+	if opts.Alpha < 1 {
+		return nil, fmt.Errorf("dynpart: alpha must be >= 1, got %g", opts.Alpha)
+	}
+	if opts.BalanceWeight == 0 {
+		opts.BalanceWeight = 1
+	}
+	return &Partitioner{
+		numParts: numParts,
+		opts:     opts,
+		owner:    make(map[graph.Edge]int32),
+		verts:    make(map[graph.Vertex]*vertexState),
+		sizes:    make([]int64, numParts),
+	}, nil
+}
+
+// FromStatic seeds a dynamic partitioner from an existing static
+// partitioning of g (typically a Distributed NE result).
+func FromStatic(g *graph.Graph, pt *partition.Partitioning, opts Options) (*Partitioner, error) {
+	if err := pt.Validate(g); err != nil {
+		return nil, fmt.Errorf("dynpart: seed partitioning invalid: %w", err)
+	}
+	d, err := New(pt.NumParts, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range pt.Owner {
+		d.insertAt(g.Edge(int64(i)), o)
+	}
+	return d, nil
+}
+
+// NumEdges returns the current number of edges.
+func (d *Partitioner) NumEdges() int64 { return int64(len(d.owner)) }
+
+// NumVertices returns the number of vertices with at least one edge.
+func (d *Partitioner) NumVertices() int64 { return int64(len(d.verts)) }
+
+// Sizes returns a copy of the per-partition edge counts.
+func (d *Partitioner) Sizes() []int64 {
+	out := make([]int64, len(d.sizes))
+	copy(out, d.sizes)
+	return out
+}
+
+// Moved returns the number of edges migrated by Rebalance so far.
+func (d *Partitioner) Moved() int64 { return d.moved }
+
+// Owner returns the partition of e and whether e is present.
+func (d *Partitioner) Owner(e graph.Edge) (int32, bool) {
+	q, ok := d.owner[e.Canon()]
+	return q, ok
+}
+
+// Replicas returns Σ_v |parts(v)| over the current graph.
+func (d *Partitioner) Replicas() int64 { return d.replicas }
+
+// ReplicationFactor returns Σ_v |parts(v)| / |V| over the current graph
+// (Eq. 1), or 0 when empty.
+func (d *Partitioner) ReplicationFactor() float64 {
+	if len(d.verts) == 0 {
+		return 0
+	}
+	return float64(d.replicas) / float64(len(d.verts))
+}
+
+// EdgeBalance returns max |Ep| / mean |Ep| (1 when empty).
+func (d *Partitioner) EdgeBalance() float64 {
+	var sum, max int64
+	for _, s := range d.sizes {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) / (float64(sum) / float64(len(d.sizes)))
+}
+
+// capEdges is the α-cap against the current edge count; it moves as the
+// graph grows, so a long insert stream cannot wedge every partition at once.
+func (d *Partitioner) capEdges(extra int64) int64 {
+	total := int64(len(d.owner)) + extra
+	c := int64(d.opts.Alpha * float64(total) / float64(d.numParts))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// AddEdge inserts e and returns its assigned partition. Inserting an edge
+// that already exists (or a self loop) is a no-op returning the existing
+// owner (or -1 for self loops).
+func (d *Partitioner) AddEdge(e graph.Edge) int32 {
+	c := e.Canon()
+	if c.U == c.V {
+		return -1
+	}
+	if q, ok := d.owner[c]; ok {
+		return q
+	}
+	q := d.place(c)
+	d.insertAt(c, q)
+	return q
+}
+
+// place scores every partition for edge e = (u,v):
+//
+//	score(q) = [u on q] + [v on q] − w·(size_q / cap)²,
+//
+// so partitions already covering both endpoints (no new replicas) dominate,
+// then one endpoint, and the quadratic penalty steers ties and spill-over to
+// underloaded partitions. Partitions at the α cap are excluded unless all
+// are.
+func (d *Partitioner) place(e graph.Edge) int32 {
+	cap := d.capEdges(1)
+	su := d.verts[e.U]
+	sv := d.verts[e.V]
+	best := int32(-1)
+	bestScore := math.Inf(-1)
+	for q := 0; q < d.numParts; q++ {
+		if d.sizes[q] >= cap {
+			continue
+		}
+		var gain float64
+		if su != nil && su.counts[int32(q)] > 0 {
+			gain++
+		}
+		if sv != nil && sv.counts[int32(q)] > 0 {
+			gain++
+		}
+		load := float64(d.sizes[q]) / float64(cap)
+		score := gain - d.opts.BalanceWeight*load*load
+		if score > bestScore {
+			bestScore = score
+			best = int32(q)
+		}
+	}
+	if best == -1 {
+		// Every partition is at the cap (α very tight): fall back to the
+		// least-loaded one; the cap recomputes upward as edges arrive.
+		best = 0
+		for q := 1; q < d.numParts; q++ {
+			if d.sizes[q] < d.sizes[best] {
+				best = int32(q)
+			}
+		}
+	}
+	return best
+}
+
+// insertAt records e on partition q, updating replica multisets.
+func (d *Partitioner) insertAt(e graph.Edge, q int32) {
+	d.owner[e] = q
+	d.sizes[q]++
+	d.addIncidence(e.U, q)
+	d.addIncidence(e.V, q)
+}
+
+func (d *Partitioner) addIncidence(v graph.Vertex, q int32) {
+	st := d.verts[v]
+	if st == nil {
+		st = &vertexState{counts: make(map[int32]int32)}
+		d.verts[v] = st
+	}
+	if st.counts[q] == 0 {
+		d.replicas++
+	}
+	st.counts[q]++
+}
+
+// RemoveEdge deletes e; it reports whether e was present. Replica sets
+// shrink exactly: a vertex leaves a partition when its last incident edge
+// there disappears, and leaves the structure entirely with its last edge.
+func (d *Partitioner) RemoveEdge(e graph.Edge) bool {
+	c := e.Canon()
+	q, ok := d.owner[c]
+	if !ok {
+		return false
+	}
+	delete(d.owner, c)
+	d.sizes[q]--
+	d.dropIncidence(c.U, q)
+	d.dropIncidence(c.V, q)
+	return true
+}
+
+func (d *Partitioner) dropIncidence(v graph.Vertex, q int32) {
+	st := d.verts[v]
+	st.counts[q]--
+	if st.counts[q] == 0 {
+		delete(st.counts, q)
+		d.replicas--
+	}
+	if len(st.counts) == 0 {
+		delete(d.verts, v)
+	}
+}
+
+// Rebalance migrates up to budget edges from partitions above the α cap to
+// the least-loaded partitions, preferring edges whose move does not increase
+// replication (both endpoints already on the target). It returns the number
+// of edges moved. Leopard performs the analogous bounded re-examination on
+// every update; batching it keeps the per-update cost O(score) and lets
+// callers amortise.
+func (d *Partitioner) Rebalance(budget int) int {
+	cap := d.capEdges(0)
+	moved := 0
+	for q := int32(0); q < int32(d.numParts) && moved < budget; q++ {
+		if d.sizes[q] <= cap {
+			continue
+		}
+		// Collect this partition's edges lazily (owner map scan); fine for
+		// the batch setting.
+		for e, o := range d.owner {
+			if o != q || d.sizes[q] <= cap || moved >= budget {
+				continue
+			}
+			target := d.bestTarget(e, q)
+			if target < 0 {
+				continue
+			}
+			d.migrate(e, q, target)
+			moved++
+		}
+	}
+	d.moved += int64(moved)
+	return moved
+}
+
+// bestTarget picks the best destination for moving e off q: the least-loaded
+// partition already covering both endpoints, else one endpoint, else the
+// globally least-loaded; −1 if no destination is strictly less loaded.
+func (d *Partitioner) bestTarget(e graph.Edge, q int32) int32 {
+	su, sv := d.verts[e.U], d.verts[e.V]
+	best := int32(-1)
+	bestKey := math.Inf(-1)
+	for t := int32(0); t < int32(d.numParts); t++ {
+		if t == q || d.sizes[t] >= d.sizes[q]-1 {
+			continue
+		}
+		var gain float64
+		if su.counts[t] > 0 {
+			gain++
+		}
+		if sv.counts[t] > 0 {
+			gain++
+		}
+		// Penalize breaking replicas at the source: endpoints whose only
+		// q-incidence is e itself lose a replica (good) but the edge's
+		// endpoints gain one at t when absent (bad); gain already counts the
+		// latter. Prefer max gain, then min load.
+		key := gain - float64(d.sizes[t])/float64(d.sizes[q]+1)
+		if key > bestKey {
+			bestKey = key
+			best = t
+		}
+	}
+	return best
+}
+
+func (d *Partitioner) migrate(e graph.Edge, from, to int32) {
+	d.owner[e] = to
+	d.sizes[from]--
+	d.sizes[to]++
+	d.dropIncidence2(e.U, from)
+	d.dropIncidence2(e.V, from)
+	d.addIncidence(e.U, to)
+	d.addIncidence(e.V, to)
+}
+
+// dropIncidence2 is dropIncidence without the vertex-removal step (the
+// vertex keeps at least the migrated edge).
+func (d *Partitioner) dropIncidence2(v graph.Vertex, q int32) {
+	st := d.verts[v]
+	st.counts[q]--
+	if st.counts[q] == 0 {
+		delete(st.counts, q)
+		d.replicas--
+	}
+}
+
+// Snapshot materialises the current assignment as a partition.Partitioning
+// over g, whose canonical edge list must equal the live edge set (build g
+// with graph.FromEdges(0, d.Edges())). Unknown edges make it fail.
+func (d *Partitioner) Snapshot(g *graph.Graph) (*partition.Partitioning, error) {
+	if g.NumEdges() != int64(len(d.owner)) {
+		return nil, fmt.Errorf("dynpart: snapshot graph has %d edges, partitioner holds %d",
+			g.NumEdges(), len(d.owner))
+	}
+	pt := partition.New(d.numParts, g.NumEdges())
+	for i, e := range g.Edges() {
+		q, ok := d.owner[e]
+		if !ok {
+			return nil, fmt.Errorf("dynpart: snapshot graph edge %v not held", e)
+		}
+		pt.Owner[i] = q
+	}
+	return pt, nil
+}
+
+// Edges returns the live edge set in unspecified order.
+func (d *Partitioner) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(d.owner))
+	for e := range d.owner {
+		out = append(out, e)
+	}
+	return out
+}
+
+// CheckInvariants verifies internal consistency (sizes match the owner map,
+// replica multisets match incidence, the replica counter is exact). Tests
+// and the example call it after update storms; it is O(|E|).
+func (d *Partitioner) CheckInvariants() error {
+	sizes := make([]int64, d.numParts)
+	counts := make(map[graph.Vertex]map[int32]int32)
+	for e, q := range d.owner {
+		if q < 0 || int(q) >= d.numParts {
+			return fmt.Errorf("dynpart: edge %v has invalid owner %d", e, q)
+		}
+		if e != e.Canon() || e.U == e.V {
+			return fmt.Errorf("dynpart: non-canonical stored edge %v", e)
+		}
+		sizes[q]++
+		for _, v := range [2]graph.Vertex{e.U, e.V} {
+			m := counts[v]
+			if m == nil {
+				m = make(map[int32]int32)
+				counts[v] = m
+			}
+			m[q]++
+		}
+	}
+	for q, s := range sizes {
+		if s != d.sizes[q] {
+			return fmt.Errorf("dynpart: partition %d size %d, recorded %d", q, s, d.sizes[q])
+		}
+	}
+	if len(counts) != len(d.verts) {
+		return fmt.Errorf("dynpart: %d live vertices, recorded %d", len(counts), len(d.verts))
+	}
+	var replicas int64
+	for v, m := range counts {
+		st := d.verts[v]
+		if st == nil {
+			return fmt.Errorf("dynpart: vertex %d missing", v)
+		}
+		if len(m) != len(st.counts) {
+			return fmt.Errorf("dynpart: vertex %d has %d parts, recorded %d", v, len(m), len(st.counts))
+		}
+		for q, c := range m {
+			if st.counts[q] != c {
+				return fmt.Errorf("dynpart: vertex %d part %d count %d, recorded %d", v, q, c, st.counts[q])
+			}
+		}
+		replicas += int64(len(m))
+	}
+	if replicas != d.replicas {
+		return fmt.Errorf("dynpart: replicas %d, recorded %d", replicas, d.replicas)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package dynpart
+
+import (
+	"math/rand"
+
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// Op is the kind of a stream event.
+type Op uint8
+
+// Stream operations.
+const (
+	Add Op = iota
+	Remove
+)
+
+// Event is one update in a dynamic-graph stream.
+type Event struct {
+	Op   Op
+	Edge graph.Edge
+}
+
+// Apply applies a batch of events in order and returns how many actually
+// changed state (duplicate adds and misses don't count).
+func (d *Partitioner) Apply(events []Event) int {
+	changed := 0
+	for _, ev := range events {
+		switch ev.Op {
+		case Add:
+			c := ev.Edge.Canon()
+			if c.U == c.V {
+				continue
+			}
+			if _, ok := d.owner[c]; !ok {
+				d.AddEdge(c)
+				changed++
+			}
+		case Remove:
+			if d.RemoveEdge(ev.Edge) {
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// Churn generates a reproducible update stream against a base graph:
+// insertions drawn uniformly from the base edges currently absent, deletions
+// drawn uniformly from the present ones, with the given deletion
+// probability. Deleted edges can be re-inserted later. It is the workload
+// used by the dynamic example and benches (social-network churn: mostly
+// growth, some unfriending).
+func Churn(base *graph.Graph, events int, pDelete float64, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	all := base.Edges()
+	absent := make([]graph.Edge, len(all))
+	for i, p := range rng.Perm(len(all)) {
+		absent[i] = all[p]
+	}
+	present := make([]graph.Edge, 0, len(all))
+	out := make([]Event, 0, events)
+	for len(out) < events {
+		doDelete := len(present) > 0 && rng.Float64() < pDelete
+		if !doDelete && len(absent) == 0 {
+			doDelete = len(present) > 0
+			if !doDelete {
+				break // base graph has no edges at all
+			}
+		}
+		if doDelete {
+			i := rng.Intn(len(present))
+			e := present[i]
+			out = append(out, Event{Op: Remove, Edge: e})
+			present[i] = present[len(present)-1]
+			present = present[:len(present)-1]
+			absent = append(absent, e)
+			continue
+		}
+		i := rng.Intn(len(absent))
+		e := absent[i]
+		absent[i] = absent[len(absent)-1]
+		absent = absent[:len(absent)-1]
+		out = append(out, Event{Op: Add, Edge: e})
+		present = append(present, e)
+	}
+	return out
+}

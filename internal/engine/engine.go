@@ -1,0 +1,172 @@
+// Package engine is a vertex-cut (edge-partitioned) distributed
+// graph-processing engine in the PowerGraph/PowerLyra family, used to
+// reproduce Table 5 (§7.6): it executes SSSP, WCC and PageRank over any edge
+// partitioning and reports elapsed time, per-partition workload balance and
+// the master–mirror replica synchronisation volume that partition quality
+// controls.
+//
+// Execution follows the synchronous gather-apply-scatter model: each
+// partition owns its edge set and computes partial per-vertex aggregates
+// locally; mirrors ship partials to each vertex's master (gather), masters
+// apply the update, and new values are shipped back to mirrors (scatter).
+// Communication is accounted analytically — valueBytes per mirror hop — and
+// per-partition busy time is measured on real goroutines.
+package engine
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// valueBytes is the accounted wire size of one vertex value update
+// (vertex id + value).
+const valueBytes = 12
+
+// localEdge is an edge in partition-local vertex indices.
+type localEdge struct {
+	u, v int32
+}
+
+// part is one partition's share of the graph.
+type part struct {
+	verts []graph.Vertex // sorted global ids of local vertices (replicas)
+	edges []localEdge
+	busy  time.Duration // accumulated compute time
+}
+
+func (p *part) localID(v graph.Vertex) int32 {
+	i := sort.Search(len(p.verts), func(i int) bool { return p.verts[i] >= v })
+	return int32(i)
+}
+
+// Engine executes vertex programs over an edge-partitioned graph.
+type Engine struct {
+	g     *graph.Graph
+	parts []*part
+	// replicasOf[v] = partitions holding v (sorted); masterOf[v] is the
+	// first of them.
+	replicasOf [][]int32
+	masterOf   []int32
+
+	// CommBytes accumulates gather+scatter traffic across all supersteps.
+	CommBytes int64
+	// Supersteps counts executed iterations.
+	Supersteps int
+}
+
+// New builds an engine from a complete partitioning of g.
+func New(g *graph.Graph, pt *partition.Partitioning) *Engine {
+	e := &Engine{g: g}
+	e.parts = make([]*part, pt.NumParts)
+	for q := range e.parts {
+		e.parts[q] = &part{}
+	}
+	n := int(g.NumVertices())
+	e.replicasOf = make([][]int32, n)
+	e.masterOf = make([]int32, n)
+	for v := range e.masterOf {
+		e.masterOf[v] = -1
+	}
+	// Collect local vertex sets.
+	for i, o := range pt.Owner {
+		ed := g.Edge(int64(i))
+		for _, v := range [2]graph.Vertex{ed.U, ed.V} {
+			reps := e.replicasOf[v]
+			found := false
+			for _, r := range reps {
+				if r == o {
+					found = true
+					break
+				}
+			}
+			if !found {
+				e.replicasOf[v] = append(reps, o)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		reps := e.replicasOf[v]
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+		if len(reps) > 0 {
+			e.masterOf[v] = reps[0]
+		}
+		for _, q := range reps {
+			e.parts[q].verts = append(e.parts[q].verts, graph.Vertex(v))
+		}
+	}
+	// Local edge lists in local indices (verts are already sorted because
+	// they were appended in ascending v order).
+	for i, o := range pt.Owner {
+		ed := g.Edge(int64(i))
+		p := e.parts[o]
+		p.edges = append(p.edges, localEdge{p.localID(ed.U), p.localID(ed.V)})
+	}
+	return e
+}
+
+// NumParts returns the partition count.
+func (e *Engine) NumParts() int { return len(e.parts) }
+
+// WorkloadBalance returns max/mean of per-partition busy time accumulated so
+// far (the WB column of Table 5).
+func (e *Engine) WorkloadBalance() float64 {
+	var total, max time.Duration
+	for _, p := range e.parts {
+		total += p.busy
+		if p.busy > max {
+			max = p.busy
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(e.parts))
+	return float64(max) / mean
+}
+
+// ResetStats clears communication and balance accounting.
+func (e *Engine) ResetStats() {
+	e.CommBytes = 0
+	e.Supersteps = 0
+	for _, p := range e.parts {
+		p.busy = 0
+	}
+}
+
+// runParallel executes fn(q) for every partition on its own goroutine and
+// adds the measured busy time to each partition.
+func (e *Engine) runParallel(fn func(q int)) {
+	var wg sync.WaitGroup
+	for q := range e.parts {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			start := time.Now()
+			fn(q)
+			e.parts[q].busy += time.Since(start)
+		}(q)
+	}
+	wg.Wait()
+}
+
+// accountSync charges one gather+scatter round for vertex v: each mirror
+// sends a partial to the master and receives the new value.
+func (e *Engine) accountSync(v graph.Vertex) {
+	mirrors := len(e.replicasOf[v]) - 1
+	if mirrors > 0 {
+		e.CommBytes += int64(mirrors) * valueBytes * 2
+	}
+}
+
+// accountScatterOnly charges a master→mirror broadcast for v (used when the
+// gather side was quiescent).
+func (e *Engine) accountScatterOnly(v graph.Vertex) {
+	mirrors := len(e.replicasOf[v]) - 1
+	if mirrors > 0 {
+		e.CommBytes += int64(mirrors) * valueBytes
+	}
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/distributedne/dne/internal/dne"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/hashpart"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+func buildEngine(t *testing.T, g *graph.Graph, p partition.Partitioner, parts int) *Engine {
+	t.Helper()
+	pt, err := p.Partition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g, pt)
+}
+
+// refBFS is a sequential reference for SSSP on unweighted graphs.
+func refBFS(g *graph.Graph, src graph.Vertex) []int64 {
+	n := int(g.NumVertices())
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = math.MaxInt64
+	}
+	dist[src] = 0
+	queue := []graph.Vertex{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == math.MaxInt64 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// refWCC is a sequential union-find reference for connected components.
+func refWCC(g *graph.Graph) []graph.Vertex {
+	n := int(g.NumVertices())
+	parent := make([]graph.Vertex, n)
+	for v := range parent {
+		parent[v] = graph.Vertex(v)
+	}
+	var find func(graph.Vertex) graph.Vertex
+	find = func(v graph.Vertex) graph.Vertex {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	for _, e := range g.Edges() {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			if ru < rv {
+				parent[rv] = ru
+			} else {
+				parent[ru] = rv
+			}
+		}
+	}
+	labels := make([]graph.Vertex, n)
+	for v := range labels {
+		labels[v] = find(graph.Vertex(v))
+	}
+	return labels
+}
+
+func TestSSSPMatchesBFSAcrossPartitionings(t *testing.T) {
+	g := gen.RMAT(9, 8, 3)
+	want := refBFS(g, 0)
+	for _, p := range []partition.Partitioner{hashpart.Random{Seed: 1}, dne.New()} {
+		e := buildEngine(t, g, p, 4)
+		got := e.SSSP(0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: dist[%d] = %d, want %d", p.Name(), v, got[v], want[v])
+			}
+		}
+		if e.CommBytes <= 0 {
+			t.Errorf("%s: no communication recorded", p.Name())
+		}
+	}
+}
+
+func TestWCCMatchesUnionFind(t *testing.T) {
+	g := gen.RMAT(9, 4, 5)
+	want := refWCC(g)
+	e := buildEngine(t, g, hashpart.Grid{Seed: 2}, 4)
+	got := e.WCC()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := gen.RMAT(9, 8, 7)
+	e := buildEngine(t, g, dne.New(), 4)
+	pr := e.PageRank(20, 0.85)
+	var sum float64
+	for v := 0; v < int(g.NumVertices()); v++ {
+		// Isolated vertices keep their initial mass but receive no base;
+		// only covered vertices participate.
+		sum += pr[v]
+	}
+	// Dangling mass leaks in standard PR without dangling redistribution;
+	// the sum must stay within (0.5, 1.001] for this graph family.
+	if sum <= 0.5 || sum > 1.001 {
+		t.Errorf("pagerank mass = %f, want ~1", sum)
+	}
+}
+
+func TestPageRankIndependentOfPartitioning(t *testing.T) {
+	g := gen.RMAT(8, 8, 11)
+	e1 := buildEngine(t, g, hashpart.Random{Seed: 1}, 4)
+	e2 := buildEngine(t, g, dne.New(), 4)
+	pr1 := e1.PageRank(10, 0.85)
+	pr2 := e2.PageRank(10, 0.85)
+	for v := range pr1 {
+		if math.Abs(pr1[v]-pr2[v]) > 1e-12 {
+			t.Fatalf("pr[%d] differs across partitionings: %g vs %g", v, pr1[v], pr2[v])
+		}
+	}
+}
+
+func TestBetterPartitioningReducesCommunication(t *testing.T) {
+	g := gen.RMAT(10, 16, 13)
+	eRand := buildEngine(t, g, hashpart.Random{Seed: 1}, 8)
+	eDNE := buildEngine(t, g, dne.New(), 8)
+	eRand.PageRank(5, 0.85)
+	eDNE.PageRank(5, 0.85)
+	if eDNE.CommBytes >= eRand.CommBytes {
+		t.Errorf("DNE comm %d should be below Random comm %d", eDNE.CommBytes, eRand.CommBytes)
+	}
+}
+
+func TestWorkloadBalanceReported(t *testing.T) {
+	g := gen.RMAT(9, 8, 17)
+	e := buildEngine(t, g, dne.New(), 4)
+	e.PageRank(5, 0.85)
+	if wb := e.WorkloadBalance(); wb < 1 {
+		t.Errorf("workload balance %f < 1", wb)
+	}
+}

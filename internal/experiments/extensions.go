@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/distributedne/dne/internal/bench"
+	"github.com/distributedne/dne/internal/dne"
+	"github.com/distributedne/dne/internal/dynpart"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/hyperpart"
+	"github.com/distributedne/dne/internal/powerlaw"
+)
+
+// Extension experiments: not tables or figures of the paper, but executable
+// versions of its §8 future-work directions (dynamic graphs, hypergraphs)
+// and the §6 power-law premise check. They appear in expbench under ext*.
+
+// ExtDynamic seeds a dynamic partitioner from a Distributed NE result and
+// tracks RF and balance as a churn stream (20% deletions) applies, comparing
+// the maintained partitioning against periodic full re-partitioning.
+func ExtDynamic(o Options) error {
+	scale := 12 + o.Shift
+	if scale < 8 {
+		scale = 8
+	}
+	snapshot := gen.RMAT(scale, 16, o.Seed)
+	res, err := dne.Partition(snapshot, 16, dneCfg(o.Seed))
+	if err != nil {
+		return err
+	}
+	d, err := dynpart.FromStatic(snapshot, res.Partitioning, dynpart.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.out(), "ExtDynamic — incremental maintenance vs full re-partition (|P|=16)\n")
+	fmt.Fprintf(o.out(), "seed snapshot: %v, DNE live-vertex RF %.3f\n\n", snapshot, d.ReplicationFactor())
+
+	future := gen.RMAT(scale, 16, o.Seed+1)
+	events := 8 * int(snapshot.NumEdges()) / 10
+	if o.Quick {
+		events /= 4
+	}
+	stream := dynpart.Churn(future, events, 0.2, o.Seed)
+	t := &bench.Table{Header: []string{"events", "|E|", "incr RF", "incr EB", "re-part RF", "moved"}}
+	steps := 4
+	per := (len(stream) + steps - 1) / steps
+	applied := 0
+	for lo := 0; lo < len(stream); lo += per {
+		hi := lo + per
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		d.Apply(stream[lo:hi])
+		moved := d.Rebalance(2000)
+		applied = hi
+		// Full re-partition of the current edge set for comparison.
+		cur := graph.FromEdges(0, d.Edges())
+		fres, err := dne.Partition(cur, 16, dneCfg(o.Seed))
+		if err != nil {
+			return err
+		}
+		fq := fres.Partitioning.Measure(cur)
+		fullRF := float64(fq.Replicas) / float64(coveredOf(cur))
+		t.Add(applied, d.NumEdges(), d.ReplicationFactor(), d.EdgeBalance(), fullRF, moved)
+	}
+	t.Print(o.out())
+	if err := d.CheckInvariants(); err != nil {
+		return err
+	}
+	fmt.Fprintln(o.out(), "\nshape: incremental RF tracks within a small factor of full re-partitioning")
+	return nil
+}
+
+func coveredOf(g *graph.Graph) int64 {
+	var covered int64
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) > 0 {
+			covered++
+		}
+	}
+	return covered
+}
+
+// ExtHyper compares the hypergraph partitioners (Random / Greedy / H-NE) on
+// a skewed hypergraph — the paper's hypergraph future-work direction.
+func ExtHyper(o Options) error {
+	n := uint32(1) << (12 + o.Shift)
+	m := int(n) * 2
+	if o.Quick {
+		m /= 2
+	}
+	h := hyperpart.RandomHypergraph(n, m, 5, o.Seed)
+	fmt.Fprintf(o.out(), "ExtHyper — hypergraph partitioning (|V|=%d, hyperedges=%d, pins=%d, |P|=16)\n\n",
+		h.NumVertices(), h.NumHyperedges(), h.NumPins())
+	t := &bench.Table{Header: []string{"method", "RF", "pin-balance", "edge-balance"}}
+	for _, pr := range []hyperpart.Partitioner{
+		hyperpart.Random{Seed: o.Seed},
+		hyperpart.Greedy{Seed: o.Seed},
+		hyperpart.NE{Seed: o.Seed},
+	} {
+		pt, err := pr.Partition(h, 16)
+		if err != nil {
+			return err
+		}
+		q := pt.Measure(h)
+		t.Add(pr.Name(), q.ReplicationFactor, q.PinBalance, q.EdgeBalance)
+	}
+	t.Print(o.out())
+	fmt.Fprintln(o.out(), "\nshape: H-NE < Greedy < Random in RF, mirroring Fig. 8's ordering on graphs")
+	return nil
+}
+
+// ExtPowerLaw validates the §6 premise on the synthetic stand-ins: fits the
+// degree tails of the skewed datasets and contrasts them with a road
+// lattice, reporting the fitted α that parameterises the Table-1 bounds.
+func ExtPowerLaw(o Options) error {
+	fmt.Fprintf(o.out(), "ExtPowerLaw — degree-tail fits of the synthetic stand-ins (Clauset MLE)\n\n")
+	t := &bench.Table{Header: []string{"graph", "|V|", "|E|", "alpha", "xmin", "KS", "gini"}}
+	row := func(name string, g interface {
+		NumVertices() uint32
+		NumEdges() int64
+		Degree(uint32) int64
+	}) error {
+		degs := make([]int64, 0, g.NumVertices())
+		for v := uint32(0); v < g.NumVertices(); v++ {
+			if d := g.Degree(v); d > 0 {
+				degs = append(degs, d)
+			}
+		}
+		gini := powerlaw.NewHistogram(degs).Gini()
+		fit, err := powerlaw.FitTail(degs)
+		if err != nil {
+			t.Add(name, g.NumVertices(), g.NumEdges(), "n/a", "-", "-", gini)
+			return nil
+		}
+		t.Add(name, g.NumVertices(), g.NumEdges(), fit.Alpha, fit.XMin, fit.KS, gini)
+		return nil
+	}
+	scale := 12 + o.Shift
+	if scale < 8 {
+		scale = 8
+	}
+	if err := row("rmat-ef16", gen.RMAT(scale, 16, o.Seed)); err != nil {
+		return err
+	}
+	if err := row("rmat-ef64", gen.RMAT(scale, 64, o.Seed)); err != nil {
+		return err
+	}
+	if err := row("barabasi-albert", gen.BarabasiAlbert(uint32(1)<<scale, 8, o.Seed)); err != nil {
+		return err
+	}
+	if err := row("chung-lu-2.4", gen.PowerLaw(uint32(1)<<scale, 2.4, o.Seed)); err != nil {
+		return err
+	}
+	if err := row("road-lattice", gen.Road(1<<(scale/2), 1<<(scale/2), o.Seed)); err != nil {
+		return err
+	}
+	t.Print(o.out())
+	fmt.Fprintln(o.out(), "\nshape: skewed families fit heavy tails (high gini); road does not")
+	return nil
+}
+
+func dneCfg(seed int64) dne.Config {
+	cfg := dne.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// BarabasiAlbert generates a preferential-attachment graph: starting from an
+// (m+1)-clique, each new vertex attaches to m existing vertices chosen with
+// probability proportional to degree (implemented with the repeated-endpoint
+// list, which realises exact preferential attachment). The result has the
+// heavy power-law tail (α ≈ 3) that motivates the paper's skewed-graph focus,
+// with a different tail shape than RMAT — useful for checking that quality
+// orderings are not an RMAT artifact.
+func BarabasiAlbert(n uint32, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	if uint32(m)+1 > n {
+		m = int(n) - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	// Repeated-endpoint list: every edge contributes both endpoints, so
+	// sampling uniformly from it is degree-proportional sampling.
+	var endpoints []graph.Vertex
+	// Seed clique on vertices 0..m.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			edges = append(edges, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(v)})
+			endpoints = append(endpoints, graph.Vertex(u), graph.Vertex(v))
+		}
+	}
+	targets := make(map[graph.Vertex]struct{}, m)
+	picked := make([]graph.Vertex, 0, m)
+	for v := graph.Vertex(m + 1); v < graph.Vertex(n); v++ {
+		clear(targets)
+		picked = picked[:0]
+		for len(picked) < m {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if _, dup := targets[u]; dup {
+				continue
+			}
+			targets[u] = struct{}{}
+			picked = append(picked, u) // insertion order keeps runs reproducible
+		}
+		for _, u := range picked {
+			edges = append(edges, graph.Edge{U: u, V: v})
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where every
+// vertex connects to its k nearest neighbors (k even), with each edge
+// rewired to a uniform random endpoint with probability beta. At beta=0 it
+// is a regular lattice (the non-skewed contrast case, like §7.7's road
+// networks); at beta=1 it approaches a random graph. Degrees stay
+// concentrated around k for all beta — no heavy tail.
+func WattsStrogatz(n uint32, k int, beta float64, seed int64) *graph.Graph {
+	if k < 2 {
+		k = 2
+	}
+	if k%2 == 1 {
+		k++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for v := uint32(0); v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := (v + uint32(j)) % n
+			if rng.Float64() < beta {
+				// Rewire the far endpoint uniformly, avoiding self loops
+				// (duplicates are compacted by FromEdges).
+				w := uint32(rng.Intn(int(n)))
+				for w == v {
+					w = uint32(rng.Intn(int(n)))
+				}
+				u = w
+			}
+			edges = append(edges, graph.Edge{U: v, V: u})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/distributedne/dne/internal/graph"
+)
+
+func giniOf(g *graph.Graph) float64 {
+	// Inline Gini over degrees (avoids importing powerlaw, which imports
+	// gen in its tests).
+	var vals []int64
+	var sum float64
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		d := g.Degree(v)
+		vals = append(vals, d)
+		sum += float64(d)
+	}
+	if sum == 0 {
+		return 0
+	}
+	// O(n^2) is fine at test sizes.
+	var num float64
+	for _, a := range vals {
+		for _, b := range vals {
+			if a > b {
+				num += float64(a - b)
+			} else {
+				num += float64(b - a)
+			}
+		}
+	}
+	return num / (2 * float64(len(vals)) * sum)
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	const n, m = 2000, 3
+	g := BarabasiAlbert(n, m, 7)
+	if g.NumVertices() != n {
+		t.Fatalf("|V|=%d", g.NumVertices())
+	}
+	// Seed clique C(m+1,2) + m per subsequent vertex, minus any duplicate
+	// attachments (targets is a set, so none).
+	want := int64(m*(m+1)/2 + (n-m-1)*m)
+	if g.NumEdges() != want {
+		t.Errorf("|E|=%d, want %d", g.NumEdges(), want)
+	}
+	// Minimum degree is m (every late vertex attaches m times).
+	for v := uint32(0); v < n; v++ {
+		if g.Degree(v) < int64(m) {
+			t.Fatalf("vertex %d degree %d < m", v, g.Degree(v))
+		}
+	}
+	// Preferential attachment concentrates degree: the max must far exceed
+	// the mean.
+	if g.MaxDegree() < 5*int64(g.AvgDegree()) {
+		t.Errorf("max degree %d not skewed vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestBarabasiAlbertDegenerateParams(t *testing.T) {
+	g := BarabasiAlbert(5, 10, 1) // m > n-1 gets clamped
+	if g.NumVertices() != 5 {
+		t.Fatalf("|V|=%d", g.NumVertices())
+	}
+	if g.NumEdges() != 10 { // K5
+		t.Errorf("|E|=%d, want 10 (K5)", g.NumEdges())
+	}
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta=0: exact ring lattice, every degree == k.
+	const n, k = 500, 6
+	g := WattsStrogatz(n, k, 0, 3)
+	if g.NumEdges() != int64(n*k/2) {
+		t.Fatalf("|E|=%d, want %d", g.NumEdges(), n*k/2)
+	}
+	for v := uint32(0); v < n; v++ {
+		if g.Degree(v) != k {
+			t.Fatalf("vertex %d degree %d, want %d", v, g.Degree(v), k)
+		}
+	}
+}
+
+func TestWattsStrogatzRewiringKeepsConcentration(t *testing.T) {
+	const n, k = 1000, 8
+	g := WattsStrogatz(n, k, 0.3, 5)
+	// Rewiring plus dedup loses a few edges; stay within 2%.
+	if g.NumEdges() < int64(n*k/2*98/100) {
+		t.Errorf("|E|=%d lost too many edges to dedup", g.NumEdges())
+	}
+	if gini := giniOf(g); gini > 0.15 {
+		t.Errorf("WS gini %.3f — should stay non-skewed", gini)
+	}
+}
+
+func TestSkewContrastBAvsWS(t *testing.T) {
+	ba := BarabasiAlbert(1500, 4, 1)
+	ws := WattsStrogatz(1500, 8, 0.1, 1)
+	gBA, gWS := giniOf(ba), giniOf(ws)
+	if gBA < gWS+0.2 {
+		t.Errorf("BA gini %.3f not clearly above WS %.3f", gBA, gWS)
+	}
+}
+
+func TestGenerators2Deterministic(t *testing.T) {
+	a := BarabasiAlbert(300, 3, 9)
+	b := BarabasiAlbert(300, 3, 9)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("BA not deterministic")
+	}
+	for i, e := range a.Edges() {
+		if b.Edge(int64(i)) != e {
+			t.Fatal("BA edge lists differ")
+		}
+	}
+	c := WattsStrogatz(300, 4, 0.2, 9)
+	d := WattsStrogatz(300, 4, 0.2, 9)
+	for i, e := range c.Edges() {
+		if d.Edge(int64(i)) != e {
+			t.Fatal("WS edge lists differ")
+		}
+	}
+}

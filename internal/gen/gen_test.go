@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/distributedne/dne/internal/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(10, 8, 7)
+	b := RMAT(10, 8, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	for i := int64(0); i < a.NumEdges(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("edge mismatch for same seed")
+		}
+	}
+	c := RMAT(10, 8, 8)
+	if c.NumEdges() == a.NumEdges() {
+		// Extremely unlikely to collide exactly in count AND content.
+		same := true
+		for i := int64(0); i < a.NumEdges(); i++ {
+			if a.Edge(i) != c.Edge(i) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	g := RMAT(12, 16, 3)
+	// RMAT with Graph500 parameters is heavily skewed: the max degree
+	// must far exceed the average.
+	if g.MaxDegree() < 20*int64(g.AvgDegree()) {
+		t.Errorf("max degree %d not skewed vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	if g.NumVertices() != 1<<12 {
+		t.Errorf("|V| = %d, want %d", g.NumVertices(), 1<<12)
+	}
+}
+
+func TestPowerLawDegreeDistribution(t *testing.T) {
+	g := PowerLaw(1<<13, 2.5, 11)
+	if g.NumEdges() == 0 {
+		t.Fatal("empty power-law graph")
+	}
+	// Most vertices should have low degree; a heavy tail must exist.
+	low := 0
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) <= 2 {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(g.NumVertices()); frac < 0.5 {
+		t.Errorf("only %.2f of vertices are low-degree; expected power-law mass at dmin", frac)
+	}
+	if g.MaxDegree() < 10 {
+		t.Errorf("max degree %d lacks a heavy tail", g.MaxDegree())
+	}
+}
+
+func TestERSize(t *testing.T) {
+	g := ER(1000, 5000, 5)
+	if g.NumVertices() != 1000 {
+		t.Errorf("|V| = %d", g.NumVertices())
+	}
+	// Dedup and self-loop removal shave a little off the 5000 samples.
+	if g.NumEdges() < 4500 || g.NumEdges() > 5000 {
+		t.Errorf("|E| = %d, want ~5000", g.NumEdges())
+	}
+}
+
+func TestRoadIsNearUniformDegree(t *testing.T) {
+	g := Road(50, 60, 9)
+	if g.NumVertices() != 3000 {
+		t.Errorf("|V| = %d", g.NumVertices())
+	}
+	if g.MaxDegree() > 8 {
+		t.Errorf("road network max degree %d too high", g.MaxDegree())
+	}
+	avg := g.AvgDegree()
+	if avg < 2.0 || avg > 4.5 {
+		t.Errorf("avg degree %.2f outside road-network range", avg)
+	}
+}
+
+func TestRingPlusCompleteStructure(t *testing.T) {
+	n := 4
+	g := RingPlusComplete(n)
+	ringLen := n * (n - 1) / 2
+	wantV := uint32(n + ringLen)
+	wantE := int64(n*(n-1)/2 + ringLen)
+	if g.NumVertices() != wantV {
+		t.Errorf("|V| = %d, want %d", g.NumVertices(), wantV)
+	}
+	if g.NumEdges() != wantE {
+		t.Errorf("|E| = %d, want %d", g.NumEdges(), wantE)
+	}
+	// Clique vertices have degree n-1, ring vertices degree 2.
+	for v := uint32(0); v < uint32(n); v++ {
+		if g.Degree(v) != int64(n-1) {
+			t.Errorf("clique vertex %d degree %d, want %d", v, g.Degree(v), n-1)
+		}
+	}
+	for v := uint32(n); v < wantV; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("ring vertex %d degree %d, want 2", v, g.Degree(v))
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(100)
+	if g.Degree(0) != 99 {
+		t.Errorf("hub degree %d, want 99", g.Degree(0))
+	}
+	if g.NumEdges() != 99 {
+		t.Errorf("|E| = %d, want 99", g.NumEdges())
+	}
+}
+
+func TestSampleZipfBounds(t *testing.T) {
+	g := PowerLaw(512, 2.2, 1)
+	if int64(g.MaxDegree()) > int64(g.NumVertices()) {
+		t.Error("degree exceeds vertex count")
+	}
+	if math.IsNaN(g.AvgDegree()) {
+		t.Error("NaN average degree")
+	}
+}
+
+var _ = graph.Edge{} // keep import for doc reference

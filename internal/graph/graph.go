@@ -1,0 +1,191 @@
+// Package graph provides the in-memory graph representation shared by every
+// partitioner in this repository: an undirected, deduplicated edge list with
+// an optional CSR (compressed sparse row) adjacency index.
+//
+// Vertices are dense uint32 identifiers in [0, NumVertices). Edges are
+// unordered pairs; the canonical form stores U <= V. Self loops are dropped
+// and duplicate edges are compacted at build time, matching the paper's
+// preprocessing ("it compacts the duplicated edges", §7.3).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex is a dense vertex identifier.
+type Vertex = uint32
+
+// Edge is an undirected edge in canonical form (U <= V after Build).
+type Edge struct {
+	U, V Vertex
+}
+
+// Canon returns e with endpoints ordered so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e.
+func (e Edge) Other(v Vertex) Vertex {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+}
+
+// Graph is an undirected graph with dense vertex ids and canonical,
+// deduplicated edges. The zero value is an empty graph; use Build or
+// FromEdges to construct a usable one.
+type Graph struct {
+	n     uint32 // number of vertices
+	edges []Edge // canonical, sorted, deduplicated
+
+	// CSR adjacency: for vertex v, neighbors are adjTarget[adjOff[v]:adjOff[v+1]]
+	// and adjEdge holds the index into edges for each adjacency slot.
+	// Each undirected edge appears twice (once per endpoint), except that a
+	// canonical edge {v,v} cannot exist (self loops are removed).
+	adjOff    []int64
+	adjTarget []Vertex
+	adjEdge   []int32
+}
+
+// FromEdges builds a graph from raw (possibly duplicated, possibly
+// non-canonical) edges. numVertices may be 0, in which case it is inferred as
+// max endpoint + 1. Self loops are dropped and duplicates compacted.
+func FromEdges(numVertices uint32, raw []Edge) *Graph {
+	edges := make([]Edge, 0, len(raw))
+	maxV := uint32(0)
+	for _, e := range raw {
+		if e.U == e.V {
+			continue // self loop
+		}
+		c := e.Canon()
+		if c.V >= maxV {
+			maxV = c.V + 1
+		}
+		edges = append(edges, c)
+	}
+	if numVertices == 0 {
+		numVertices = maxV
+	} else if maxV > numVertices {
+		panic(fmt.Sprintf("graph: edge endpoint %d exceeds numVertices %d", maxV-1, numVertices))
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	// Compact duplicates in place.
+	out := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			out = append(out, e)
+		}
+	}
+	g := &Graph{n: numVertices, edges: out}
+	g.buildCSR()
+	return g
+}
+
+func (g *Graph) buildCSR() {
+	deg := make([]int64, g.n+1)
+	for _, e := range g.edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for v := uint32(0); v < g.n; v++ {
+		deg[v+1] += deg[v]
+	}
+	g.adjOff = deg
+	total := deg[g.n]
+	g.adjTarget = make([]Vertex, total)
+	g.adjEdge = make([]int32, total)
+	cursor := make([]int64, g.n)
+	for i, e := range g.edges {
+		pu := g.adjOff[e.U] + cursor[e.U]
+		g.adjTarget[pu] = e.V
+		g.adjEdge[pu] = int32(i)
+		cursor[e.U]++
+		pv := g.adjOff[e.V] + cursor[e.V]
+		g.adjTarget[pv] = e.U
+		g.adjEdge[pv] = int32(i)
+		cursor[e.V]++
+	}
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() uint32 { return g.n }
+
+// NumEdges returns |E| (each undirected edge counted once).
+func (g *Graph) NumEdges() int64 { return int64(len(g.edges)) }
+
+// Edges returns the canonical edge slice. Callers must not mutate it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the i-th canonical edge.
+func (g *Graph) Edge(i int64) Edge { return g.edges[i] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v Vertex) int64 { return g.adjOff[v+1] - g.adjOff[v] }
+
+// Neighbors returns the neighbor vertices of v. Callers must not mutate it.
+func (g *Graph) Neighbors(v Vertex) []Vertex {
+	return g.adjTarget[g.adjOff[v]:g.adjOff[v+1]]
+}
+
+// IncidentEdges returns, for each adjacency slot of v, the index of the
+// canonical edge. Callers must not mutate it.
+func (g *Graph) IncidentEdges(v Vertex) []int32 {
+	return g.adjEdge[g.adjOff[v]:g.adjOff[v+1]]
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int64 {
+	var max int64
+	for v := uint32(0); v < g.n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Degrees returns a fresh slice of all vertex degrees.
+func (g *Graph) Degrees() []int64 {
+	d := make([]int64, g.n)
+	for v := uint32(0); v < g.n; v++ {
+		d[v] = g.Degree(v)
+	}
+	return d
+}
+
+// AvgDegree returns 2|E|/|V| (0 for an empty graph).
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / float64(g.n)
+}
+
+// MemoryFootprint returns an analytic estimate of the bytes held by the
+// graph's core arrays (edge list + CSR). It is used by the Fig-9 memory
+// scoring so that all partitioners are accounted identically.
+func (g *Graph) MemoryFootprint() int64 {
+	return int64(len(g.edges))*8 + // edges: two uint32
+		int64(len(g.adjOff))*8 +
+		int64(len(g.adjTarget))*4 +
+		int64(len(g.adjEdge))*4
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d}", g.n, len(g.edges))
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line).
+// Lines starting with '#' or '%' are comments. Vertex ids must fit in uint32.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two fields, got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		edges = append(edges, Edge{Vertex(u), Vertex(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	return FromEdges(0, edges), nil
+}
+
+// WriteEdgeList writes the graph as a text edge list ("u v" per line).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// binaryMagic identifies the binary edge-list format.
+const binaryMagic = 0x444e4531 // "DNE1"
+
+// WriteBinary writes a compact binary encoding: magic, |V|, |E|, then pairs of
+// little-endian uint32 endpoints.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], g.NumVertices())
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.NumEdges()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, e := range g.Edges() {
+		binary.LittleEndian.PutUint32(buf[0:], e.U)
+		binary.LittleEndian.PutUint32(buf[4:], e.V)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the format written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic in binary edge list")
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	m := binary.LittleEndian.Uint64(hdr[8:])
+	edges := make([]Edge, 0, m)
+	var buf [8]byte
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		edges = append(edges, Edge{
+			binary.LittleEndian.Uint32(buf[0:]),
+			binary.LittleEndian.Uint32(buf[4:]),
+		})
+	}
+	return FromEdges(n, edges), nil
+}

@@ -1,0 +1,198 @@
+package graph
+
+import "fmt"
+
+// Preprocessing transforms. Partitioning evaluations (the paper's included)
+// conventionally run on the largest connected component with dense vertex
+// ids; these helpers provide that pipeline plus the small algebra used by
+// tests and tools.
+
+// Components returns a component id for every vertex (ids are the smallest
+// vertex id in the component) and the number of components. Isolated
+// vertices form singleton components.
+func Components(g *Graph) ([]Vertex, int) {
+	parent := make([]Vertex, g.n)
+	for v := range parent {
+		parent[v] = Vertex(v)
+	}
+	var find func(v Vertex) Vertex
+	find = func(v Vertex) Vertex {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	union := func(a, b Vertex) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra // root at the smaller id, so labels are canonical
+	}
+	for _, e := range g.edges {
+		union(e.U, e.V)
+	}
+	count := 0
+	out := make([]Vertex, g.n)
+	for v := Vertex(0); v < Vertex(g.n); v++ {
+		out[v] = find(v)
+		if out[v] == v {
+			count++
+		}
+	}
+	return out, count
+}
+
+// LargestComponent returns the induced subgraph of g's largest connected
+// component (ties broken toward the smaller component label) with vertices
+// relabelled densely, and the mapping newID -> oldID.
+func LargestComponent(g *Graph) (*Graph, []Vertex) {
+	comp, _ := Components(g)
+	sizes := make(map[Vertex]int64)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	var best Vertex
+	var bestSize int64 = -1
+	for c, s := range sizes {
+		if s > bestSize || (s == bestSize && c < best) {
+			best, bestSize = c, s
+		}
+	}
+	keep := make([]bool, g.n)
+	for v, c := range comp {
+		keep[v] = c == best
+	}
+	return InducedSubgraph(g, keep)
+}
+
+// InducedSubgraph returns the subgraph induced by the vertices with
+// keep[v] == true, relabelled densely in ascending old-id order, plus the
+// mapping newID -> oldID. keep must have length NumVertices().
+func InducedSubgraph(g *Graph, keep []bool) (*Graph, []Vertex) {
+	if len(keep) != int(g.n) {
+		panic(fmt.Sprintf("graph: keep length %d != |V| %d", len(keep), g.n))
+	}
+	newID := make([]int64, g.n)
+	var mapping []Vertex
+	for v := Vertex(0); v < Vertex(g.n); v++ {
+		if keep[v] {
+			newID[v] = int64(len(mapping))
+			mapping = append(mapping, v)
+		} else {
+			newID[v] = -1
+		}
+	}
+	var edges []Edge
+	for _, e := range g.edges {
+		if keep[e.U] && keep[e.V] {
+			edges = append(edges, Edge{Vertex(newID[e.U]), Vertex(newID[e.V])})
+		}
+	}
+	return FromEdges(uint32(len(mapping)), edges), mapping
+}
+
+// CompactIDs removes isolated vertices: the result contains exactly the
+// vertices with degree > 0, densely relabelled, plus the newID -> oldID
+// mapping. Replication-factor comparisons across tools are only meaningful
+// after compaction (isolated ids deflate Eq. 1's denominator).
+func CompactIDs(g *Graph) (*Graph, []Vertex) {
+	keep := make([]bool, g.n)
+	for v := Vertex(0); v < Vertex(g.n); v++ {
+		keep[v] = g.Degree(v) > 0
+	}
+	return InducedSubgraph(g, keep)
+}
+
+// Union returns the graph on max(|V_a|,|V_b|) vertices whose edge set is the
+// union of a's and b's (duplicates compacted).
+func Union(a, b *Graph) *Graph {
+	n := a.n
+	if b.n > n {
+		n = b.n
+	}
+	edges := make([]Edge, 0, len(a.edges)+len(b.edges))
+	edges = append(edges, a.edges...)
+	edges = append(edges, b.edges...)
+	return FromEdges(n, edges)
+}
+
+// Permute relabels vertices by perm (old id -> new id), which must be a
+// permutation of [0, |V|). Degree structure is preserved; used to test that
+// partitioners depend on structure, not on vertex numbering.
+func Permute(g *Graph, perm []Vertex) *Graph {
+	if len(perm) != int(g.n) {
+		panic(fmt.Sprintf("graph: perm length %d != |V| %d", len(perm), g.n))
+	}
+	seen := make([]bool, g.n)
+	for _, p := range perm {
+		if p >= Vertex(g.n) || seen[p] {
+			panic("graph: perm is not a permutation")
+		}
+		seen[p] = true
+	}
+	edges := make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		edges[i] = Edge{perm[e.U], perm[e.V]}
+	}
+	return FromEdges(g.n, edges)
+}
+
+// Degeneracy returns the graph degeneracy (max over the peeling order of the
+// minimum remaining degree) — a one-number summary of sparsity used by the
+// sheep partitioner's analysis and handy for dataset tables.
+func Degeneracy(g *Graph) int64 {
+	n := int(g.n)
+	if n == 0 {
+		return 0
+	}
+	deg := make([]int64, n)
+	maxDeg := int64(0)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(Vertex(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket peeling: O(|V| + |E|).
+	buckets := make([][]Vertex, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], Vertex(v))
+	}
+	removed := make([]bool, n)
+	var degeneracy int64
+	remaining := n
+	cur := int64(0)
+	for remaining > 0 {
+		if cur > 0 && len(buckets[cur-1]) > 0 {
+			cur-- // a neighbor's degree dropped below the current level
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		remaining--
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, u := range g.Neighbors(v) {
+			if !removed[u] {
+				deg[u]--
+				buckets[deg[u]] = append(buckets[deg[u]], u)
+			}
+		}
+	}
+	return degeneracy
+}

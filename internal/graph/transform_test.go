@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoTriangles builds two disjoint triangles {0,1,2} and {4,5,6} with vertex
+// 3 isolated.
+func twoTriangles() *Graph {
+	return FromEdges(7, []Edge{
+		{0, 1}, {1, 2}, {0, 2},
+		{4, 5}, {5, 6}, {4, 6},
+	})
+}
+
+func TestComponentsLabelsAndCount(t *testing.T) {
+	g := twoTriangles()
+	comp, n := Components(g)
+	if n != 3 { // two triangles + isolated vertex 3
+		t.Fatalf("components %d, want 3", n)
+	}
+	for _, v := range []Vertex{0, 1, 2} {
+		if comp[v] != 0 {
+			t.Errorf("vertex %d: component %d, want 0", v, comp[v])
+		}
+	}
+	for _, v := range []Vertex{4, 5, 6} {
+		if comp[v] != 4 {
+			t.Errorf("vertex %d: component %d, want 4", v, comp[v])
+		}
+	}
+	if comp[3] != 3 {
+		t.Errorf("isolated vertex: component %d, want 3", comp[3])
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Triangle + a larger path component.
+	g := FromEdges(9, []Edge{
+		{0, 1}, {1, 2}, {0, 2}, // triangle (3 vertices)
+		{4, 5}, {5, 6}, {6, 7}, {7, 8}, // path (5 vertices)
+	})
+	lc, mapping := LargestComponent(g)
+	if lc.NumVertices() != 5 || lc.NumEdges() != 4 {
+		t.Fatalf("largest component |V|=%d |E|=%d, want 5/4", lc.NumVertices(), lc.NumEdges())
+	}
+	if mapping[0] != 4 || mapping[4] != 8 {
+		t.Errorf("mapping %v", mapping)
+	}
+}
+
+func TestInducedSubgraphRelabels(t *testing.T) {
+	g := twoTriangles()
+	keep := make([]bool, 7)
+	keep[4], keep[5], keep[6] = true, true, true
+	sub, mapping := InducedSubgraph(g, keep)
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced |V|=%d |E|=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	for newID, oldID := range mapping {
+		if oldID != Vertex(newID)+4 {
+			t.Errorf("mapping[%d]=%d", newID, oldID)
+		}
+	}
+}
+
+func TestCompactIDsDropsIsolated(t *testing.T) {
+	g := twoTriangles()
+	c, mapping := CompactIDs(g)
+	if c.NumVertices() != 6 || c.NumEdges() != 6 {
+		t.Fatalf("compact |V|=%d |E|=%d", c.NumVertices(), c.NumEdges())
+	}
+	for _, old := range mapping {
+		if old == 3 {
+			t.Error("isolated vertex survived compaction")
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := FromEdges(0, []Edge{{0, 1}, {1, 2}})
+	b := FromEdges(5, []Edge{{1, 2}, {3, 4}})
+	u := Union(a, b)
+	if u.NumVertices() != 5 || u.NumEdges() != 3 { // {0,1},{1,2},{3,4}
+		t.Fatalf("union |V|=%d |E|=%d", u.NumVertices(), u.NumEdges())
+	}
+}
+
+func TestPermutePreservesDegreeMultiset(t *testing.T) {
+	g := FromEdges(0, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	perm := []Vertex{3, 1, 0, 2}
+	p := Permute(g, perm)
+	if p.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges changed: %d -> %d", g.NumEdges(), p.NumEdges())
+	}
+	countDegrees := func(g *Graph) map[int64]int {
+		m := make(map[int64]int)
+		for v := Vertex(0); v < Vertex(g.NumVertices()); v++ {
+			m[g.Degree(v)]++
+		}
+		return m
+	}
+	a, b := countDegrees(g), countDegrees(p)
+	for d, c := range a {
+		if b[d] != c {
+			t.Errorf("degree %d: count %d vs %d", d, c, b[d])
+		}
+	}
+	if p.Degree(perm[0]) != g.Degree(0) {
+		t.Error("vertex 0's degree did not follow the permutation")
+	}
+}
+
+func TestPermuteRejectsNonPermutation(t *testing.T) {
+	g := FromEdges(0, []Edge{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate permutation entry")
+		}
+	}()
+	Permute(g, []Vertex{0, 0})
+}
+
+func TestDegeneracyKnownGraphs(t *testing.T) {
+	// Complete graph K5: degeneracy 4. Path: 1. Triangle: 2. Empty: 0.
+	var k5 []Edge
+	for u := Vertex(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			k5 = append(k5, Edge{u, v})
+		}
+	}
+	cases := []struct {
+		name string
+		g    *Graph
+		want int64
+	}{
+		{"K5", FromEdges(5, k5), 4},
+		{"path", FromEdges(0, []Edge{{0, 1}, {1, 2}, {2, 3}}), 1},
+		{"triangle", FromEdges(0, []Edge{{0, 1}, {1, 2}, {0, 2}}), 2},
+		{"empty", FromEdges(4, nil), 0},
+	}
+	for _, c := range cases {
+		if got := Degeneracy(c.g); got != c.want {
+			t.Errorf("%s: degeneracy %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDegeneracyBounds(t *testing.T) {
+	// 2·degeneracy ≥ max k with a k-core, and degeneracy ≤ max degree.
+	rng := rand.New(rand.NewSource(3))
+	var edges []Edge
+	for i := 0; i < 500; i++ {
+		edges = append(edges, Edge{Vertex(rng.Intn(100)), Vertex(rng.Intn(100))})
+	}
+	g := FromEdges(100, edges)
+	d := Degeneracy(g)
+	if d > g.MaxDegree() {
+		t.Errorf("degeneracy %d exceeds max degree %d", d, g.MaxDegree())
+	}
+	if d <= 0 {
+		t.Errorf("degeneracy %d for a dense random graph", d)
+	}
+}
+
+func TestQuickComponentsPartitionVertices(t *testing.T) {
+	// Property: component labels are idempotent (label of label == label)
+	// and two endpoint labels always agree.
+	f := func(raw []uint16) bool {
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{Vertex(raw[i] % 64), Vertex(raw[i+1] % 64)})
+		}
+		g := FromEdges(64, edges)
+		comp, _ := Components(g)
+		for _, e := range g.Edges() {
+			if comp[e.U] != comp[e.V] {
+				return false
+			}
+		}
+		for v := range comp {
+			if comp[comp[v]] != comp[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLargestComponentIsConnected(t *testing.T) {
+	f := func(raw []uint16, n8 uint8) bool {
+		n := Vertex(n8%60) + 4
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{Vertex(raw[i]) % n, Vertex(raw[i+1]) % n})
+		}
+		g := FromEdges(uint32(n), edges)
+		lc, _ := LargestComponent(g)
+		if lc.NumVertices() == 0 {
+			return g.NumEdges() == 0 || lc.NumVertices() > 0
+		}
+		_, count := Components(lc)
+		// All isolated vertices were excluded, so the result is exactly one
+		// component unless it is a single vertex.
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package hashpart implements the hash-based edge partitioners the paper
+// compares against (§2.2, §7.1): Random (1D hash), Grid (2D hash), DBH
+// (degree-based hashing, Xie et al. NIPS'14), Hybrid (PowerLyra's hybrid-cut)
+// and the greedy/refined variants Oblivious (PowerGraph) and Hybrid-Ginger
+// (PowerLyra). These are fast and scalable but low quality; they anchor the
+// quality comparisons of Fig. 8 and Table 5.
+package hashpart
+
+import (
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// splitmix64 mixes x into a well-distributed 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashU32(v uint32, salt uint64) uint64 { return splitmix64(uint64(v) ^ salt) }
+
+// Random is 1D hash partitioning: every edge lands on a uniformly random
+// partition.
+type Random struct {
+	Seed uint64
+}
+
+// Name implements partition.Partitioner.
+func (Random) Name() string { return "Rand." }
+
+// Partition implements partition.Partitioner.
+func (r Random) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	p := partition.New(numParts, g.NumEdges())
+	for i, e := range g.Edges() {
+		h := splitmix64(uint64(e.U)<<32 | uint64(e.V) ^ r.Seed)
+		p.Owner[i] = int32(h % uint64(numParts))
+	}
+	return p, nil
+}
+
+// Grid is 2D hash partitioning: machines form an R×C grid and edge (u,v) is
+// assigned to cell (h(u) mod R, h(v) mod C). A vertex's replicas are confined
+// to one grid row and one column, bounding its replication by R+C−1.
+type Grid struct {
+	Seed uint64
+}
+
+// Name implements partition.Partitioner.
+func (Grid) Name() string { return "2D-R." }
+
+// Partition implements partition.Partitioner.
+func (gr Grid) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	r := 1
+	for (r+1)*(r+1) <= numParts {
+		r++
+	}
+	c := (numParts + r - 1) / r
+	p := partition.New(numParts, g.NumEdges())
+	for i, e := range g.Edges() {
+		gi := int(hashU32(e.U, 0xDEC0DE^gr.Seed) % uint64(r))
+		gj := int(hashU32(e.V, 0xC0FFEE^gr.Seed) % uint64(c))
+		p.Owner[i] = int32((gi*c + gj) % numParts)
+	}
+	return p, nil
+}
+
+// DBH is degree-based hashing (Xie et al., NIPS'14): each edge is hashed by
+// its lower-degree endpoint, so high-degree vertices are cut while low-degree
+// vertices stay whole.
+type DBH struct {
+	Seed uint64
+}
+
+// Name implements partition.Partitioner.
+func (DBH) Name() string { return "DBH" }
+
+// Partition implements partition.Partitioner.
+func (d DBH) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	p := partition.New(numParts, g.NumEdges())
+	for i, e := range g.Edges() {
+		pivot := e.U
+		if g.Degree(e.V) < g.Degree(e.U) {
+			pivot = e.V
+		}
+		p.Owner[i] = int32(hashU32(pivot, d.Seed) % uint64(numParts))
+	}
+	return p, nil
+}
+
+// Hybrid is PowerLyra's hybrid-cut: edges of a low-degree vertex are grouped
+// on the hash of that vertex (like an edge-cut), while edges whose chosen
+// endpoint is high-degree fall back to hashing the other endpoint
+// (like a vertex-cut). Threshold is the degree boundary θ (PowerLyra's
+// default is 100).
+type Hybrid struct {
+	Seed      uint64
+	Threshold int64
+}
+
+// Name implements partition.Partitioner.
+func (Hybrid) Name() string { return "Hybrid" }
+
+// Partition implements partition.Partitioner.
+func (h Hybrid) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	thr := h.Threshold
+	if thr <= 0 {
+		thr = 100
+	}
+	p := partition.New(numParts, g.NumEdges())
+	for i, e := range g.Edges() {
+		p.Owner[i] = h.owner(g, e, thr, numParts)
+	}
+	return p, nil
+}
+
+func (h Hybrid) owner(g *graph.Graph, e graph.Edge, thr int64, numParts int) int32 {
+	// Treat the canonical V endpoint as the "destination".
+	if g.Degree(e.V) <= thr {
+		return int32(hashU32(e.V, h.Seed) % uint64(numParts))
+	}
+	return int32(hashU32(e.U, h.Seed) % uint64(numParts))
+}

@@ -1,0 +1,156 @@
+package hashpart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/distributedne/dne/internal/bitset"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+func testGraph() *graph.Graph { return gen.RMAT(11, 8, 5) }
+
+func validate(t *testing.T, p partition.Partitioner, parts int) partition.Quality {
+	t.Helper()
+	g := testGraph()
+	pt, err := p.Partition(g, parts)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	if err := pt.Validate(g); err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return pt.Measure(g)
+}
+
+func TestRandomBalance(t *testing.T) {
+	q := validate(t, Random{Seed: 1}, 16)
+	// Hash partitioning balances edges nearly perfectly (paper Table 5:
+	// EB = 1.0).
+	if q.EdgeBalance > 1.1 {
+		t.Errorf("Random edge balance %.3f, want ~1.0", q.EdgeBalance)
+	}
+}
+
+func TestGridConfinesVertexReplicas(t *testing.T) {
+	g := testGraph()
+	const parts = 16 // 4×4 grid
+	pt, err := Grid{Seed: 1}.Partition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row+column of a 4×4 grid = at most 7 distinct partitions per vertex.
+	perVertex := make(map[graph.Vertex]map[int32]bool)
+	for i, e := range g.Edges() {
+		for _, v := range [2]graph.Vertex{e.U, e.V} {
+			if perVertex[v] == nil {
+				perVertex[v] = map[int32]bool{}
+			}
+			perVertex[v][pt.Owner[i]] = true
+		}
+	}
+	for v, s := range perVertex {
+		if len(s) > 7 {
+			t.Fatalf("vertex %d replicated on %d partitions, grid bound is 7", v, len(s))
+		}
+	}
+}
+
+func TestGridBeatsRandom(t *testing.T) {
+	qr := validate(t, Random{Seed: 1}, 64)
+	qg := validate(t, Grid{Seed: 1}, 64)
+	if qg.ReplicationFactor >= qr.ReplicationFactor {
+		t.Errorf("Grid RF %.3f should beat Random RF %.3f", qg.ReplicationFactor, qr.ReplicationFactor)
+	}
+}
+
+func TestDBHBeatsRandom(t *testing.T) {
+	qr := validate(t, Random{Seed: 1}, 64)
+	qd := validate(t, DBH{Seed: 1}, 64)
+	if qd.ReplicationFactor >= qr.ReplicationFactor {
+		t.Errorf("DBH RF %.3f should beat Random RF %.3f", qd.ReplicationFactor, qr.ReplicationFactor)
+	}
+}
+
+func TestObliviousBeatsPlainHash(t *testing.T) {
+	qr := validate(t, Random{Seed: 1}, 16)
+	qo := validate(t, Oblivious{Seed: 1}, 16)
+	if qo.ReplicationFactor >= qr.ReplicationFactor {
+		t.Errorf("Oblivious RF %.3f should beat Random RF %.3f", qo.ReplicationFactor, qr.ReplicationFactor)
+	}
+}
+
+func TestHybridGingerImprovesHybrid(t *testing.T) {
+	qh := validate(t, Hybrid{Seed: 1}, 16)
+	qg := validate(t, HybridGinger{Seed: 1}, 16)
+	if qg.ReplicationFactor > qh.ReplicationFactor*1.05 {
+		t.Errorf("HybridGinger RF %.3f should not regress Hybrid RF %.3f",
+			qg.ReplicationFactor, qh.ReplicationFactor)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := testGraph()
+	for _, p := range []partition.Partitioner{
+		Random{Seed: 3}, Grid{Seed: 3}, DBH{Seed: 3}, Hybrid{Seed: 3},
+		Oblivious{Seed: 3}, HybridGinger{Seed: 3},
+	} {
+		a, err := p.Partition(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Partition(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Owner {
+			if a.Owner[i] != b.Owner[i] {
+				t.Fatalf("%s not deterministic at edge %d", p.Name(), i)
+			}
+		}
+	}
+}
+
+func TestQuickOwnersInRange(t *testing.T) {
+	g := gen.RMAT(8, 4, 2)
+	f := func(seed uint64, partsRaw uint8) bool {
+		parts := int(partsRaw%16) + 1
+		pt, err := Random{Seed: seed}.Partition(g, parts)
+		if err != nil {
+			return false
+		}
+		return pt.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyPlaceRules(t *testing.T) {
+	sizes := []int64{5, 1, 3}
+	mk := func(bits ...int) bitset.Set {
+		s := bitset.New(3)
+		for _, b := range bits {
+			s.Set(b)
+		}
+		return s
+	}
+	// Rule 1: intersection wins even when another partition is lighter.
+	if q := greedyPlace(mk(0, 2), mk(2), sizes, bitset.New(3)); q != 2 {
+		t.Errorf("rule 1: got %d, want 2", q)
+	}
+	// Rule 2: disjoint, both non-empty → least loaded of the union.
+	if q := greedyPlace(mk(0), mk(1), sizes, bitset.New(3)); q != 1 {
+		t.Errorf("rule 2: got %d, want 1", q)
+	}
+	// Rule 3: one empty → least loaded of the other.
+	if q := greedyPlace(mk(0, 2), mk(), sizes, bitset.New(3)); q != 2 {
+		t.Errorf("rule 3: got %d, want 2", q)
+	}
+	// Rule 4: both empty → least loaded overall.
+	if q := greedyPlace(mk(), mk(), sizes, bitset.New(3)); q != 1 {
+		t.Errorf("rule 4: got %d, want 1", q)
+	}
+}

@@ -1,0 +1,275 @@
+// Package hyperpart extends edge partitioning to hypergraphs — the second
+// future-work direction of §8 (citing the Social Hash Partitioner, Kabiljo
+// et al. VLDB'17). A hyperedge connects any number of vertices ("pins");
+// partitioning assigns each hyperedge to exactly one part and replicates
+// vertices, so the quality metric is the same replication factor as Eq. (1)
+// with |V(Ep)| counting pins.
+//
+// Three partitioners are provided: Random (hash baseline), Greedy (HDRF-like
+// streaming) and NE (the neighbor-expansion analog: every part grows from a
+// seed hyperedge by repeatedly claiming the incident hyperedge that adds the
+// fewest new replicas — the paper's parallel-expansion heuristic lifted to
+// hypergraphs).
+package hyperpart
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/distributedne/dne/internal/bitset"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// Hypergraph is an immutable hypergraph in CSR form: hyperedge i's pins are
+// Pins(i); vertex v's incident hyperedges are Incident(v).
+type Hypergraph struct {
+	n uint32 // number of vertices
+
+	// Hyperedge -> pins CSR.
+	edgeOff []int64
+	pins    []graph.Vertex
+
+	// Vertex -> incident hyperedges CSR.
+	vertOff  []int64
+	incident []int32
+}
+
+// Build constructs a hypergraph from pin lists. Duplicate pins within a
+// hyperedge are removed; empty hyperedges are dropped; numVertices may be 0
+// to infer max pin + 1.
+func Build(numVertices uint32, hyperedges [][]graph.Vertex) *Hypergraph {
+	h := &Hypergraph{}
+	maxV := uint32(0)
+	cleaned := make([][]graph.Vertex, 0, len(hyperedges))
+	for _, he := range hyperedges {
+		pins := append([]graph.Vertex(nil), he...)
+		sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
+		out := pins[:0]
+		for i, p := range pins {
+			if i == 0 || p != pins[i-1] {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			continue
+		}
+		if last := out[len(out)-1]; last >= maxV {
+			maxV = last + 1
+		}
+		cleaned = append(cleaned, out)
+	}
+	if numVertices == 0 {
+		numVertices = maxV
+	} else if maxV > numVertices {
+		panic(fmt.Sprintf("hyperpart: pin %d exceeds numVertices %d", maxV-1, numVertices))
+	}
+	h.n = numVertices
+	h.edgeOff = make([]int64, len(cleaned)+1)
+	for i, pins := range cleaned {
+		h.edgeOff[i+1] = h.edgeOff[i] + int64(len(pins))
+	}
+	h.pins = make([]graph.Vertex, h.edgeOff[len(cleaned)])
+	for i, pins := range cleaned {
+		copy(h.pins[h.edgeOff[i]:], pins)
+	}
+	// Vertex incidence CSR.
+	h.vertOff = make([]int64, numVertices+1)
+	for _, p := range h.pins {
+		h.vertOff[p+1]++
+	}
+	for v := uint32(0); v < numVertices; v++ {
+		h.vertOff[v+1] += h.vertOff[v]
+	}
+	h.incident = make([]int32, len(h.pins))
+	cursor := make([]int64, numVertices)
+	for i := range cleaned {
+		for _, p := range h.Pins(int32(i)) {
+			h.incident[h.vertOff[p]+cursor[p]] = int32(i)
+			cursor[p]++
+		}
+	}
+	return h
+}
+
+// FromGraph views an ordinary graph as a 2-uniform hypergraph (one 2-pin
+// hyperedge per edge, same order as g.Edges()); edge partitioning is then
+// the special case, which the tests exploit.
+func FromGraph(g *graph.Graph) *Hypergraph {
+	hes := make([][]graph.Vertex, g.NumEdges())
+	for i, e := range g.Edges() {
+		hes[i] = []graph.Vertex{e.U, e.V}
+	}
+	return Build(g.NumVertices(), hes)
+}
+
+// NumVertices returns |V|.
+func (h *Hypergraph) NumVertices() uint32 { return h.n }
+
+// NumHyperedges returns the number of hyperedges.
+func (h *Hypergraph) NumHyperedges() int { return len(h.edgeOff) - 1 }
+
+// NumPins returns the total pin count Σ_e |e|.
+func (h *Hypergraph) NumPins() int64 { return int64(len(h.pins)) }
+
+// Pins returns hyperedge i's pins, ascending. Callers must not mutate.
+func (h *Hypergraph) Pins(i int32) []graph.Vertex {
+	return h.pins[h.edgeOff[i]:h.edgeOff[i+1]]
+}
+
+// Incident returns the hyperedges containing v. Callers must not mutate.
+func (h *Hypergraph) Incident(v graph.Vertex) []int32 {
+	return h.incident[h.vertOff[v]:h.vertOff[v+1]]
+}
+
+// Degree returns the number of hyperedges containing v.
+func (h *Hypergraph) Degree(v graph.Vertex) int64 {
+	return h.vertOff[v+1] - h.vertOff[v]
+}
+
+// CliqueExpansion converts h to an ordinary graph by connecting every pin
+// pair within each hyperedge (duplicates are compacted by graph.FromEdges).
+// Pin counts beyond a few hundred make this quadratic blow-up the reason
+// hypergraph-native partitioning exists; the function is still exact.
+func CliqueExpansion(h *Hypergraph) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < h.NumHyperedges(); i++ {
+		pins := h.Pins(int32(i))
+		for a := 0; a < len(pins); a++ {
+			for b := a + 1; b < len(pins); b++ {
+				edges = append(edges, graph.Edge{U: pins[a], V: pins[b]})
+			}
+		}
+	}
+	return graph.FromEdges(h.n, edges)
+}
+
+// StarExpansion converts h to an ordinary graph by introducing one auxiliary
+// hub vertex per hyperedge connected to each pin. It returns the graph and
+// the id of the first auxiliary vertex (auxiliary i represents hyperedge i).
+func StarExpansion(h *Hypergraph) (*graph.Graph, graph.Vertex) {
+	first := h.n
+	var edges []graph.Edge
+	for i := 0; i < h.NumHyperedges(); i++ {
+		hub := first + graph.Vertex(i)
+		for _, p := range h.Pins(int32(i)) {
+			edges = append(edges, graph.Edge{U: p, V: hub})
+		}
+	}
+	return graph.FromEdges(h.n+uint32(h.NumHyperedges()), edges), first
+}
+
+// Partitioning assigns each hyperedge to a part.
+type Partitioning struct {
+	NumParts int
+	Owner    []int32 // len == NumHyperedges()
+}
+
+// Validate checks completeness and range.
+func (p *Partitioning) Validate(h *Hypergraph) error {
+	if len(p.Owner) != h.NumHyperedges() {
+		return fmt.Errorf("hyperpart: owner length %d != #hyperedges %d", len(p.Owner), h.NumHyperedges())
+	}
+	for i, o := range p.Owner {
+		if o < 0 || int(o) >= p.NumParts {
+			return fmt.Errorf("hyperpart: hyperedge %d has invalid owner %d", i, o)
+		}
+	}
+	return nil
+}
+
+// Quality bundles the hypergraph partitioning metrics.
+type Quality struct {
+	// ReplicationFactor is Σ_p |V(Ep)| / |covered vertices| — the fanout
+	// metric of the Social Hash Partitioner.
+	ReplicationFactor float64
+	Replicas          int64
+	// PinBalance is max/mean of per-part pin counts (compute cost ∝ pins).
+	PinBalance float64
+	// EdgeBalance is max/mean of per-part hyperedge counts.
+	EdgeBalance float64
+}
+
+// Measure computes Quality over h.
+func (p *Partitioning) Measure(h *Hypergraph) Quality {
+	sets := make([]bitset.Set, h.n)
+	for v := range sets {
+		sets[v] = bitset.New(p.NumParts)
+	}
+	pinCounts := make([]int64, p.NumParts)
+	edgeCounts := make([]int64, p.NumParts)
+	for i, o := range p.Owner {
+		edgeCounts[o]++
+		for _, pin := range h.Pins(int32(i)) {
+			sets[pin].Set(int(o))
+			pinCounts[o]++
+		}
+	}
+	var replicas, covered int64
+	for v := uint32(0); v < h.n; v++ {
+		c := int64(sets[v].Count())
+		replicas += c
+		if c > 0 {
+			covered++
+		}
+	}
+	q := Quality{Replicas: replicas}
+	if covered > 0 {
+		q.ReplicationFactor = float64(replicas) / float64(covered)
+	}
+	q.PinBalance = balanceOf(pinCounts)
+	q.EdgeBalance = balanceOf(edgeCounts)
+	return q
+}
+
+func balanceOf(xs []int64) float64 {
+	var sum, max int64
+	for _, x := range xs {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) / (float64(sum) / float64(len(xs)))
+}
+
+// RandomHypergraph generates a skewed random hypergraph: m hyperedges whose
+// pin counts are 2 + Poisson-ish(meanPins−2) and whose pins favor low-id
+// vertices with a Zipf-like popularity (mirroring how social-hash workloads
+// group skewed entities).
+func RandomHypergraph(n uint32, m int, meanPins float64, seed int64) *Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(n-1))
+	hes := make([][]graph.Vertex, m)
+	for i := range hes {
+		k := 2
+		for extra := meanPins - 2; extra > 0; extra-- {
+			if rng.Float64() < minF(extra, 1) {
+				k++
+			}
+		}
+		pins := make([]graph.Vertex, 0, k)
+		for len(pins) < k {
+			// 60% of pins follow the Zipf popularity (celebrities), the rest
+			// are uniform; all-Zipf membership would collapse most
+			// hyperedges onto a handful of vertices.
+			if rng.Float64() < 0.6 {
+				pins = append(pins, graph.Vertex(zipf.Uint64()))
+			} else {
+				pins = append(pins, graph.Vertex(rng.Intn(int(n))))
+			}
+		}
+		hes[i] = pins
+	}
+	return Build(n, hes)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

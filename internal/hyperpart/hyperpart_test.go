@@ -1,0 +1,217 @@
+package hyperpart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/hashpart"
+)
+
+func TestBuildDedupsAndDrops(t *testing.T) {
+	h := Build(0, [][]graph.Vertex{
+		{3, 1, 3, 1}, // dup pins
+		{},           // dropped
+		{7},
+	})
+	if h.NumHyperedges() != 2 {
+		t.Fatalf("hyperedges %d, want 2", h.NumHyperedges())
+	}
+	if h.NumVertices() != 8 {
+		t.Fatalf("vertices %d, want 8 (inferred)", h.NumVertices())
+	}
+	pins := h.Pins(0)
+	if len(pins) != 2 || pins[0] != 1 || pins[1] != 3 {
+		t.Fatalf("pins %v", pins)
+	}
+	if h.Degree(3) != 1 || h.Degree(7) != 1 || h.Degree(0) != 0 {
+		t.Fatal("degree wrong")
+	}
+	if inc := h.Incident(1); len(inc) != 1 || inc[0] != 0 {
+		t.Fatalf("incident %v", inc)
+	}
+}
+
+func TestCliqueExpansionSizes(t *testing.T) {
+	h := Build(0, [][]graph.Vertex{{0, 1, 2}, {2, 3}})
+	g := CliqueExpansion(h)
+	// Triangle (3 edges) + edge (1) = 4 distinct edges.
+	if g.NumEdges() != 4 {
+		t.Fatalf("clique expansion edges %d, want 4", g.NumEdges())
+	}
+}
+
+func TestStarExpansionSizes(t *testing.T) {
+	h := Build(0, [][]graph.Vertex{{0, 1, 2}, {2, 3}})
+	g, first := StarExpansion(h)
+	if g.NumEdges() != 5 { // 3 + 2 pins
+		t.Fatalf("star expansion edges %d, want 5", g.NumEdges())
+	}
+	if first != 4 {
+		t.Fatalf("first aux %d, want 4", first)
+	}
+	if g.NumVertices() != 6 { // 4 original + 2 hubs
+		t.Fatalf("star vertices %d, want 6", g.NumVertices())
+	}
+	if g.Degree(first) != 3 || g.Degree(first+1) != 2 {
+		t.Fatal("hub degrees wrong")
+	}
+}
+
+func testHG(seed int64) *Hypergraph {
+	return RandomHypergraph(1<<11, 4000, 5, seed)
+}
+
+func TestAllPartitionersProduceValidPartitionings(t *testing.T) {
+	h := testHG(1)
+	for _, pr := range []Partitioner{Random{Seed: 1}, Greedy{Seed: 1}, NE{Seed: 1}} {
+		for _, parts := range []int{2, 8, 17} {
+			pt, err := pr.Partition(h, parts)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", pr.Name(), parts, err)
+			}
+			if err := pt.Validate(h); err != nil {
+				t.Fatalf("%s P=%d: %v", pr.Name(), parts, err)
+			}
+		}
+	}
+}
+
+func TestPartitionerValidation(t *testing.T) {
+	h := testHG(2)
+	for _, pr := range []Partitioner{Random{}, Greedy{}, NE{}} {
+		if _, err := pr.Partition(h, 0); err == nil {
+			t.Errorf("%s: numParts=0 must fail", pr.Name())
+		}
+	}
+}
+
+func TestQualityOrderingNEBeatsGreedyBeatsRandom(t *testing.T) {
+	// The whole point of lifting neighbor expansion to hypergraphs: on a
+	// skewed hypergraph, H-NE ≤ Greedy < Random in replication factor.
+	h := testHG(3)
+	const parts = 16
+	rf := func(pr Partitioner) float64 {
+		pt, err := pr.Partition(h, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt.Measure(h).ReplicationFactor
+	}
+	rnd := rf(Random{Seed: 4})
+	grd := rf(Greedy{Seed: 4})
+	ne := rf(NE{Seed: 4})
+	if grd >= rnd*0.9 {
+		t.Errorf("Greedy RF %.3f not clearly below Random %.3f", grd, rnd)
+	}
+	if ne >= rnd*0.9 {
+		t.Errorf("H-NE RF %.3f not clearly below Random %.3f", ne, rnd)
+	}
+	t.Logf("RF: Random %.3f Greedy %.3f H-NE %.3f", rnd, grd, ne)
+}
+
+func TestNEPinBalanceWithinAlpha(t *testing.T) {
+	h := testHG(5)
+	pt, err := NE{Alpha: 1.1, Seed: 6}.Partition(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pt.Measure(h)
+	// Cap is on pins; one oversized hyperedge can overshoot by its pin count,
+	// and the leftover sweep can add more — allow α plus slack.
+	if q.PinBalance > 1.3 {
+		t.Errorf("pin balance %.3f too loose", q.PinBalance)
+	}
+}
+
+func TestTwoUniformMatchesEdgePartitioningMetrics(t *testing.T) {
+	// On a 2-uniform hypergraph (a plain graph), the hypergraph replication
+	// metric must equal the edge-partitioning replicas for the same
+	// assignment.
+	g := gen.RMAT(9, 8, 7)
+	h := FromGraph(g)
+	if int64(h.NumHyperedges()) != g.NumEdges() {
+		t.Fatalf("hyperedges %d != edges %d", h.NumHyperedges(), g.NumEdges())
+	}
+	ept, err := hashpart.Random{Seed: 9}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpt := &Partitioning{NumParts: 8, Owner: ept.Owner}
+	hq := hpt.Measure(h)
+	eq := ept.Measure(g)
+	if hq.Replicas != eq.Replicas {
+		t.Fatalf("hypergraph replicas %d != graph replicas %d", hq.Replicas, eq.Replicas)
+	}
+	if hq.EdgeBalance != eq.EdgeBalance {
+		t.Fatalf("edge balance %.4f != %.4f", hq.EdgeBalance, eq.EdgeBalance)
+	}
+}
+
+func TestNEDeterministicForSeed(t *testing.T) {
+	h := testHG(8)
+	a, _ := NE{Seed: 11}.Partition(h, 8)
+	b, _ := NE{Seed: 11}.Partition(h, 8)
+	for i := range a.Owner {
+		if a.Owner[i] != b.Owner[i] {
+			t.Fatalf("hyperedge %d: %d != %d", i, a.Owner[i], b.Owner[i])
+		}
+	}
+}
+
+func TestEmptyHypergraph(t *testing.T) {
+	h := Build(4, nil)
+	pt, err := NE{Seed: 1}.Partition(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	q := pt.Measure(h)
+	if q.ReplicationFactor != 0 || q.Replicas != 0 {
+		t.Fatalf("empty quality %+v", q)
+	}
+}
+
+func TestQuickBuildIncidenceConsistent(t *testing.T) {
+	// Property: for every hyperedge i and pin v, i appears in Incident(v),
+	// and Σ degrees == Σ pins.
+	f := func(raw [][3]uint8, extra []uint8) bool {
+		hes := make([][]graph.Vertex, 0, len(raw))
+		for k, r := range raw {
+			pins := []graph.Vertex{graph.Vertex(r[0]), graph.Vertex(r[1]), graph.Vertex(r[2])}
+			if k < len(extra) {
+				pins = append(pins, graph.Vertex(extra[k]))
+			}
+			hes = append(hes, pins)
+		}
+		h := Build(0, hes)
+		var degSum int64
+		for v := uint32(0); v < h.NumVertices(); v++ {
+			degSum += h.Degree(v)
+		}
+		if degSum != h.NumPins() {
+			return false
+		}
+		for i := 0; i < h.NumHyperedges(); i++ {
+			for _, pin := range h.Pins(int32(i)) {
+				found := false
+				for _, inc := range h.Incident(pin) {
+					if inc == int32(i) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

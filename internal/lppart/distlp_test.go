@@ -1,0 +1,101 @@
+package lppart
+
+import (
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/hashpart"
+)
+
+func TestDistLPValidAcrossPartCounts(t *testing.T) {
+	g := gen.RMAT(10, 8, 3)
+	for _, p := range []int{2, 5, 16} {
+		d := &DistLP{Seed: 1}
+		pt, err := d.Partition(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pt.Validate(g); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if d.Last == nil || d.Last.MemBytes <= 0 || d.Last.Supersteps <= 0 {
+			t.Fatalf("P=%d: stats missing: %+v", p, d.Last)
+		}
+		if p > 1 && d.Last.CommBytes <= 0 {
+			t.Fatalf("P=%d: no communication accounted", p)
+		}
+	}
+}
+
+func TestDistLPBeatsRandomOnRoads(t *testing.T) {
+	// Same quality expectation as the sequential LP baselines: label
+	// propagation finds near-planar structure.
+	g := gen.Road(70, 70, 4)
+	d := &DistLP{Seed: 1}
+	dpt, err := d.Partition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpt, err := hashpart.Random{Seed: 1}.Partition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := dpt.Measure(g).ReplicationFactor
+	rr := rpt.Measure(g).ReplicationFactor
+	if dr >= rr {
+		t.Errorf("DistLP RF %.3f not below Random %.3f", dr, rr)
+	}
+}
+
+func TestDistLPQualityTracksSequentialSpinner(t *testing.T) {
+	// The distributed run uses the same objective as the sequential
+	// Spinner; quality must land in the same class (within 40%).
+	g := gen.RMAT(11, 8, 5)
+	const p = 8
+	d := &DistLP{Seed: 2}
+	dpt, err := d.Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := Spinner{Seed: 2}.Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := dpt.Measure(g).ReplicationFactor
+	sr := spt.Measure(g).ReplicationFactor
+	if dr > sr*1.4 {
+		t.Errorf("DistLP RF %.3f more than 40%% above sequential Spinner %.3f", dr, sr)
+	}
+}
+
+func TestDistLPMemoryModelsEdgeReplication(t *testing.T) {
+	// The distributed vertex-partitioned layout stores each edge on both
+	// endpoint machines: the footprint must exceed 2×4 bytes per edge from
+	// adjacency targets alone.
+	g := gen.RMAT(11, 16, 7)
+	d := &DistLP{Seed: 3}
+	if _, err := d.Partition(g, 16); err != nil {
+		t.Fatal(err)
+	}
+	if d.Last.MemBytes < 8*g.NumEdges() {
+		t.Errorf("distributed footprint %d below the 2-copies-of-targets floor %d",
+			d.Last.MemBytes, 8*g.NumEdges())
+	}
+}
+
+func TestDistLPDeterministicForSeed(t *testing.T) {
+	g := gen.RMAT(9, 8, 9)
+	a, err := (&DistLP{Seed: 7}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&DistLP{Seed: 7}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Owner {
+		if a.Owner[i] != b.Owner[i] {
+			t.Fatalf("owners differ at edge %d", i)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package methods
+
+import (
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// graphFamilies are the structural corner cases every partitioner must
+// survive: skewed, regular, degenerate, and adversarial shapes.
+func graphFamilies() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat":         gen.RMAT(9, 8, 3),
+		"road":         gen.Road(24, 24, 3),
+		"star":         gen.Star(1 << 9),
+		"ba":           gen.BarabasiAlbert(1<<9, 3, 3),
+		"ws":           gen.WattsStrogatz(1<<9, 6, 0.2, 3),
+		"ringcomplete": gen.RingPlusComplete(6),
+		"single-edge":  graph.FromEdges(0, []graph.Edge{{U: 0, V: 1}}),
+		"path":         graph.FromEdges(0, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}),
+	}
+}
+
+func TestInvariantsEveryMethodEveryFamily(t *testing.T) {
+	for fam, g := range graphFamilies() {
+		for _, name := range Names() {
+			fam, g, name := fam, g, name
+			t.Run(fam+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				pr, err := New(name, DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts := 4
+				if g.NumEdges() < 4 {
+					parts = 2
+				}
+				pt, err := pr.Partition(g, parts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Complete, in-range cover.
+				if err := pt.Validate(g); err != nil {
+					t.Fatal(err)
+				}
+				// Edge counts sum to |E|.
+				var sum int64
+				for _, c := range pt.EdgeCounts() {
+					sum += c
+				}
+				if sum != g.NumEdges() {
+					t.Fatalf("edge counts sum %d != |E| %d", sum, g.NumEdges())
+				}
+				// RF bounds: covered vertices are counted at least once and
+				// at most parts times.
+				q := pt.Measure(g)
+				if q.Replicas < 0 || q.ReplicationFactor > float64(parts) {
+					t.Fatalf("quality out of bounds: %+v", q)
+				}
+				if q.VertexCuts < 0 {
+					t.Fatalf("negative vertex cuts: %+v", q)
+				}
+			})
+		}
+	}
+}
+
+func TestSinglePartitionIsTrivial(t *testing.T) {
+	g := gen.RMAT(8, 4, 1)
+	for _, name := range Names() {
+		pr, err := New(name, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := pr.Partition(g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, o := range pt.Owner {
+			if o != 0 {
+				t.Fatalf("%s: edge %d owner %d with P=1", name, i, o)
+			}
+		}
+		q := pt.Measure(g)
+		// With one partition every covered vertex has exactly one replica.
+		if q.VertexCuts != 0 {
+			t.Errorf("%s: vertex cuts %d with P=1", name, q.VertexCuts)
+		}
+	}
+}
+
+func TestDeterminismForFixedSeed(t *testing.T) {
+	g := gen.RMAT(9, 8, 5)
+	for _, name := range Names() {
+		a, err := New(name, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(name, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := a.Partition(g, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pb, err := b.Partition(g, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range pa.Owner {
+			if pa.Owner[i] != pb.Owner[i] {
+				t.Errorf("%s: owners differ at edge %d (%d vs %d)", name, i, pa.Owner[i], pb.Owner[i])
+				break
+			}
+		}
+	}
+}
+
+func TestQualityClassOrdering(t *testing.T) {
+	// The paper's central quality claim at miniature scale: the greedy /
+	// multilevel methods (dne, ne, metis) must clearly beat Random on a
+	// skewed graph.
+	g := gen.RMAT(11, 16, 7)
+	rf := func(name string) float64 {
+		pr, err := New(name, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := pr.Partition(g, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt.Measure(g).ReplicationFactor
+	}
+	random := rf("random")
+	for _, name := range []string{"dne", "ne", "metis"} {
+		if got := rf(name); got >= random*0.6 {
+			t.Errorf("%s RF %.3f not clearly below random %.3f", name, got, random)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package methods is the registry of edge-partitioning methods, mapping the
+// names used by the CLIs, the HTTP service and the experiment harness onto
+// configured partitioners. It is the single place a new partitioner must be
+// registered to become reachable from every tool.
+package methods
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/distributedne/dne/internal/dne"
+	"github.com/distributedne/dne/internal/hashpart"
+	"github.com/distributedne/dne/internal/lppart"
+	"github.com/distributedne/dne/internal/metispart"
+	"github.com/distributedne/dne/internal/nepart"
+	"github.com/distributedne/dne/internal/partition"
+	"github.com/distributedne/dne/internal/sheep"
+	"github.com/distributedne/dne/internal/streampart"
+)
+
+// Options carries the tunables shared across methods; methods ignore the
+// fields they do not use.
+type Options struct {
+	Seed   int64
+	Alpha  float64 // imbalance factor (dne, ne, sne, sheep)
+	Lambda float64 // multi-expansion factor (dne)
+	Gamma  float64 // load-cost exponent (fennel)
+}
+
+// DefaultOptions mirrors the paper's parameter setting (§7.1).
+func DefaultOptions() Options {
+	return Options{Seed: 42, Alpha: 1.1, Lambda: 0.1, Gamma: 1.5}
+}
+
+// New returns the named partitioner configured with o. Names are
+// case-insensitive.
+func New(name string, o Options) (partition.Partitioner, error) {
+	if o.Alpha == 0 {
+		o.Alpha = 1.1
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 0.1
+	}
+	switch strings.ToLower(name) {
+	case "dne", "d.ne", "distributedne":
+		p := dne.New()
+		p.Cfg.Seed = o.Seed
+		p.Cfg.Alpha = o.Alpha
+		p.Cfg.Lambda = o.Lambda
+		return p, nil
+	case "ne":
+		return nepart.NE{Seed: o.Seed, Alpha: o.Alpha}, nil
+	case "sne":
+		return streampart.SNE{Seed: o.Seed, Alpha: o.Alpha}, nil
+	case "hdrf":
+		return streampart.HDRF{Seed: o.Seed}, nil
+	case "fennel":
+		return streampart.Fennel{Seed: o.Seed, Gamma: o.Gamma}, nil
+	case "random", "rand", "1d":
+		return hashpart.Random{Seed: uint64(o.Seed)}, nil
+	case "grid", "2d", "2d-random":
+		return hashpart.Grid{Seed: uint64(o.Seed)}, nil
+	case "dbh":
+		return hashpart.DBH{Seed: uint64(o.Seed)}, nil
+	case "hybrid":
+		return hashpart.Hybrid{Seed: uint64(o.Seed)}, nil
+	case "oblivious", "obli":
+		return hashpart.Oblivious{Seed: o.Seed}, nil
+	case "ginger", "hybridginger", "h.g.":
+		return hashpart.HybridGinger{Seed: uint64(o.Seed)}, nil
+	case "sheep":
+		return sheep.Sheep{Seed: o.Seed, Alpha: o.Alpha}, nil
+	case "spinner":
+		return lppart.Spinner{Seed: o.Seed}, nil
+	case "xtrapulp", "x.p.":
+		return lppart.XtraPuLP{Seed: o.Seed}, nil
+	case "distlp":
+		return &lppart.DistLP{Seed: o.Seed}, nil
+	case "metis", "parmetis", "p.m.":
+		return &metispart.METIS{Seed: o.Seed}, nil
+	}
+	return nil, fmt.Errorf("methods: unknown method %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns the canonical method names, sorted.
+func Names() []string {
+	names := []string{
+		"dne", "ne", "sne", "hdrf", "fennel",
+		"random", "grid", "dbh", "hybrid", "oblivious", "ginger",
+		"sheep", "spinner", "xtrapulp", "distlp", "metis",
+	}
+	sort.Strings(names)
+	return names
+}

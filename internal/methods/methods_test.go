@@ -1,0 +1,49 @@
+package methods
+
+import (
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+)
+
+func TestEveryNameResolvesAndPartitions(t *testing.T) {
+	g := gen.RMAT(8, 4, 1)
+	for _, name := range Names() {
+		pr, err := New(name, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pt, err := pr.Partition(g, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := pt.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestAliases(t *testing.T) {
+	for _, alias := range []string{"DNE", "d.ne", "2d", "rand", "parmetis", "x.p.", "h.g."} {
+		if _, err := New(alias, DefaultOptions()); err != nil {
+			t.Errorf("alias %q: %v", alias, err)
+		}
+	}
+}
+
+func TestUnknownRejected(t *testing.T) {
+	if _, err := New("definitely-not-a-method", DefaultOptions()); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestZeroOptionsDefaulted(t *testing.T) {
+	g := gen.RMAT(7, 4, 1)
+	pr, err := New("dne", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Partition(g, 2); err != nil {
+		t.Fatalf("zero-options dne failed: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package nepart
+
+import (
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/hashpart"
+)
+
+func testGraph() *graph.Graph { return gen.RMAT(11, 8, 4) }
+
+func TestValidComplete(t *testing.T) {
+	g := testGraph()
+	for _, parts := range []int{1, 2, 8, 64} {
+		pt, err := NE{Seed: 1}.Partition(g, parts)
+		if err != nil {
+			t.Fatalf("P=%d: %v", parts, err)
+		}
+		if err := pt.Validate(g); err != nil {
+			t.Fatalf("P=%d: %v", parts, err)
+		}
+	}
+}
+
+func TestBestInClassQuality(t *testing.T) {
+	// NE is the paper's quality gold standard (Table 4): it should clearly
+	// beat hash-based and greedy streaming methods.
+	g := testGraph()
+	pt, err := NE{Seed: 1}.Partition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := pt.Measure(g).ReplicationFactor
+	ob, err := hashpart.Oblivious{Seed: 1}.Partition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obRF := ob.Measure(g).ReplicationFactor; ne >= obRF {
+		t.Errorf("NE RF %.3f should beat Oblivious %.3f", ne, obRF)
+	}
+}
+
+func TestBalanceRespectsAlpha(t *testing.T) {
+	g := testGraph()
+	const parts = 8
+	pt, err := NE{Seed: 1, Alpha: 1.1}.Partition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := int64(1.1*float64(g.NumEdges())/parts) + g.MaxDegree()
+	for q, c := range pt.EdgeCounts() {
+		if q == parts-1 {
+			continue // last partition absorbs the remainder by design
+		}
+		if c > cap {
+			t.Errorf("partition %d: %d edges over cap %d", q, c, cap)
+		}
+	}
+}
+
+func TestAlphaValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := (NE{Alpha: 0.5}).Partition(g, 4); err == nil {
+		t.Error("alpha < 1 must be rejected")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := testGraph()
+	a, _ := NE{Seed: 9}.Partition(g, 8)
+	b, _ := NE{Seed: 9}.Partition(g, 8)
+	for i := range a.Owner {
+		if a.Owner[i] != b.Owner[i] {
+			t.Fatal("NE not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	// Two disjoint triangles: expansion must reseed across components.
+	g := graph.FromEdges(0, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+	})
+	pt, err := NE{Seed: 2}.Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
