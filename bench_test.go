@@ -264,7 +264,10 @@ func BenchmarkHypergraphPartitioners(b *testing.B) {
 // speed on the same skewed graph.
 func BenchmarkFennelVsHDRF(b *testing.B) {
 	g := gen.RMAT(13, 16, 5)
-	for _, pr := range []partition.Partitioner{
+	for _, pr := range []interface {
+		Name() string
+		Partition(*graph.Graph, int) (*partition.Partitioning, error)
+	}{
 		streampart.Fennel{Seed: 1}, streampart.HDRF{Seed: 1},
 	} {
 		b.Run(pr.Name(), func(b *testing.B) {

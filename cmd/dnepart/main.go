@@ -4,44 +4,54 @@
 // Usage:
 //
 //	dnepart -in graph.txt -parts 16 [-method dne] [-out owners.txt]
-//	dnepart -rmat 16 -ef 16 -parts 16 -method dne
+//	dnepart -rmat 16 -ef 16 -parts 16 -method dne -params lambda=0.05,alpha=1.2
+//	dnepart -list-methods
 //
 // The input is a whitespace edge list ("u v" per line, '#' comments); -rmat
 // generates a synthetic graph instead. The output file (optional) has one
 // "u v partition" line per edge; -save writes the compact binary
-// partitioning (partition.ReadBinary loads it back). Methods: dne, ne, sne,
-// hdrf, fennel, random, grid, dbh, hybrid, oblivious, ginger, sheep,
-// spinner, xtrapulp, metis.
+// partitioning (partition.ReadBinary loads it back). Methods and their
+// parameters come from the method registry; -list-methods prints the
+// generated table.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"os/signal"
+	"strconv"
+	"strings"
 
-	"github.com/distributedne/dne/internal/dne"
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
 	"github.com/distributedne/dne/internal/partition"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input edge-list file")
-		out    = flag.String("out", "", "output assignment file (u v part)")
-		save   = flag.String("save", "", "output binary partitioning file")
-		parts  = flag.Int("parts", 16, "number of partitions")
-		method = flag.String("method", "dne", "partitioning method")
-		rmat   = flag.Int("rmat", 0, "generate RMAT graph with 2^scale vertices instead of -in")
-		ef     = flag.Int("ef", 16, "edge factor for -rmat")
-		seed   = flag.Int64("seed", 42, "random seed")
-		alpha  = flag.Float64("alpha", 1.1, "imbalance factor (dne/ne/sne)")
-		lambda = flag.Float64("lambda", 0.1, "expansion factor (dne)")
+		in      = flag.String("in", "", "input edge-list file")
+		out     = flag.String("out", "", "output assignment file (u v part)")
+		save    = flag.String("save", "", "output binary partitioning file")
+		parts   = flag.Int("parts", 16, "number of partitions")
+		method  = flag.String("method", "dne", "partitioning method (see -list-methods)")
+		rmat    = flag.Int("rmat", 0, "generate RMAT graph with 2^scale vertices instead of -in")
+		ef      = flag.Int("ef", 16, "edge factor for -rmat")
+		seed    = flag.Int64("seed", 42, "random seed")
+		params  = flag.String("params", "", "per-method params as k=v[,k=v...], e.g. alpha=1.2,lambda=0.05")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		list    = flag.Bool("list-methods", false, "print the registered methods and their parameters")
 	)
 	flag.Parse()
+
+	if *list {
+		printMethods(os.Stdout)
+		return
+	}
 
 	g, err := loadGraph(*in, *rmat, *ef, *seed)
 	if err != nil {
@@ -50,27 +60,44 @@ func main() {
 	fmt.Printf("graph: |V|=%d |E|=%d avg-degree=%.2f max-degree=%d\n",
 		g.NumVertices(), g.NumEdges(), g.AvgDegree(), g.MaxDegree())
 
-	pr, err := methods.New(*method, methods.Options{Seed: *seed, Alpha: *alpha, Lambda: *lambda})
+	spec := partition.NewSpec(*parts, *seed)
+	spec.Params, err = parseParams(*params)
 	if err != nil {
 		fatal(err)
 	}
-	start := time.Now()
-	pt, err := pr.Partition(g, *parts)
+	pr, spec, err := methods.New(*method, spec)
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := pr.Partition(ctx, g, spec)
+	if err != nil {
+		fatal(err)
+	}
+	pt := res.Partitioning
 	if err := pt.Validate(g); err != nil {
 		fatal(err)
 	}
-	q := pt.Measure(g)
-	fmt.Printf("method: %s  partitions: %d  elapsed: %v\n", pr.Name(), *parts, elapsed)
+	q := res.Quality
+	st := res.Stats
+	fmt.Printf("method: %s  partitions: %d  elapsed: %v\n", pr.Name(), *parts, st.Wall)
+	for _, ph := range st.Phases {
+		fmt.Printf("  phase %-10s %v\n", ph.Name, ph.Elapsed)
+	}
 	fmt.Printf("replication factor: %.4f\n", q.ReplicationFactor)
 	fmt.Printf("edge balance: %.4f  vertex balance: %.4f  vertex cuts: %d\n",
 		q.EdgeBalance, q.VertexBalance, q.VertexCuts)
-	if d, ok := pr.(*dne.Partitioner); ok && d.Last != nil {
+	if st.Iterations > 0 {
 		fmt.Printf("iterations: %d  comm: %.1f MB  mem score: %.1f B/edge\n",
-			d.Last.Iterations, float64(d.Last.CommBytes)/(1<<20), d.Last.MemScore(g.NumEdges()))
+			st.Iterations, float64(st.CommBytes)/(1<<20), st.MemScore(g.NumEdges()))
 	}
 	if *out != "" {
 		if err := writeAssignment(*out, g, pt); err != nil {
@@ -91,6 +118,47 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("binary partitioning written to %s\n", *save)
+	}
+}
+
+// parseParams parses "k=v,k=v" into a Spec params map. Values decode as
+// bool, int or float; the registry coerces them against the method's
+// declared kinds.
+func parseParams(s string) (map[string]any, error) {
+	if s == "" {
+		return nil, nil
+	}
+	params := map[string]any{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -params entry %q (want k=v)", kv)
+		}
+		switch {
+		case v == "true" || v == "false":
+			params[k] = v == "true"
+		default:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -params value %q for %q", v, k)
+			}
+			params[k] = f
+		}
+	}
+	return params, nil
+}
+
+// printMethods renders the registry as an aligned table, generated from the
+// descriptors.
+func printMethods(w *os.File) {
+	for _, d := range methods.Descriptors() {
+		fmt.Fprintf(w, "%-10s %s\n", d.Name, d.Summary)
+		if len(d.Aliases) > 0 {
+			fmt.Fprintf(w, "%-10s aliases: %s\n", "", strings.Join(d.Aliases, ", "))
+		}
+		for _, p := range d.Params {
+			fmt.Fprintf(w, "%-10s   -params %s=<%s> (default %v) %s\n", "", p.Name, p.Kind, p.Default, p.Doc)
+		}
 	}
 }
 

@@ -1,15 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
-	"github.com/distributedne/dne/internal/dne"
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
+	"github.com/distributedne/dne/internal/partition"
 )
 
 // RMATSpec asks the server to generate the input graph.
@@ -19,15 +22,16 @@ type RMATSpec struct {
 	Seed  int64 `json:"seed"`
 }
 
-// Request is the /api/partition body.
+// Request is the /api/partition body. Params carries arbitrary per-method
+// parameters; they are validated against the method's registry descriptor
+// and a mismatch returns 400 with the declared parameter list.
 type Request struct {
-	Method string      `json:"method"`
-	Parts  int         `json:"parts"`
-	Alpha  float64     `json:"alpha,omitempty"`
-	Lambda float64     `json:"lambda,omitempty"`
-	Seed   int64       `json:"seed,omitempty"`
-	Edges  [][2]uint32 `json:"edges,omitempty"`
-	RMAT   *RMATSpec   `json:"rmat,omitempty"`
+	Method string         `json:"method"`
+	Parts  int            `json:"parts"`
+	Seed   int64          `json:"seed,omitempty"`
+	Params map[string]any `json:"params,omitempty"`
+	Edges  [][2]uint32    `json:"edges,omitempty"`
+	RMAT   *RMATSpec      `json:"rmat,omitempty"`
 	// EchoEdges returns the canonical (deduplicated, U<=V, sorted) edge
 	// list the owners are aligned with.
 	EchoEdges bool `json:"echoEdges,omitempty"`
@@ -41,6 +45,25 @@ type Quality struct {
 	VertexCuts        int64   `json:"vertexCuts"`
 }
 
+// Phase is one timed phase of the run.
+type Phase struct {
+	Name      string  `json:"name"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// RunStats is the execution-statistics block of a Response, generated from
+// the v2 Result.Stats.
+type RunStats struct {
+	Phases       []Phase            `json:"phases,omitempty"`
+	Iterations   int                `json:"iterations,omitempty"`
+	CommBytes    int64              `json:"commBytes,omitempty"`
+	CommMessages int64              `json:"commMessages,omitempty"`
+	PeakMemBytes int64              `json:"peakMemBytes,omitempty"`
+	MemScore     float64            `json:"memScore,omitempty"`
+	SweptEdges   int64              `json:"sweptEdges,omitempty"`
+	Extra        map[string]float64 `json:"extra,omitempty"`
+}
+
 // Response is the /api/partition reply.
 type Response struct {
 	Method    string      `json:"method"`
@@ -51,22 +74,25 @@ type Response struct {
 	Edges     [][2]uint32 `json:"edges,omitempty"`
 	Quality   Quality     `json:"quality"`
 	ElapsedMS float64     `json:"elapsedMs"`
-	// Iterations is set for method "dne" (superstep count, Fig. 6 metric).
-	Iterations int `json:"iterations,omitempty"`
+	Stats     RunStats    `json:"stats"`
 }
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Method and DeclaredParams are set on parameter-validation failures so
+	// clients can self-correct.
+	Method         string              `json:"method,omitempty"`
+	DeclaredParams []methods.ParamSpec `json:"declaredParams,omitempty"`
 }
 
-func newHandler(maxEdges int64) http.Handler {
+func newHandler(maxEdges int64, reqTimeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /api/methods", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, methods.Names())
+		writeJSON(w, http.StatusOK, methods.Descriptors())
 	})
 	mux.HandleFunc("POST /api/partition", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
@@ -76,9 +102,24 @@ func newHandler(maxEdges int64) http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
 			return
 		}
-		resp, status, err := servePartition(&req, maxEdges)
+		ctx := r.Context()
+		if reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, reqTimeout)
+			defer cancel()
+		}
+		resp, status, err := servePartition(ctx, &req, maxEdges)
 		if err != nil {
-			writeJSON(w, status, errorBody{Error: err.Error()})
+			body := errorBody{Error: err.Error()}
+			var perr *methods.ParamError
+			if errors.As(err, &perr) {
+				body.Method = perr.Method
+				body.DeclaredParams = perr.Declared
+				if body.DeclaredParams == nil {
+					body.DeclaredParams = []methods.ParamSpec{}
+				}
+			}
+			writeJSON(w, status, body)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -86,7 +127,7 @@ func newHandler(maxEdges int64) http.Handler {
 	return mux
 }
 
-func servePartition(req *Request, maxEdges int64) (*Response, int, error) {
+func servePartition(ctx context.Context, req *Request, maxEdges int64) (*Response, int, error) {
 	if req.Parts <= 0 {
 		return nil, http.StatusBadRequest, fmt.Errorf("parts must be positive, got %d", req.Parts)
 	}
@@ -104,22 +145,27 @@ func servePartition(req *Request, maxEdges int64) (*Response, int, error) {
 		return nil, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("graph has %d edges, server cap is %d", g.NumEdges(), maxEdges)
 	}
-	pr, err := methods.New(req.Method, methods.Options{
-		Seed: req.Seed, Alpha: req.Alpha, Lambda: req.Lambda,
-	})
+	spec := partition.Spec{NumParts: req.Parts, Seed: req.Seed, Params: req.Params}
+	pr, spec, err := methods.New(req.Method, spec)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	start := time.Now()
-	pt, err := pr.Partition(g, req.Parts)
+	res, err := pr.Partition(ctx, g, spec)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout, fmt.Errorf("partitioning timed out: %w", err)
+		}
+		if errors.Is(err, context.Canceled) {
+			return nil, http.StatusRequestTimeout, fmt.Errorf("request cancelled: %w", err)
+		}
 		return nil, http.StatusInternalServerError, err
 	}
-	elapsed := time.Since(start)
+	pt := res.Partitioning
 	if err := pt.Validate(g); err != nil {
 		return nil, http.StatusInternalServerError, fmt.Errorf("internal: invalid partitioning: %w", err)
 	}
-	q := pt.Measure(g)
+	q := res.Quality
+	st := res.Stats
 	resp := &Response{
 		Method:   pr.Name(),
 		Parts:    req.Parts,
@@ -132,10 +178,20 @@ func servePartition(req *Request, maxEdges int64) (*Response, int, error) {
 			VertexBalance:     q.VertexBalance,
 			VertexCuts:        q.VertexCuts,
 		},
-		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		ElapsedMS: float64(st.Wall.Microseconds()) / 1000,
+		Stats: RunStats{
+			Iterations:   st.Iterations,
+			CommBytes:    st.CommBytes,
+			CommMessages: st.CommMessages,
+			PeakMemBytes: st.PeakMemBytes,
+			MemScore:     st.MemScore(g.NumEdges()),
+			SweptEdges:   st.SweptEdges,
+			Extra:        st.Extra,
+		},
 	}
-	if d, ok := pr.(*dne.Partitioner); ok && d.Last != nil {
-		resp.Iterations = d.Last.Iterations
+	for _, ph := range st.Phases {
+		resp.Stats.Phases = append(resp.Stats.Phases,
+			Phase{Name: ph.Name, ElapsedMS: float64(ph.Elapsed.Microseconds()) / 1000})
 	}
 	if req.EchoEdges {
 		resp.Edges = make([][2]uint32, g.NumEdges())

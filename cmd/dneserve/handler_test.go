@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
+
+	"github.com/distributedne/dne/internal/methods"
 )
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
@@ -23,27 +26,30 @@ func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httpte
 }
 
 func TestHealthz(t *testing.T) {
-	rec := doJSON(t, newHandler(1000), http.MethodGet, "/healthz", nil)
+	rec := doJSON(t, newHandler(1000, time.Minute), http.MethodGet, "/healthz", nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
 }
 
 func TestMethodsList(t *testing.T) {
-	rec := doJSON(t, newHandler(1000), http.MethodGet, "/api/methods", nil)
+	rec := doJSON(t, newHandler(1000, time.Minute), http.MethodGet, "/api/methods", nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var names []string
-	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
+	var ds []methods.Descriptor
+	if err := json.Unmarshal(rec.Body.Bytes(), &ds); err != nil {
 		t.Fatal(err)
 	}
 	want := map[string]bool{"dne": true, "hdrf": true, "fennel": true, "random": true}
-	for _, n := range names {
-		delete(want, n)
+	for _, d := range ds {
+		delete(want, d.Name)
+		if d.Summary == "" {
+			t.Errorf("method %s: descriptor without summary", d.Name)
+		}
 	}
 	if len(want) > 0 {
-		t.Errorf("missing methods: %v (got %v)", want, names)
+		t.Errorf("missing methods: %v", want)
 	}
 }
 
@@ -52,7 +58,7 @@ func TestPartitionExplicitEdges(t *testing.T) {
 		Method: "dne", Parts: 2, EchoEdges: true,
 		Edges: [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 3}},
 	}
-	rec := doJSON(t, newHandler(1000), http.MethodPost, "/api/partition", req)
+	rec := doJSON(t, newHandler(1000, time.Minute), http.MethodPost, "/api/partition", req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body)
 	}
@@ -71,14 +77,14 @@ func TestPartitionExplicitEdges(t *testing.T) {
 	if resp.Quality.ReplicationFactor < 1 {
 		t.Errorf("RF %v", resp.Quality.ReplicationFactor)
 	}
-	if resp.Iterations <= 0 {
+	if resp.Stats.Iterations <= 0 {
 		t.Errorf("dne response missing iterations: %+v", resp)
 	}
 }
 
 func TestPartitionRMATSpec(t *testing.T) {
 	req := Request{Method: "hdrf", Parts: 8, RMAT: &RMATSpec{Scale: 10, EF: 8, Seed: 3}}
-	rec := doJSON(t, newHandler(1_000_000), http.MethodPost, "/api/partition", req)
+	rec := doJSON(t, newHandler(1_000_000, time.Minute), http.MethodPost, "/api/partition", req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body)
 	}
@@ -96,7 +102,7 @@ func TestPartitionRMATSpec(t *testing.T) {
 
 func TestPartitionDeterministicForSeed(t *testing.T) {
 	req := Request{Method: "dne", Parts: 4, Seed: 9, RMAT: &RMATSpec{Scale: 9, EF: 8, Seed: 3}}
-	h := newHandler(1_000_000)
+	h := newHandler(1_000_000, time.Minute)
 	var a, b Response
 	if err := json.Unmarshal(doJSON(t, h, http.MethodPost, "/api/partition", req).Body.Bytes(), &a); err != nil {
 		t.Fatal(err)
@@ -112,7 +118,7 @@ func TestPartitionDeterministicForSeed(t *testing.T) {
 }
 
 func TestPartitionErrors(t *testing.T) {
-	h := newHandler(100)
+	h := newHandler(100, time.Minute)
 	cases := []struct {
 		name string
 		req  Request
@@ -139,7 +145,7 @@ func TestPartitionRejectsUnknownFields(t *testing.T) {
 	req := httptest.NewRequest(http.MethodPost, "/api/partition",
 		bytes.NewBufferString(`{"method":"dne","parts":2,"bogus":1}`))
 	rec := httptest.NewRecorder()
-	newHandler(100).ServeHTTP(rec, req)
+	newHandler(100, time.Minute).ServeHTTP(rec, req)
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -150,7 +156,7 @@ func TestPartitionEdgeCap(t *testing.T) {
 	for i := range edges {
 		edges[i] = [2]uint32{uint32(i), uint32(i + 1)}
 	}
-	rec := doJSON(t, newHandler(10), http.MethodPost, "/api/partition",
+	rec := doJSON(t, newHandler(10, time.Minute), http.MethodPost, "/api/partition",
 		Request{Method: "random", Parts: 2, Edges: edges})
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400 (cap)", rec.Code)
@@ -159,17 +165,76 @@ func TestPartitionEdgeCap(t *testing.T) {
 
 func TestAllRegisteredMethodsServable(t *testing.T) {
 	// Every registry name must partition a small graph through the service.
-	var names []string
-	rec := doJSON(t, newHandler(100_000), http.MethodGet, "/api/methods", nil)
-	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
-		t.Fatal(err)
-	}
-	h := newHandler(100_000)
-	for _, name := range names {
+	h := newHandler(100_000, time.Minute)
+	for _, name := range methods.Names() {
 		req := Request{Method: name, Parts: 4, RMAT: &RMATSpec{Scale: 8, EF: 4, Seed: 1}}
 		rec := doJSON(t, h, http.MethodPost, "/api/partition", req)
 		if rec.Code != http.StatusOK {
 			t.Errorf("method %s: status %d (%s)", name, rec.Code, rec.Body)
 		}
+	}
+}
+
+func TestParamsPassthrough(t *testing.T) {
+	req := Request{
+		Method: "dne", Parts: 4, RMAT: &RMATSpec{Scale: 9, EF: 8, Seed: 3},
+		Params: map[string]any{"lambda": 1.0, "alpha": 1.3},
+	}
+	rec := doJSON(t, newHandler(1_000_000, time.Minute), http.MethodPost, "/api/partition", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	// λ=1 collapses the run to very few supersteps; the param must have
+	// reached the algorithm.
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Iterations <= 0 || resp.Stats.Iterations > 30 {
+		t.Errorf("lambda=1 run reported %d iterations; param not applied?", resp.Stats.Iterations)
+	}
+}
+
+func TestUnknownParamReturns400WithDeclaredParams(t *testing.T) {
+	req := Request{
+		Method: "fennel", Parts: 4, RMAT: &RMATSpec{Scale: 8, EF: 4, Seed: 1},
+		Params: map[string]any{"bogus": 3},
+	}
+	rec := doJSON(t, newHandler(1_000_000, time.Minute), http.MethodPost, "/api/partition", req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", rec.Code, rec.Body)
+	}
+	var body struct {
+		Error          string              `json:"error"`
+		Method         string              `json:"method"`
+		DeclaredParams []methods.ParamSpec `json:"declaredParams"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Method != "fennel" || len(body.DeclaredParams) == 0 {
+		t.Fatalf("error body lacks declared params: %s", rec.Body)
+	}
+	if body.DeclaredParams[0].Name != "gamma" {
+		t.Errorf("declared params = %+v, want gamma", body.DeclaredParams)
+	}
+}
+
+func TestOutOfBoundsParamReturns400(t *testing.T) {
+	req := Request{
+		Method: "dne", Parts: 4, Edges: [][2]uint32{{0, 1}, {1, 2}},
+		Params: map[string]any{"alpha": 0.2},
+	}
+	rec := doJSON(t, newHandler(1000, time.Minute), http.MethodPost, "/api/partition", req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", rec.Code, rec.Body)
+	}
+}
+
+func TestRequestTimeoutReturns504(t *testing.T) {
+	req := Request{Method: "dne", Parts: 8, RMAT: &RMATSpec{Scale: 12, EF: 16, Seed: 3}}
+	rec := doJSON(t, newHandler(1_000_000, time.Nanosecond), http.MethodPost, "/api/partition", req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", rec.Code, rec.Body)
 	}
 }

@@ -23,14 +23,23 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"time"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxEdges := flag.Int64("max-edges", 5_000_000, "reject requests beyond this edge count")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request partitioning deadline (0 = none)")
 	flag.Parse()
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(*maxEdges)}
-	log.Printf("dneserve: listening on %s", *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(*maxEdges, *timeout),
+		// Partitioning runs under its own deadline (-timeout); these bound
+		// slow clients on the read/write side.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("dneserve: listening on %s (request timeout %v)", *addr, *timeout)
 	log.Fatal(srv.ListenAndServe())
 }

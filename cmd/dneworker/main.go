@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/distributedne/dne/internal/cluster"
@@ -64,9 +66,25 @@ func run(rank, size int, addr string, scale, ef int, seed int64, alpha, lambda f
 	cfg.Alpha = alpha
 	cfg.Lambda = lambda
 
+	// Ctrl-C aborts the run collectively: the local flag rides the next
+	// superstep's select messages and every rank returns together.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	owner, stats, err := dne.PartitionOver(node, g, cfg)
+	owner, stats, err := dne.PartitionOver(ctx, node, g, cfg)
 	if err != nil {
+		// Close politely (Bye) and, at rank 0, let the router drain the
+		// final superstep's frames to the other ranks so they abort
+		// collectively rather than finding a dead connection.
+		_ = node.Close()
+		if wait != nil {
+			done := make(chan error, 1)
+			go func() { done <- wait() }()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Second):
+			}
+		}
 		return err
 	}
 	elapsed := time.Since(start)

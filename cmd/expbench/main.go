@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/distributedne/dne/internal/experiments"
 )
@@ -40,7 +42,10 @@ func main() {
 		}
 		return
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	opts := experiments.Options{
+		Ctx:     ctx,
 		Shift:   *shift,
 		Seed:    *seed,
 		PRIters: *prIters,

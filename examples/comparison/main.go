@@ -5,20 +5,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"github.com/distributedne/dne/internal/bench"
 	"github.com/distributedne/dne/internal/datasets"
-	"github.com/distributedne/dne/internal/dne"
-	"github.com/distributedne/dne/internal/hashpart"
-	"github.com/distributedne/dne/internal/lppart"
-	"github.com/distributedne/dne/internal/metispart"
-	"github.com/distributedne/dne/internal/nepart"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
 	"github.com/distributedne/dne/internal/partition"
-	"github.com/distributedne/dne/internal/sheep"
-	"github.com/distributedne/dne/internal/streampart"
 )
 
 func main() {
@@ -27,25 +23,14 @@ func main() {
 	const parts = 32
 	fmt.Printf("%s stand-in, %v, %d partitions\n\n", spec.Name, g, parts)
 
-	partitioners := []partition.Partitioner{
-		hashpart.Random{Seed: 1},
-		hashpart.Grid{Seed: 1},
-		hashpart.DBH{Seed: 1},
-		hashpart.Hybrid{Seed: 1},
-		hashpart.Oblivious{Seed: 1},
-		hashpart.HybridGinger{Seed: 1},
-		streampart.HDRF{Seed: 1},
-		streampart.SNE{Seed: 1},
-		nepart.NE{Seed: 1},
-		sheep.Sheep{Seed: 1},
-		lppart.Spinner{Seed: 1},
-		lppart.XtraPuLP{Seed: 1},
-		&metispart.METIS{Seed: 1},
-		dne.New(),
-	}
+	// Every registered method, straight from the registry.
 	t := &bench.Table{Header: []string{"partitioner", "RF", "edge-bal", "vert-bal", "time"}}
-	for _, pr := range partitioners {
-		run := bench.Execute(pr, g, parts)
+	for _, name := range methods.Names() {
+		pr, spec, err := methods.New(name, partition.NewSpec(parts, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := bench.Execute(context.Background(), pr, g, spec)
 		if run.Err != nil {
 			log.Fatalf("%s: %v", pr.Name(), run.Err)
 		}

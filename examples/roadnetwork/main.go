@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,11 +16,9 @@ import (
 	"github.com/distributedne/dne/internal/bench"
 	"github.com/distributedne/dne/internal/bound"
 	"github.com/distributedne/dne/internal/datasets"
-	"github.com/distributedne/dne/internal/dne"
-	"github.com/distributedne/dne/internal/hashpart"
-	"github.com/distributedne/dne/internal/metispart"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
 	"github.com/distributedne/dne/internal/partition"
-	"github.com/distributedne/dne/internal/sheep"
 )
 
 func main() {
@@ -28,14 +27,12 @@ func main() {
 	for _, rd := range datasets.Roads {
 		g := rd.Build(0)
 		cells := []any{fmt.Sprintf("%s %v", rd.Name, g)}
-		for _, pr := range []partition.Partitioner{
-			hashpart.Random{Seed: 3},
-			hashpart.Grid{Seed: 3},
-			&metispart.METIS{Seed: 3},
-			sheep.Sheep{Seed: 3},
-			dne.New(),
-		} {
-			run := bench.Execute(pr, g, parts)
+		for _, name := range []string{"random", "grid", "metis", "sheep", "dne"} {
+			pr, spec, err := methods.New(name, partition.NewSpec(parts, 3))
+			if err != nil {
+				log.Fatal(err)
+			}
+			run := bench.Execute(context.Background(), pr, g, spec)
 			if run.Err != nil {
 				log.Fatalf("%s: %v", pr.Name(), run.Err)
 			}

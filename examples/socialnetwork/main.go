@@ -6,14 +6,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"github.com/distributedne/dne/internal/datasets"
-	"github.com/distributedne/dne/internal/dne"
 	"github.com/distributedne/dne/internal/engine"
-	"github.com/distributedne/dne/internal/hashpart"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
 	"github.com/distributedne/dne/internal/partition"
 )
 
@@ -23,16 +24,17 @@ func main() {
 	fmt.Printf("social graph stand-in %s: %v\n\n", spec.Name, g)
 
 	const parts = 16
-	for _, pr := range []partition.Partitioner{
-		hashpart.Random{Seed: 7},
-		dne.New(),
-	} {
-		pt, err := pr.Partition(g, parts)
+	for _, name := range []string{"random", "dne"} {
+		pr, spec, err := methods.New(name, partition.NewSpec(parts, 7))
 		if err != nil {
 			log.Fatal(err)
 		}
-		q := pt.Measure(g)
-		e := engine.New(g, pt)
+		res, err := pr.Partition(context.Background(), g, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := res.Quality
+		e := engine.New(g, res.Partitioning)
 
 		start := time.Now()
 		ranks := e.PageRank(10, 0.85)

@@ -1,0 +1,3 @@
+module github.com/distributedne/dne
+
+go 1.22

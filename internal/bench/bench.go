@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -22,8 +23,11 @@ type Run struct {
 	NumParts    int
 	Elapsed     time.Duration
 	Quality     partition.Quality
-	MemBytes    int64 // analytic or sampled peak, see MeasureMem
-	Err         error
+	// Stats is the run's full v2 statistics block (phase timings,
+	// iteration counts, communication volume).
+	Stats    partition.Stats
+	MemBytes int64 // analytic (Stats.PeakMemBytes) or sampled heap peak
+	Err      error
 }
 
 // MemScore returns bytes per edge (the Fig. 9 metric).
@@ -34,25 +38,31 @@ func (r Run) MemScore(numEdges int64) float64 {
 	return float64(r.MemBytes) / float64(numEdges)
 }
 
-// Execute runs p on g and measures elapsed time and quality. Memory is
-// sampled via the Go heap delta unless the partitioner reports an analytic
-// footprint through the MemReporter interface.
-func Execute(p partition.Partitioner, g *graph.Graph, numParts int) Run {
-	run := Run{Partitioner: p.Name(), NumParts: numParts}
+// Execute runs p on g under the v2 API and collects elapsed time, quality
+// and stats. Memory is the partitioner's analytic PeakMemBytes when it
+// reports one, otherwise a Go heap delta plus the input CSR: every offline
+// partitioner holds the whole graph, and the delta alone would credit
+// sequential baselines with near-zero footprint.
+func Execute(ctx context.Context, p partition.Partitioner, g *graph.Graph, spec partition.Spec) Run {
+	run := Run{Partitioner: p.Name(), NumParts: spec.NumParts}
 	before := heapInUse()
 	start := time.Now()
-	pt, err := p.Partition(g, numParts)
+	res, err := p.Partition(ctx, g, spec)
 	run.Elapsed = time.Since(start)
 	if err != nil {
 		run.Err = err
 		return run
 	}
-	if mr, ok := p.(MemReporter); ok {
-		run.MemBytes = mr.MemBytes()
+	run.Stats = res.Stats
+	// Report pure partitioning time: v2 Partition measures quality
+	// internally, and for the cheap hash methods that O(E) epilogue would
+	// otherwise dominate the paper-reproduction timing tables.
+	if pt := res.Stats.PartitionTime(); pt > 0 {
+		run.Elapsed = pt
+	}
+	if res.Stats.PeakMemBytes > 0 {
+		run.MemBytes = res.Stats.PeakMemBytes
 	} else {
-		// Heap delta plus the input CSR: every offline partitioner holds
-		// the whole graph, and the delta alone would credit sequential
-		// baselines with near-zero footprint.
 		after := heapInUse()
 		run.MemBytes = int64(after) - int64(before)
 		if run.MemBytes < 0 {
@@ -60,14 +70,8 @@ func Execute(p partition.Partitioner, g *graph.Graph, numParts int) Run {
 		}
 		run.MemBytes += g.MemoryFootprint()
 	}
-	run.Quality = pt.Measure(g)
+	run.Quality = res.Quality
 	return run
-}
-
-// MemReporter is implemented by partitioners that account their own peak
-// memory analytically (DNE, METIS).
-type MemReporter interface {
-	MemBytes() int64
 }
 
 func heapInUse() uint64 {

@@ -1,38 +1,23 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"github.com/distributedne/dne/internal/datasets"
-	"github.com/distributedne/dne/internal/dne"
 	"github.com/distributedne/dne/internal/graph"
-	"github.com/distributedne/dne/internal/hashpart"
-	"github.com/distributedne/dne/internal/lppart"
-	"github.com/distributedne/dne/internal/metispart"
-	"github.com/distributedne/dne/internal/nepart"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
 	"github.com/distributedne/dne/internal/partition"
-	"github.com/distributedne/dne/internal/sheep"
-	"github.com/distributedne/dne/internal/streampart"
 )
 
-// allPartitioners returns one instance of every partitioner in the repo.
-func allPartitioners() []partition.Partitioner {
-	return []partition.Partitioner{
-		hashpart.Random{Seed: 1},
-		hashpart.Grid{Seed: 1},
-		hashpart.DBH{Seed: 1},
-		hashpart.Hybrid{Seed: 1},
-		hashpart.Oblivious{Seed: 1},
-		hashpart.HybridGinger{Seed: 1},
-		streampart.HDRF{Seed: 1},
-		streampart.SNE{Seed: 1},
-		nepart.NE{Seed: 1},
-		sheep.Sheep{Seed: 1},
-		lppart.Spinner{Seed: 1},
-		lppart.XtraPuLP{Seed: 1},
-		&metispart.METIS{Seed: 1},
-		dne.New(),
+func newMethod(t testing.TB, name string, parts int) (partition.Partitioner, partition.Spec) {
+	t.Helper()
+	pr, spec, err := methods.New(name, partition.NewSpec(parts, 1))
+	if err != nil {
+		t.Fatal(err)
 	}
+	return pr, spec
 }
 
 func smallGraph(t testing.TB) *graph.Graph {
@@ -42,19 +27,16 @@ func smallGraph(t testing.TB) *graph.Graph {
 
 func TestEveryPartitionerProducesValidPartitioning(t *testing.T) {
 	g := smallGraph(t)
-	for _, p := range allPartitioners() {
-		p := p
-		t.Run(p.Name(), func(t *testing.T) {
-			pt, err := p.Partition(g, 8)
-			if err != nil {
-				t.Fatal(err)
+	for _, name := range methods.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pr, spec := newMethod(t, name, 8)
+			run := Execute(context.Background(), pr, g, spec)
+			if run.Err != nil {
+				t.Fatal(run.Err)
 			}
-			if err := pt.Validate(g); err != nil {
-				t.Fatal(err)
-			}
-			q := pt.Measure(g)
-			if q.ReplicationFactor < 1.0 {
-				t.Errorf("RF %.3f < 1", q.ReplicationFactor)
+			if run.Quality.ReplicationFactor < 1.0 {
+				t.Errorf("RF %.3f < 1", run.Quality.ReplicationFactor)
 			}
 		})
 	}
@@ -64,17 +46,18 @@ func TestQualityOrderingMatchesPaper(t *testing.T) {
 	// The paper's central quality claims (Fig. 8, Table 4) on skewed graphs:
 	// NE <= DNE < hash-based; Random is the worst of the hash family.
 	g := smallGraph(t)
-	rf := func(p partition.Partitioner) float64 {
-		pt, err := p.Partition(g, 8)
-		if err != nil {
-			t.Fatalf("%s: %v", p.Name(), err)
+	rf := func(name string) float64 {
+		pr, spec := newMethod(t, name, 8)
+		run := Execute(context.Background(), pr, g, spec)
+		if run.Err != nil {
+			t.Fatalf("%s: %v", name, run.Err)
 		}
-		return pt.Measure(g).ReplicationFactor
+		return run.Quality.ReplicationFactor
 	}
-	random := rf(hashpart.Random{Seed: 1})
-	grid := rf(hashpart.Grid{Seed: 1})
-	dneRF := rf(dne.New())
-	neRF := rf(nepart.NE{Seed: 1})
+	random := rf("random")
+	grid := rf("grid")
+	dneRF := rf("dne")
+	neRF := rf("ne")
 	if dneRF >= grid {
 		t.Errorf("DNE RF %.3f should beat Grid %.3f", dneRF, grid)
 	}
@@ -88,7 +71,8 @@ func TestQualityOrderingMatchesPaper(t *testing.T) {
 
 func TestExecuteReportsMetrics(t *testing.T) {
 	g := smallGraph(t)
-	run := Execute(dne.New(), g, 4)
+	pr, spec := newMethod(t, "dne", 4)
+	run := Execute(context.Background(), pr, g, spec)
 	if run.Err != nil {
 		t.Fatal(run.Err)
 	}
@@ -100,5 +84,22 @@ func TestExecuteReportsMetrics(t *testing.T) {
 	}
 	if run.MemBytes <= 0 {
 		t.Error("DNE should report an analytic memory footprint")
+	}
+	if run.Stats.Iterations <= 0 || run.Stats.CommBytes <= 0 {
+		t.Errorf("DNE stats not folded into Run: %+v", run.Stats)
+	}
+	if len(run.Stats.Phases) == 0 {
+		t.Error("no phase timings recorded")
+	}
+}
+
+func TestExecuteHonorsCancelledContext(t *testing.T) {
+	g := smallGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pr, spec := newMethod(t, "hdrf", 4)
+	run := Execute(ctx, pr, g, spec)
+	if run.Err == nil {
+		t.Fatal("cancelled context did not abort the run")
 	}
 }

@@ -219,6 +219,7 @@ type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	msgs []Message
+	err  error // set by fail: the transport died
 }
 
 func newMailbox() *mailbox {
@@ -235,7 +236,8 @@ func (m *mailbox) put(msg Message) {
 }
 
 // take removes and returns the first message with the given tag, blocking
-// until one arrives.
+// until one arrives. If the transport has died (fail), take panics instead
+// of blocking forever — matching Send's panic-on-dead-connection contract.
 func (m *mailbox) take(tag Tag) Message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -246,8 +248,19 @@ func (m *mailbox) take(tag Tag) Message {
 				return msg
 			}
 		}
+		if m.err != nil {
+			panic(fmt.Sprintf("cluster: recv tag %d: connection lost: %v", tag, m.err))
+		}
 		m.cond.Wait()
 	}
+}
+
+// fail marks the transport dead and wakes every blocked take.
+func (m *mailbox) fail(err error) {
+	m.mu.Lock()
+	m.err = err
+	m.mu.Unlock()
+	m.cond.Broadcast()
 }
 
 // takeAll removes and returns all buffered messages with the given tag.

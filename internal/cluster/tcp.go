@@ -47,7 +47,6 @@ type TCPNode struct {
 	box        *mailbox
 	stats      *Stats
 	seq        uint64
-	readErr    chan error
 }
 
 var _ Comm = (*TCPNode)(nil)
@@ -151,11 +150,10 @@ func DialTCP(addr string, rank, size int) (*TCPNode, error) {
 	}
 	n := &TCPNode{
 		rank: rank, size: size,
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		box:     newMailbox(),
-		stats:   &Stats{},
-		readErr: make(chan error, 1),
+		conn:  conn,
+		enc:   gob.NewEncoder(conn),
+		box:   newMailbox(),
+		stats: &Stats{},
 	}
 	if err := n.enc.Encode(frame{From: rank, Hello: true}); err != nil {
 		conn.Close()
@@ -170,12 +168,14 @@ func (n *TCPNode) readLoop() {
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
-			n.readErr <- err
+			// Wake any blocked Recv: a dead router must fail the worker
+			// loudly, not leave it waiting for frames that will never come.
+			n.box.fail(err)
 			return
 		}
 		var env bodyEnvelope
 		if err := gob.NewDecoder(bytes.NewReader(f.Payload)).Decode(&env); err != nil {
-			n.readErr <- fmt.Errorf("cluster: decode body: %w", err)
+			n.box.fail(fmt.Errorf("cluster: decode body: %w", err))
 			return
 		}
 		n.box.put(Message{From: f.From, To: f.To, Tag: f.Tag, Seq: f.Seq, Body: env.B})

@@ -1,6 +1,7 @@
 package dne
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func TestChaosTransportGivesIdenticalPartitioning(t *testing.T) {
 	err = c.Run(func(comm cluster.Comm) error {
 		w := cluster.NewChaos(comm, int64(comm.Rank())*131+7, 150*time.Microsecond)
 		defer w.Close()
-		owner, _, err := PartitionOver(w, g, cfg)
+		owner, _, err := PartitionOver(context.Background(), w, g, cfg)
 		if err != nil {
 			return err
 		}

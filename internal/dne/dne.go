@@ -18,6 +18,7 @@
 package dne
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -117,6 +118,16 @@ func (r *Result) SimulatedNetworkTime(m cluster.CostModel, machines int) time.Du
 // Partition runs Distributed NE on g with numParts machines (the paper runs
 // one partition per machine, §3.3) and returns the partitioning plus metrics.
 func Partition(g *graph.Graph, numParts int, cfg Config) (*Result, error) {
+	return PartitionCtx(context.Background(), g, numParts, cfg)
+}
+
+// PartitionCtx is Partition with cancellation: the superstep loop checks
+// ctx once per iteration (collectively, so all machines abort together) and
+// returns ctx's error.
+func PartitionCtx(ctx context.Context, g *graph.Graph, numParts int, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if numParts <= 0 {
 		return nil, fmt.Errorf("dne: numParts must be positive, got %d", numParts)
 	}
@@ -136,7 +147,7 @@ func Partition(g *graph.Graph, numParts int, cfg Config) (*Result, error) {
 
 	start := time.Now()
 	err := c.Run(func(comm cluster.Comm) error {
-		return runMachine(comm, g, cfg, &results[comm.Rank()], p.Owner)
+		return runMachine(ctx, comm, g, cfg, &results[comm.Rank()], p.Owner)
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -159,35 +170,57 @@ func Partition(g *graph.Graph, numParts int, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// Partitioner adapts Partition to the partition.Partitioner interface used
-// by the experiment harness. It retains the last Result so the harness can
-// read iteration counts, communication volume and the analytic memory score.
-type Partitioner struct {
-	Cfg  Config
-	Last *Result
-}
-
-// New returns a Partitioner with the paper's default configuration.
-func New() *Partitioner { return &Partitioner{Cfg: DefaultConfig()} }
+// Partitioner adapts PartitionCtx to the v2 partition.Partitioner
+// interface. It is stateless: configuration arrives in the Spec (alpha,
+// lambda, single_expansion, broadcast_replicas, parallel_allocation,
+// max_iterations), and the run's metrics are folded into Result.Stats —
+// iteration count, communication volume, the analytic peak memory (the
+// Fig. 9 MemScore numerator) and the simulated network time under the
+// paper's InfiniBand cost model in Extra.
+type Partitioner struct{}
 
 // Name implements partition.Partitioner.
-func (pt *Partitioner) Name() string { return "D.NE" }
+func (Partitioner) Name() string { return "D.NE" }
+
+// ConfigFromSpec maps a resolved Spec onto the algorithm's Config,
+// applying the paper's defaults for unset parameters.
+func ConfigFromSpec(spec partition.Spec) Config {
+	return Config{
+		Alpha:              spec.Float("alpha", 1.1),
+		Lambda:             spec.Float("lambda", 0.1),
+		SingleExpansion:    spec.Bool("single_expansion", false),
+		Seed:               spec.Seed,
+		MaxIterations:      spec.Int("max_iterations", 0),
+		BroadcastReplicas:  spec.Bool("broadcast_replicas", false),
+		ParallelAllocation: spec.Bool("parallel_allocation", false),
+	}
+}
 
 // Partition implements partition.Partitioner.
-func (pt *Partitioner) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	res, err := Partition(g, numParts, pt.Cfg)
+func (Partitioner) Partition(ctx context.Context, g *graph.Graph, spec partition.Spec) (*partition.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := PartitionCtx(ctx, g, spec.NumParts, ConfigFromSpec(spec))
 	if err != nil {
 		return nil, err
 	}
-	pt.Last = res
-	return res.Partitioning, nil
-}
-
-// MemBytes implements the harness's MemReporter: the analytic peak memory of
-// the last run, summed across machines.
-func (pt *Partitioner) MemBytes() int64 {
-	if pt.Last == nil {
-		return 0
-	}
-	return pt.Last.MemBytes
+	out := &partition.Result{Partitioning: res.Partitioning}
+	st := &out.Stats
+	st.Method = "dne"
+	st.NumParts = spec.NumParts
+	st.AddPhase("expand", res.Elapsed)
+	st.PeakMemBytes = res.MemBytes
+	st.Iterations = res.Iterations
+	st.CommBytes = res.CommBytes
+	st.CommMessages = res.CommMessages
+	st.SweptEdges = res.SweptEdges
+	st.SetExtra("cas_conflicts", float64(res.CASConflicts))
+	st.SetExtra("wasted_selections", float64(res.WastedSelections))
+	st.SetExtra("total_selections", float64(res.TotalSelections))
+	st.SetExtra("simulated_network_ms",
+		float64(res.SimulatedNetworkTime(cluster.InfiniBandEDR(), spec.NumParts).Microseconds())/1000)
+	out.Finish(g, start)
+	return out, nil
 }

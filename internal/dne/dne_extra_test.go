@@ -1,6 +1,7 @@
 package dne
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -182,7 +183,7 @@ func TestTCPTransportMatchesInProcess(t *testing.T) {
 				errs[rank] = err
 				return
 			}
-			owner, _, err := PartitionOver(node, g, cfg)
+			owner, _, err := PartitionOver(context.Background(), node, g, cfg)
 			if err != nil {
 				errs[rank] = err
 				return

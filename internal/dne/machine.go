@@ -1,6 +1,7 @@
 package dne
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,7 +30,13 @@ type machineResult struct {
 // runMachine executes one machine's combined expansion + allocation process
 // (§3.3: one expansion process and one allocation process per machine; this
 // machine's expansion process computes partition `rank`).
-func runMachine(comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResult, ownerOut []int32) error {
+//
+// Cancellation is collective: each machine stamps ctx's state onto the
+// select messages it already sends to every machine each superstep, and all
+// machines abort together at the end of the superstep in which any flag was
+// seen. Deciding on received flags (identical on every machine) rather than
+// on the racy local ctx keeps the lock-step protocol deadlock-free.
+func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResult, ownerOut []int32) error {
 	p := comm.Size()
 	rank := comm.Rank()
 	gd := newGrid(p)
@@ -130,8 +137,9 @@ func runMachine(comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResul
 				}
 			}
 		}
+		wantCancel := ctx.Err() != nil
 		for q := 0; q < p; q++ {
-			body := selectBody{Pairs: outPairs[q]}
+			body := selectBody{Pairs: outPairs[q], Cancel: wantCancel}
 			if q == seedTo {
 				body.SeedReq = true
 				body.SeedPart = int32(rank)
@@ -153,9 +161,13 @@ func runMachine(comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResul
 		sizesView := make([]int64, p)
 		copy(sizesView, partSizes)
 		var pairs []vp
+		anyCancel := false
 		for _, m := range comm.RecvN(tagSelect, p) {
 			body := m.Body.(selectBody)
 			pairs = append(pairs, body.Pairs...)
+			if body.Cancel {
+				anyCancel = true
+			}
 			if body.SeedReq {
 				if v, ok := sg.randomSeed(rng); ok {
 					bItems[m.From] = append(bItems[m.From],
@@ -273,6 +285,14 @@ func runMachine(comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResul
 			}
 		}
 		freeVec = cluster.AllGatherSumVec(comm, myFree)
+		if anyCancel {
+			// Every machine received the same flag set, so every machine
+			// returns here, at the same superstep boundary.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return context.Canceled
+		}
 		allocated := sum(partSizes)
 		// |Ep| of this machine's own partition is known exactly: every edge
 		// allocated to q is shipped to q within the same superstep.

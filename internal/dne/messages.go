@@ -32,10 +32,11 @@ type selectBody struct {
 	Pairs    []vp
 	SeedReq  bool  // this machine asks the receiver for a random seed vertex
 	SeedPart int32 // partition the seed is for
+	Cancel   bool  // sender's context is cancelled; abort collectively
 }
 
 // WireSize implements cluster.Body.
-func (b selectBody) WireSize() int { return 8*len(b.Pairs) + 5 }
+func (b selectBody) WireSize() int { return 8*len(b.Pairs) + 6 }
 
 // syncBody synchronises newly-added vertex allocation ids among replicas
 // (SyncVertexAllocations, Alg. 2 Line 3).

@@ -1,6 +1,8 @@
 package dne
 
 import (
+	"context"
+
 	"github.com/distributedne/dne/internal/cluster"
 	"github.com/distributedne/dne/internal/graph"
 )
@@ -23,8 +25,9 @@ func init() {
 // arbitrary communicator (in-process or TCP). Every rank must call it with
 // the same graph, configuration and partition count (= comm.Size()). The
 // returned slice is non-nil only at rank 0 and holds the owner of every
-// canonical edge of g.
-func PartitionOver(comm cluster.Comm, g *graph.Graph, cfg Config) ([]int32, *MachineStats, error) {
+// canonical edge of g. Cancelling ctx aborts the run at the next superstep
+// boundary, collectively across all ranks.
+func PartitionOver(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Config) ([]int32, *MachineStats, error) {
 	var res machineResult
 	var owner []int32
 	if comm.Rank() == 0 {
@@ -33,7 +36,7 @@ func PartitionOver(comm cluster.Comm, g *graph.Graph, cfg Config) ([]int32, *Mac
 			owner[i] = -1
 		}
 	}
-	if err := runMachine(comm, g, cfg, &res, owner); err != nil {
+	if err := runMachine(ctx, comm, g, cfg, &res, owner); err != nil {
 		return nil, nil, err
 	}
 	return owner, &MachineStats{

@@ -6,7 +6,6 @@ import (
 
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
-	"github.com/distributedne/dne/internal/hashpart"
 )
 
 // buildEngineR builds an engine over a Random partitioning (helper shared by
@@ -14,7 +13,7 @@ import (
 // partitioner).
 func buildEngineR(t *testing.T, g *graph.Graph, parts int) *Engine {
 	t.Helper()
-	return buildEngine(t, g, hashpart.Random{Seed: 5}, parts)
+	return buildEngine(t, g, "random", 5, parts)
 }
 
 func TestBFSTreeConsistentWithSSSP(t *testing.T) {

@@ -1,23 +1,30 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"testing"
 
-	"github.com/distributedne/dne/internal/dne"
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
-	"github.com/distributedne/dne/internal/hashpart"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
 	"github.com/distributedne/dne/internal/partition"
 )
 
-func buildEngine(t *testing.T, g *graph.Graph, p partition.Partitioner, parts int) *Engine {
+// buildEngine partitions g with a registry method and wraps the result in
+// an Engine.
+func buildEngine(t *testing.T, g *graph.Graph, method string, seed int64, parts int) *Engine {
 	t.Helper()
-	pt, err := p.Partition(g, parts)
+	pr, spec, err := methods.New(method, partition.NewSpec(parts, seed))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(g, pt)
+	res, err := pr.Partition(context.Background(), g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g, res.Partitioning)
 }
 
 // refBFS is a sequential reference for SSSP on unweighted graphs.
@@ -77,16 +84,16 @@ func refWCC(g *graph.Graph) []graph.Vertex {
 func TestSSSPMatchesBFSAcrossPartitionings(t *testing.T) {
 	g := gen.RMAT(9, 8, 3)
 	want := refBFS(g, 0)
-	for _, p := range []partition.Partitioner{hashpart.Random{Seed: 1}, dne.New()} {
-		e := buildEngine(t, g, p, 4)
+	for _, p := range []string{"random", "dne"} {
+		e := buildEngine(t, g, p, 1, 4)
 		got := e.SSSP(0)
 		for v := range want {
 			if got[v] != want[v] {
-				t.Fatalf("%s: dist[%d] = %d, want %d", p.Name(), v, got[v], want[v])
+				t.Fatalf("%s: dist[%d] = %d, want %d", p, v, got[v], want[v])
 			}
 		}
 		if e.CommBytes <= 0 {
-			t.Errorf("%s: no communication recorded", p.Name())
+			t.Errorf("%s: no communication recorded", p)
 		}
 	}
 }
@@ -94,7 +101,7 @@ func TestSSSPMatchesBFSAcrossPartitionings(t *testing.T) {
 func TestWCCMatchesUnionFind(t *testing.T) {
 	g := gen.RMAT(9, 4, 5)
 	want := refWCC(g)
-	e := buildEngine(t, g, hashpart.Grid{Seed: 2}, 4)
+	e := buildEngine(t, g, "grid", 2, 4)
 	got := e.WCC()
 	for v := range want {
 		if got[v] != want[v] {
@@ -105,7 +112,7 @@ func TestWCCMatchesUnionFind(t *testing.T) {
 
 func TestPageRankSumsToOne(t *testing.T) {
 	g := gen.RMAT(9, 8, 7)
-	e := buildEngine(t, g, dne.New(), 4)
+	e := buildEngine(t, g, "dne", 0, 4)
 	pr := e.PageRank(20, 0.85)
 	var sum float64
 	for v := 0; v < int(g.NumVertices()); v++ {
@@ -122,8 +129,8 @@ func TestPageRankSumsToOne(t *testing.T) {
 
 func TestPageRankIndependentOfPartitioning(t *testing.T) {
 	g := gen.RMAT(8, 8, 11)
-	e1 := buildEngine(t, g, hashpart.Random{Seed: 1}, 4)
-	e2 := buildEngine(t, g, dne.New(), 4)
+	e1 := buildEngine(t, g, "random", 1, 4)
+	e2 := buildEngine(t, g, "dne", 0, 4)
 	pr1 := e1.PageRank(10, 0.85)
 	pr2 := e2.PageRank(10, 0.85)
 	for v := range pr1 {
@@ -135,8 +142,8 @@ func TestPageRankIndependentOfPartitioning(t *testing.T) {
 
 func TestBetterPartitioningReducesCommunication(t *testing.T) {
 	g := gen.RMAT(10, 16, 13)
-	eRand := buildEngine(t, g, hashpart.Random{Seed: 1}, 8)
-	eDNE := buildEngine(t, g, dne.New(), 8)
+	eRand := buildEngine(t, g, "random", 1, 8)
+	eDNE := buildEngine(t, g, "dne", 0, 8)
 	eRand.PageRank(5, 0.85)
 	eDNE.PageRank(5, 0.85)
 	if eDNE.CommBytes >= eRand.CommBytes {
@@ -146,7 +153,7 @@ func TestBetterPartitioningReducesCommunication(t *testing.T) {
 
 func TestWorkloadBalanceReported(t *testing.T) {
 	g := gen.RMAT(9, 8, 17)
-	e := buildEngine(t, g, dne.New(), 4)
+	e := buildEngine(t, g, "dne", 0, 4)
 	e.PageRank(5, 0.85)
 	if wb := e.WorkloadBalance(); wb < 1 {
 		t.Errorf("workload balance %f < 1", wb)

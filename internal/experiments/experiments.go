@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -16,17 +17,15 @@ import (
 	"github.com/distributedne/dne/internal/engine"
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
-	"github.com/distributedne/dne/internal/hashpart"
-	"github.com/distributedne/dne/internal/lppart"
-	"github.com/distributedne/dne/internal/metispart"
-	"github.com/distributedne/dne/internal/nepart"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
 	"github.com/distributedne/dne/internal/partition"
-	"github.com/distributedne/dne/internal/sheep"
-	"github.com/distributedne/dne/internal/streampart"
 )
 
 // Options configure an experiment run.
 type Options struct {
+	// Ctx cancels in-flight partitioner runs (nil = background).
+	Ctx context.Context
 	// Shift scales every dataset by 2^Shift vertices (0 = defaults,
 	// negative = quicker, positive = closer to paper scale).
 	Shift int
@@ -41,6 +40,41 @@ type Options struct {
 
 func (o Options) out() io.Writer { return o.Out }
 
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// method resolves a registry method; experiments only name methods the
+// registry declares, so a miss is a programmer error. The returned
+// partitioner resolves every Spec against the descriptor first, so the
+// descriptor-declared defaults govern experiment runs exactly as they do
+// CLI and HTTP runs.
+func method(name string) partition.Partitioner {
+	d, ok := methods.Lookup(name)
+	if !ok {
+		panic("experiments: method not registered: " + name)
+	}
+	return resolvingMethod{d: d, p: d.Factory()}
+}
+
+type resolvingMethod struct {
+	d methods.Descriptor
+	p partition.Partitioner
+}
+
+func (m resolvingMethod) Name() string { return m.p.Name() }
+
+func (m resolvingMethod) Partition(ctx context.Context, g *graph.Graph, spec partition.Spec) (*partition.Result, error) {
+	spec, err := m.d.ResolveSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return m.p.Partition(ctx, g, spec)
+}
+
 func (o Options) prIters() int {
 	if o.PRIters > 0 {
 		return o.PRIters
@@ -49,25 +83,14 @@ func (o Options) prIters() int {
 }
 
 // qualityBaselines returns the Fig-8 comparison set in the paper's legend
-// order.
-func qualityBaselines(seed int64) []partition.Partitioner {
-	return []partition.Partitioner{
-		hashpart.Random{Seed: uint64(seed)},
-		hashpart.Grid{Seed: uint64(seed)},
-		hashpart.Oblivious{Seed: seed},
-		hashpart.HybridGinger{Seed: uint64(seed)},
-		lppart.Spinner{Seed: seed},
-		&metispart.METIS{Seed: seed},
-		sheep.Sheep{Seed: seed},
-		lppart.XtraPuLP{Seed: seed},
-		dneP(seed),
+// order, resolved through the method registry.
+func qualityBaselines() []partition.Partitioner {
+	names := []string{"random", "grid", "oblivious", "ginger", "spinner", "metis", "sheep", "xtrapulp", "dne"}
+	prs := make([]partition.Partitioner, len(names))
+	for i, n := range names {
+		prs[i] = method(n)
 	}
-}
-
-func dneP(seed int64) *dne.Partitioner {
-	p := dne.New()
-	p.Cfg.Seed = seed
-	return p
+	return prs
 }
 
 // Fig6 reproduces Fig. 6: iteration count and replication factor of
@@ -88,7 +111,7 @@ func Fig6(o Options) error {
 			cfg := dne.DefaultConfig()
 			cfg.Lambda = lam
 			cfg.Seed = o.Seed
-			res, err := dne.Partition(g, parts, cfg)
+			res, err := dne.PartitionCtx(o.ctx(), g, parts, cfg)
 			if err != nil {
 				return fmt.Errorf("fig6 %s λ=%g: %w", spec.Name, lam, err)
 			}
@@ -141,10 +164,10 @@ func Fig8(o Options) error {
 			header = append(header, fmt.Sprintf("P=%d", p))
 		}
 		t := &bench.Table{Header: header}
-		for _, pr := range qualityBaselines(o.Seed) {
+		for _, pr := range qualityBaselines() {
 			cells := []any{pr.Name()}
 			for _, parts := range partsList {
-				run := bench.Execute(pr, g, parts)
+				run := bench.Execute(o.ctx(), pr, g, partition.NewSpec(parts, o.Seed))
 				if run.Err != nil {
 					return fmt.Errorf("fig8 %s %s P=%d: %w", spec.Name, pr.Name(), parts, run.Err)
 				}
@@ -177,15 +200,13 @@ func Fig8RMAT(o Options) error {
 		}
 		t := &bench.Table{Header: header}
 		comparison := []partition.Partitioner{
-			lppart.XtraPuLP{Seed: o.Seed},
-			sheep.Sheep{Seed: o.Seed},
-			dneP(o.Seed),
+			method("xtrapulp"), method("sheep"), method("dne"),
 		}
 		for _, pr := range comparison {
 			cells := []any{pr.Name()}
 			for _, ef := range efs {
 				g := gen.RMAT(sc, ef, o.Seed+int64(ef))
-				run := bench.Execute(pr, g, parts)
+				run := bench.Execute(o.ctx(), pr, g, partition.NewSpec(parts, o.Seed))
 				if run.Err != nil {
 					return fmt.Errorf("fig8rmat %s EF=%d: %w", pr.Name(), ef, run.Err)
 				}
@@ -212,15 +233,15 @@ func Fig9(o Options) error {
 		g := spec.Build(o.Shift)
 		cells := []any{spec.Name}
 		for _, pr := range []partition.Partitioner{
-			&metispart.METIS{Seed: o.Seed},
-			sheep.Sheep{Seed: o.Seed},
+			method("metis"),
+			method("sheep"),
 			// X.P. runs as DistLP: the distributed label-propagation
 			// implementation, whose footprint includes the vertex-partitioned
 			// layout's edge replication across machines.
-			&lppart.DistLP{Seed: o.Seed},
-			dneP(o.Seed),
+			method("distlp"),
+			method("dne"),
 		} {
-			run := bench.Execute(pr, g, parts)
+			run := bench.Execute(o.ctx(), pr, g, partition.NewSpec(parts, o.Seed))
 			if run.Err != nil {
 				return fmt.Errorf("fig9 %s: %w", pr.Name(), run.Err)
 			}
@@ -238,8 +259,8 @@ func Fig9(o Options) error {
 	for _, ef := range efs {
 		g := gen.RMAT(11+o.Shift, ef, o.Seed)
 		cells := []any{fmt.Sprintf("RMAT s%d EF%d", 11+o.Shift, ef)}
-		for _, pr := range []partition.Partitioner{&lppart.DistLP{Seed: o.Seed}, dneP(o.Seed)} {
-			run := bench.Execute(pr, g, parts)
+		for _, pr := range []partition.Partitioner{method("distlp"), method("dne")} {
+			run := bench.Execute(o.ctx(), pr, g, partition.NewSpec(parts, o.Seed))
 			if run.Err != nil {
 				return fmt.Errorf("fig9 rmat %s: %w", pr.Name(), run.Err)
 			}
@@ -270,14 +291,11 @@ func Fig10(o Options) error {
 		}
 		t := &bench.Table{Header: header}
 		for _, pr := range []partition.Partitioner{
-			&metispart.METIS{Seed: o.Seed},
-			sheep.Sheep{Seed: o.Seed},
-			lppart.XtraPuLP{Seed: o.Seed},
-			dneP(o.Seed),
+			method("metis"), method("sheep"), method("xtrapulp"), method("dne"),
 		} {
 			cells := []any{pr.Name()}
 			for _, parts := range partsList {
-				run := bench.Execute(pr, g, parts)
+				run := bench.Execute(o.ctx(), pr, g, partition.NewSpec(parts, o.Seed))
 				if run.Err != nil {
 					return fmt.Errorf("fig10 %s: %w", pr.Name(), run.Err)
 				}
@@ -306,14 +324,12 @@ func Fig10EF(o Options) error {
 	}
 	t := &bench.Table{Header: header}
 	for _, pr := range []partition.Partitioner{
-		sheep.Sheep{Seed: o.Seed},
-		lppart.XtraPuLP{Seed: o.Seed},
-		dneP(o.Seed),
+		method("sheep"), method("xtrapulp"), method("dne"),
 	} {
 		cells := []any{pr.Name()}
 		for _, ef := range efs {
 			g := gen.RMAT(scale, ef, o.Seed+int64(ef))
-			run := bench.Execute(pr, g, parts)
+			run := bench.Execute(o.ctx(), pr, g, partition.NewSpec(parts, o.Seed))
 			if run.Err != nil {
 				return fmt.Errorf("fig10ef %s: %w", pr.Name(), run.Err)
 			}
@@ -344,14 +360,12 @@ func Fig10Scale(o Options) error {
 	}
 	t := &bench.Table{Header: header}
 	for _, pr := range []partition.Partitioner{
-		sheep.Sheep{Seed: o.Seed},
-		lppart.XtraPuLP{Seed: o.Seed},
-		dneP(o.Seed),
+		method("sheep"), method("xtrapulp"), method("dne"),
 	} {
 		cells := []any{pr.Name()}
 		for _, sc := range scales {
 			g := gen.RMAT(sc, ef, o.Seed+int64(sc))
-			run := bench.Execute(pr, g, parts)
+			run := bench.Execute(o.ctx(), pr, g, partition.NewSpec(parts, o.Seed))
 			if run.Err != nil {
 				return fmt.Errorf("fig10scale %s: %w", pr.Name(), run.Err)
 			}
@@ -393,7 +407,7 @@ func Fig10J(o Options) error {
 			cfg := dne.DefaultConfig()
 			cfg.Seed = o.Seed
 			start := time.Now()
-			res, err := dne.Partition(g, m, cfg)
+			res, err := dne.PartitionCtx(o.ctx(), g, m, cfg)
 			if err != nil {
 				return fmt.Errorf("fig10j m=%d ef=%d: %w", m, ef, err)
 			}
@@ -416,10 +430,7 @@ func Table4(o Options) error {
 	}
 	fmt.Fprintf(o.out(), "Table 4 — comparison with sequential algorithms (%d partitions)\n\n", parts)
 	prs := []partition.Partitioner{
-		streampart.HDRF{Seed: o.Seed},
-		nepart.NE{Seed: o.Seed},
-		streampart.SNE{Seed: o.Seed},
-		dneP(o.Seed),
+		method("hdrf"), method("ne"), method("sne"), method("dne"),
 	}
 	tRF := &bench.Table{Header: append([]string{"RF"}, specNames(specs)...)}
 	tTime := &bench.Table{Header: append([]string{"Time(s)"}, specNames(specs)...)}
@@ -431,7 +442,7 @@ func Table4(o Options) error {
 		rfCells := []any{pr.Name()}
 		timeCells := []any{pr.Name()}
 		for i := range specs {
-			run := bench.Execute(pr, graphs[i], parts)
+			run := bench.Execute(o.ctx(), pr, graphs[i], partition.NewSpec(parts, o.Seed))
 			if run.Err != nil {
 				return fmt.Errorf("table4 %s: %w", pr.Name(), run.Err)
 			}
@@ -459,11 +470,7 @@ func Table5(o Options) error {
 		specs = specs[:1]
 	}
 	prs := []partition.Partitioner{
-		hashpart.Random{Seed: uint64(o.Seed)},
-		hashpart.Grid{Seed: uint64(o.Seed)},
-		hashpart.Oblivious{Seed: o.Seed},
-		hashpart.HybridGinger{Seed: uint64(o.Seed)},
-		dneP(o.Seed),
+		method("random"), method("grid"), method("oblivious"), method("ginger"), method("dne"),
 	}
 	fmt.Fprintf(o.out(), "Table 5 — graph applications on %d partitions (PageRank: %d iterations)\n", parts, o.prIters())
 	for _, spec := range specs {
@@ -476,11 +483,12 @@ func Table5(o Options) error {
 			"PR ET", "PR COM(MB)", "PR WB",
 		}}
 		for _, pr := range prs {
-			pt, err := pr.Partition(g, parts)
+			res, err := pr.Partition(o.ctx(), g, partition.NewSpec(parts, o.Seed))
 			if err != nil {
 				return fmt.Errorf("table5 %s: %w", pr.Name(), err)
 			}
-			q := pt.Measure(g)
+			pt := res.Partitioning
+			q := res.Quality
 			cells := []any{pr.Name(), q.ReplicationFactor, q.EdgeBalance, q.VertexBalance}
 			for _, app := range []string{"sssp", "wcc", "pr"} {
 				e := engine.New(g, pt)
@@ -514,14 +522,8 @@ func Table6(o Options) error {
 	}
 	fmt.Fprintf(o.out(), "Table 6 — replication factor of road networks (%d partitions)\n\n", parts)
 	prs := []partition.Partitioner{
-		hashpart.Random{Seed: uint64(o.Seed)},
-		hashpart.Grid{Seed: uint64(o.Seed)},
-		hashpart.Oblivious{Seed: o.Seed},
-		hashpart.HybridGinger{Seed: uint64(o.Seed)},
-		&metispart.METIS{Seed: o.Seed},
-		sheep.Sheep{Seed: o.Seed},
-		lppart.XtraPuLP{Seed: o.Seed},
-		dneP(o.Seed),
+		method("random"), method("grid"), method("oblivious"), method("ginger"),
+		method("metis"), method("sheep"), method("xtrapulp"), method("dne"),
 	}
 	header := []string{"graph"}
 	for _, pr := range prs {
@@ -532,7 +534,7 @@ func Table6(o Options) error {
 		g := rd.Build(o.Shift)
 		cells := []any{rd.Name}
 		for _, pr := range prs {
-			run := bench.Execute(pr, g, parts)
+			run := bench.Execute(o.ctx(), pr, g, partition.NewSpec(parts, o.Seed))
 			if run.Err != nil {
 				return fmt.Errorf("table6 %s: %w", pr.Name(), run.Err)
 			}

@@ -25,7 +25,7 @@ func ExtDynamic(o Options) error {
 		scale = 8
 	}
 	snapshot := gen.RMAT(scale, 16, o.Seed)
-	res, err := dne.Partition(snapshot, 16, dneCfg(o.Seed))
+	res, err := dne.PartitionCtx(o.ctx(), snapshot, 16, dneCfg(o.Seed))
 	if err != nil {
 		return err
 	}
@@ -56,7 +56,7 @@ func ExtDynamic(o Options) error {
 		applied = hi
 		// Full re-partition of the current edge set for comparison.
 		cur := graph.FromEdges(0, d.Edges())
-		fres, err := dne.Partition(cur, 16, dneCfg(o.Seed))
+		fres, err := dne.PartitionCtx(o.ctx(), cur, 16, dneCfg(o.Seed))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package hashpart
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/distributedne/dne/internal/bitset"
@@ -24,11 +25,17 @@ type Oblivious struct {
 	Seed int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (Oblivious) Name() string { return "Obli." }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (o Oblivious) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return o.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the greedy stream loop; it polls ctx every
+// partition.CheckEvery edges.
+func (o Oblivious) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	p := partition.New(numParts, g.NumEdges())
 	replicas := make([]bitset.Set, g.NumVertices())
 	for v := range replicas {
@@ -38,7 +45,10 @@ func (o Oblivious) Partition(g *graph.Graph, numParts int) (*partition.Partition
 	scratch := bitset.New(numParts)
 	rng := rand.New(rand.NewSource(o.Seed))
 	order := rng.Perm(int(g.NumEdges()))
-	for _, i := range order {
+	for n, i := range order {
+		if err := checkEdge(ctx, n); err != nil {
+			return nil, err
+		}
 		e := g.Edge(int64(i))
 		q := greedyPlace(replicas[e.U], replicas[e.V], sizes, scratch)
 		p.Owner[i] = q
@@ -102,11 +112,17 @@ type HybridGinger struct {
 	Passes    int
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (HybridGinger) Name() string { return "H.G." }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (hg HybridGinger) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return hg.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx runs hybrid-cut plus Ginger refinement; it polls ctx once
+// per vertex scan and per re-materialisation pass.
+func (hg HybridGinger) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	thr := hg.Threshold
 	if thr <= 0 {
 		thr = 100
@@ -116,7 +132,7 @@ func (hg HybridGinger) Partition(g *graph.Graph, numParts int) (*partition.Parti
 		passes = 5
 	}
 	hy := Hybrid{Seed: hg.Seed, Threshold: thr}
-	p, err := hy.Partition(g, numParts)
+	p, err := hy.PartitionCtx(ctx, g, numParts)
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +154,9 @@ func (hg HybridGinger) Partition(g *graph.Graph, numParts int) (*partition.Parti
 	for pass := 0; pass < passes; pass++ {
 		moved := 0
 		for v := 0; v < n; v++ {
+			if err := checkEdge(ctx, v); err != nil {
+				return nil, err
+			}
 			if !isGrouped[v] {
 				continue
 			}

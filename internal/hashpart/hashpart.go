@@ -7,6 +7,8 @@
 package hashpart
 
 import (
+	"context"
+
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/partition"
 )
@@ -21,19 +23,36 @@ func splitmix64(x uint64) uint64 {
 
 func hashU32(v uint32, salt uint64) uint64 { return splitmix64(uint64(v) ^ salt) }
 
+// checkEdge polls ctx every partition.CheckEvery edges of a hash loop.
+func checkEdge(ctx context.Context, i int) error {
+	if i%partition.CheckEvery == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // Random is 1D hash partitioning: every edge lands on a uniformly random
 // partition.
 type Random struct {
 	Seed uint64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (Random) Name() string { return "Rand." }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (r Random) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return r.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the hash loop; it polls ctx every partition.CheckEvery
+// edges.
+func (r Random) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	p := partition.New(numParts, g.NumEdges())
 	for i, e := range g.Edges() {
+		if err := checkEdge(ctx, i); err != nil {
+			return nil, err
+		}
 		h := splitmix64(uint64(e.U)<<32 | uint64(e.V) ^ r.Seed)
 		p.Owner[i] = int32(h % uint64(numParts))
 	}
@@ -47,11 +66,17 @@ type Grid struct {
 	Seed uint64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (Grid) Name() string { return "2D-R." }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (gr Grid) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return gr.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the hash loop; it polls ctx every partition.CheckEvery
+// edges.
+func (gr Grid) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	r := 1
 	for (r+1)*(r+1) <= numParts {
 		r++
@@ -59,6 +84,9 @@ func (gr Grid) Partition(g *graph.Graph, numParts int) (*partition.Partitioning,
 	c := (numParts + r - 1) / r
 	p := partition.New(numParts, g.NumEdges())
 	for i, e := range g.Edges() {
+		if err := checkEdge(ctx, i); err != nil {
+			return nil, err
+		}
 		gi := int(hashU32(e.U, 0xDEC0DE^gr.Seed) % uint64(r))
 		gj := int(hashU32(e.V, 0xC0FFEE^gr.Seed) % uint64(c))
 		p.Owner[i] = int32((gi*c + gj) % numParts)
@@ -73,13 +101,22 @@ type DBH struct {
 	Seed uint64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (DBH) Name() string { return "DBH" }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (d DBH) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return d.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the hash loop; it polls ctx every partition.CheckEvery
+// edges.
+func (d DBH) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	p := partition.New(numParts, g.NumEdges())
 	for i, e := range g.Edges() {
+		if err := checkEdge(ctx, i); err != nil {
+			return nil, err
+		}
 		pivot := e.U
 		if g.Degree(e.V) < g.Degree(e.U) {
 			pivot = e.V
@@ -99,17 +136,26 @@ type Hybrid struct {
 	Threshold int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (Hybrid) Name() string { return "Hybrid" }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (h Hybrid) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return h.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the hash loop; it polls ctx every partition.CheckEvery
+// edges.
+func (h Hybrid) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	thr := h.Threshold
 	if thr <= 0 {
 		thr = 100
 	}
 	p := partition.New(numParts, g.NumEdges())
 	for i, e := range g.Edges() {
+		if err := checkEdge(ctx, i); err != nil {
+			return nil, err
+		}
 		p.Owner[i] = h.owner(g, e, thr, numParts)
 	}
 	return p, nil

@@ -2,6 +2,7 @@ package hyperpart
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -158,6 +159,15 @@ func (h *frontierHeap) Pop() any {
 
 // Partition implements Partitioner.
 func (ne NE) Partition(h *Hypergraph, numParts int) (*Partitioning, error) {
+	return ne.PartitionCtx(context.Background(), h, numParts)
+}
+
+// PartitionCtx is the expansion core; it polls ctx once per round-robin
+// expansion round.
+func (ne NE) PartitionCtx(ctx context.Context, h *Hypergraph, numParts int) (*Partitioning, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if numParts <= 0 {
 		return nil, fmt.Errorf("hyperpart: numParts must be positive, got %d", numParts)
 	}
@@ -239,6 +249,9 @@ func (ne NE) Partition(h *Hypergraph, numParts int) (*Partitioning, error) {
 		active[q] = true
 	}
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		progressed := false
 		for q := 0; q < numParts; q++ {
 			if !active[q] {

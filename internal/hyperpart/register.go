@@ -1,0 +1,37 @@
+package hyperpart
+
+import (
+	"context"
+
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/methods"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+func init() {
+	// hyperne bridges the hypergraph-native NE onto ordinary graphs: the
+	// graph is viewed as a 2-uniform hypergraph (one hyperedge per edge, in
+	// canonical order), so the hyperedge assignment IS the edge assignment.
+	methods.Register(methods.Descriptor{
+		Name:    "hyperne",
+		Aliases: []string{"h-ne"},
+		Summary: "hypergraph neighbor expansion applied to the graph's 2-uniform hypergraph view (§8 extension)",
+		Params: []methods.ParamSpec{
+			{Name: "alpha", Kind: methods.Float, Default: 1.1, Doc: "pin-balance cap α ≥ 1", Min: 1, Max: 16, HasBounds: true},
+		},
+		Factory: func() partition.Partitioner {
+			return partition.Method{Label: "H-NE", Core: func(ctx context.Context, g *graph.Graph, spec partition.Spec) (*partition.Partitioning, error) {
+				hp, err := NE{
+					Alpha: spec.Float("alpha", 1.1),
+					Seed:  spec.Seed,
+				}.PartitionCtx(ctx, FromGraph(g), spec.NumParts)
+				if err != nil {
+					return nil, err
+				}
+				p := partition.New(spec.NumParts, g.NumEdges())
+				copy(p.Owner, hp.Owner)
+				return p, nil
+			}}
+		},
+	})
+}

@@ -1,6 +1,7 @@
 package lppart
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -88,11 +89,22 @@ func init() {
 	cluster.RegisterBody(edgeOwnerBody{})
 }
 
-// Partition implements partition.Partitioner by running the distributed
-// label propagation on numParts in-process machines and converting the
-// vertex labels to an edge partitioning (§7.1 conversion, done distributed:
-// each edge is converted by the machine owning its canonical U endpoint).
+// Partition runs the distributed label propagation on numParts in-process
+// machines and converts the vertex labels to an edge partitioning (§7.1
+// conversion, done distributed: each edge is converted by the machine
+// owning its canonical U endpoint).
 func (d *DistLP) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return d.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is Partition with cancellation: each superstep ends with a
+// collective all-gather of the machines' cancel flags, so every machine
+// aborts at the same superstep boundary and the lock-step protocol stays
+// deadlock-free.
+func (d *DistLP) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if numParts <= 0 {
 		return nil, fmt.Errorf("lppart: numParts must be positive, got %d", numParts)
 	}
@@ -108,7 +120,7 @@ func (d *DistLP) Partition(g *graph.Graph, numParts int) (*partition.Partitionin
 	p := partition.New(numParts, g.NumEdges())
 	stats := make([]DistLPStats, numParts)
 	err := c.Run(func(comm cluster.Comm) error {
-		return d.runMachine(comm, g, iters, capacity, &stats[comm.Rank()], p.Owner)
+		return d.runMachine(ctx, comm, g, iters, capacity, &stats[comm.Rank()], p.Owner)
 	})
 	if err != nil {
 		return nil, err
@@ -126,7 +138,7 @@ func (d *DistLP) Partition(g *graph.Graph, numParts int) (*partition.Partitionin
 	return p, nil
 }
 
-func (d *DistLP) runMachine(comm cluster.Comm, g *graph.Graph, iters int, capacity float64, st *DistLPStats, ownerOut []int32) error {
+func (d *DistLP) runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, iters int, capacity float64, st *DistLPStats, ownerOut []int32) error {
 	pCount := comm.Size()
 	rank := comm.Rank()
 	owner := func(v graph.Vertex) int { return int(v) % pCount }
@@ -222,7 +234,20 @@ func (d *DistLP) runMachine(comm cluster.Comm, g *graph.Graph, iters int, capaci
 			localLoad[labels[v]] += g.Degree(v)
 		}
 		loads = cluster.AllGatherSumVec(comm, localLoad)
-		if cluster.AllGatherSum(comm, moved) == 0 {
+		movedSum := cluster.AllGatherSum(comm, moved)
+		var cancelFlag int64
+		if ctx.Err() != nil {
+			cancelFlag = 1
+		}
+		// Decide on the gathered flag (identical on every machine), not the
+		// racy local ctx, so all machines return at the same superstep.
+		if cluster.AllGatherSum(comm, cancelFlag) > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return context.Canceled
+		}
+		if movedSum == 0 {
 			break
 		}
 	}

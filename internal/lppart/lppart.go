@@ -7,6 +7,7 @@
 package lppart
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/distributedne/dne/internal/graph"
@@ -41,11 +42,18 @@ type Spinner struct {
 	Seed     int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (Spinner) Name() string { return "Spinner" }
 
 // Labels runs the label propagation and returns the vertex labels.
 func (s Spinner) Labels(g *graph.Graph, numParts int) []int32 {
+	labels, _ := s.LabelsCtx(context.Background(), g, numParts)
+	return labels
+}
+
+// LabelsCtx is the label-propagation core; it polls ctx every
+// partition.CheckEvery vertex visits.
+func (s Spinner) LabelsCtx(ctx context.Context, g *graph.Graph, numParts int) ([]int32, error) {
 	iters := s.Iterations
 	if iters <= 0 {
 		iters = 20
@@ -67,6 +75,11 @@ func (s Spinner) Labels(g *graph.Graph, numParts int) []int32 {
 	for it := 0; it < iters; it++ {
 		moved := 0
 		for v := 0; v < n; v++ {
+			if v%partition.CheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			for q := range counts {
 				counts[q] = 0
 			}
@@ -94,12 +107,22 @@ func (s Spinner) Labels(g *graph.Graph, numParts int) []int32 {
 			break
 		}
 	}
-	return labels
+	return labels, nil
 }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (s Spinner) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return VertexToEdge(g, s.Labels(g, numParts), numParts, s.Seed+1), nil
+	return s.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx runs the label propagation under ctx and converts the vertex
+// labels to an edge partitioning.
+func (s Spinner) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	labels, err := s.LabelsCtx(ctx, g, numParts)
+	if err != nil {
+		return nil, err
+	}
+	return VertexToEdge(g, labels, numParts, s.Seed+1), nil
 }
 
 // score is the Spinner objective: neighbor affinity scaled by remaining
@@ -121,11 +144,18 @@ type XtraPuLP struct {
 	Seed       int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (XtraPuLP) Name() string { return "X.P." }
 
 // Labels computes the vertex labels.
 func (x XtraPuLP) Labels(g *graph.Graph, numParts int) []int32 {
+	labels, _ := x.LabelsCtx(context.Background(), g, numParts)
+	return labels
+}
+
+// LabelsCtx is the BFS-seeding + constrained-LP core; it polls ctx every
+// partition.CheckEvery vertex visits.
+func (x XtraPuLP) LabelsCtx(ctx context.Context, g *graph.Graph, numParts int) ([]int32, error) {
 	iters := x.Iterations
 	if iters <= 0 {
 		iters = 16
@@ -150,7 +180,11 @@ func (x XtraPuLP) Labels(g *graph.Graph, numParts int) []int32 {
 		}
 	}
 	active := true
+	visited := 0
 	for active {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		active = false
 		for q := 0; q < numParts; q++ {
 			if len(queues[q]) == 0 {
@@ -190,6 +224,12 @@ func (x XtraPuLP) Labels(g *graph.Graph, numParts int) []int32 {
 		edgePhase := it%2 == 1
 		moved := 0
 		for v := 0; v < n; v++ {
+			visited++
+			if visited%partition.CheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			for q := range counts {
 				counts[q] = 0
 			}
@@ -225,10 +265,20 @@ func (x XtraPuLP) Labels(g *graph.Graph, numParts int) []int32 {
 			break
 		}
 	}
-	return labels
+	return labels, nil
 }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (x XtraPuLP) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return VertexToEdge(g, x.Labels(g, numParts), numParts, x.Seed+1), nil
+	return x.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx runs the partitioner under ctx and converts the vertex
+// labels to an edge partitioning.
+func (x XtraPuLP) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	labels, err := x.LabelsCtx(ctx, g, numParts)
+	if err != nil {
+		return nil, err
+	}
+	return VertexToEdge(g, labels, numParts, x.Seed+1), nil
 }

@@ -9,7 +9,12 @@ import (
 	"github.com/distributedne/dne/internal/partition"
 )
 
-func validate(t *testing.T, p partition.Partitioner, g *graph.Graph, parts int) partition.Quality {
+type edgePartitioner interface {
+	Name() string
+	Partition(*graph.Graph, int) (*partition.Partitioning, error)
+}
+
+func validate(t *testing.T, p edgePartitioner, g *graph.Graph, parts int) partition.Quality {
 	t.Helper()
 	pt, err := p.Partition(g, parts)
 	if err != nil {

@@ -11,6 +11,7 @@
 package metispart
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/distributedne/dne/internal/graph"
@@ -32,7 +33,7 @@ type METIS struct {
 	memLevels int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (*METIS) Name() string { return "ParMETIS" }
 
 // MemBytes returns the analytic memory footprint (all coarsening levels) of
@@ -50,8 +51,17 @@ type level struct {
 	fine2coarse []int32
 }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (m *METIS) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return m.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the multilevel core; it polls ctx between coarsening
+// levels and refinement passes (each is a bounded amount of work).
+func (m *METIS) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	coarsest := m.CoarsestSize
 	if coarsest <= 0 {
 		coarsest = 32 * numParts
@@ -74,6 +84,9 @@ func (m *METIS) Partition(g *graph.Graph, numParts int) (*partition.Partitioning
 		maxW = 2
 	}
 	for levels[len(levels)-1].n > coarsest {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur := levels[len(levels)-1]
 		next := coarsen(cur, rng, maxW)
 		if next.n > cur.n*97/100 {
@@ -90,6 +103,9 @@ func (m *METIS) Partition(g *graph.Graph, numParts int) (*partition.Partitioning
 
 	// Uncoarsen with refinement.
 	for li := len(levels) - 1; li > 0; li-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		refine(levels[li], labels, numParts, passes)
 		fine := levels[li-1]
 		fineLabels := make([]int32, fine.n)

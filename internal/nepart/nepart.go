@@ -6,6 +6,7 @@ package nepart
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"math/rand"
 
@@ -20,7 +21,7 @@ type NE struct {
 	Seed  int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (NE) Name() string { return "NE" }
 
 // Partition implements partition.Partitioner. Partitions are grown one at a
@@ -28,6 +29,12 @@ func (NE) Name() string { return "NE" }
 // vertex with minimal remaining degree, allocating its free edges plus any
 // two-hop edges that fall inside the partition's vertex set (Condition (5)).
 func (ne NE) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return ne.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the expansion core; it polls ctx every
+// partition.CheckEvery allocated edges.
+func (ne NE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	alpha := ne.Alpha
 	if alpha == 0 {
 		alpha = 1.1
@@ -67,6 +74,11 @@ func (ne NE) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, e
 			budget = totalE - allocated
 		}
 		for count < budget && allocated < totalE {
+			if allocated%partition.CheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			var v graph.Vertex
 			if bnd.len() > 0 {
 				v = bnd.popMin()

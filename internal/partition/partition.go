@@ -144,12 +144,3 @@ func (p *Partitioning) VertexSets(g *graph.Graph) []int64 {
 	}
 	return counts
 }
-
-// Partitioner is implemented by every edge-partitioning algorithm in this
-// repository.
-type Partitioner interface {
-	// Name returns the short label used in experiment tables.
-	Name() string
-	// Partition computes a numParts-way edge partitioning of g.
-	Partition(g *graph.Graph, numParts int) (*Partitioning, error)
-}

@@ -14,6 +14,7 @@
 package sheep
 
 import (
+	"context"
 	"sort"
 
 	"github.com/distributedne/dne/internal/graph"
@@ -28,11 +29,20 @@ type Sheep struct {
 	Seed  int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (Sheep) Name() string { return "Sheep" }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (s Sheep) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return s.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the elimination-tree core; it polls ctx between phases
+// and every partition.CheckEvery vertices/edges inside them.
+func (s Sheep) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	alpha := s.Alpha
 	if alpha == 0 {
 		alpha = 1.1
@@ -77,6 +87,11 @@ func (s Sheep) Partition(g *graph.Graph, numParts int) (*partition.Partitioning,
 	// parent on the unfilled graph).
 	parent := make([]int32, n)
 	for v := 0; v < n; v++ {
+		if v%partition.CheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		parent[v] = -1
 		best := int32(-1)
 		for _, u := range g.Neighbors(graph.Vertex(v)) {
@@ -95,6 +110,11 @@ func (s Sheep) Partition(g *graph.Graph, numParts int) (*partition.Partitioning,
 	nodeWeight := make([]int64, n)
 	edgeNode := make([]int32, totalE)
 	for i, e := range g.Edges() {
+		if i%partition.CheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		node := e.U
 		if rank[e.V] < rank[e.U] {
 			node = e.V

@@ -1,6 +1,7 @@
 package streampart
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -28,11 +29,17 @@ type Fennel struct {
 	Seed int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (Fennel) Name() string { return "FENNEL" }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (f Fennel) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return f.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the streaming core; it polls ctx every
+// partition.CheckEvery edges.
+func (f Fennel) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	gamma := f.Gamma
 	if gamma == 0 {
 		gamma = 1.5
@@ -54,7 +61,12 @@ func (f Fennel) Partition(g *graph.Graph, numParts int) (*partition.Partitioning
 
 	rng := rand.New(rand.NewSource(f.Seed))
 	order := rng.Perm(int(totalE))
-	for _, i := range order {
+	for n, i := range order {
+		if n%partition.CheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := g.Edge(int64(i))
 		best := int32(0)
 		bestScore := math.Inf(-1)

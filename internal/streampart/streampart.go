@@ -5,6 +5,7 @@
 package streampart
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/distributedne/dne/internal/bitset"
@@ -28,11 +29,17 @@ type HDRF struct {
 	Seed   int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (HDRF) Name() string { return "HDRF" }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (h HDRF) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return h.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the streaming core; it polls ctx every
+// partition.CheckEvery edges.
+func (h HDRF) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	lambda := h.Lambda
 	if lambda == 0 {
 		lambda = 1.0
@@ -47,7 +54,12 @@ func (h HDRF) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, 
 	rng := rand.New(rand.NewSource(h.Seed))
 	order := rng.Perm(int(g.NumEdges()))
 	const eps = 1.0
-	for _, i := range order {
+	for n, i := range order {
+		if n%partition.CheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := g.Edge(int64(i))
 		du, dv := float64(g.Degree(e.U)), float64(g.Degree(e.V))
 		thetaU := du / (du + dv)
@@ -99,11 +111,17 @@ type SNE struct {
 	Seed    int64
 }
 
-// Name implements partition.Partitioner.
+// Name returns the display label.
 func (SNE) Name() string { return "SNE" }
 
-// Partition implements partition.Partitioner.
+// Partition computes the assignment without cancellation support.
 func (s SNE) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+	return s.PartitionCtx(context.Background(), g, numParts)
+}
+
+// PartitionCtx is the streaming core; it polls ctx every
+// partition.CheckEvery processed edges (closure sweeps included).
+func (s SNE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	alpha := s.Alpha
 	if alpha == 0 {
 		alpha = 1.1
@@ -130,6 +148,14 @@ func (s SNE) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, e
 
 	rng := rand.New(rand.NewSource(s.Seed))
 	order := rng.Perm(int(totalE))
+	var processed int
+	checkCtx := func() error {
+		processed++
+		if processed%partition.CheckEvery == 0 {
+			return ctx.Err()
+		}
+		return nil
+	}
 	per := (len(order) + windows - 1) / windows
 	for w := 0; w < windows; w++ {
 		lo := w * per
@@ -150,6 +176,9 @@ func (s SNE) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, e
 			var defer2 []int
 			assignedAny := false
 			for _, i := range rest {
+				if err := checkCtx(); err != nil {
+					return nil, err
+				}
 				e := g.Edge(int64(i))
 				if bitset.IntersectInto(scratch, replicas[e.U], replicas[e.V]) {
 					if q := leastLoadedIn(scratch, sizes, capEdges); q >= 0 {
@@ -170,6 +199,9 @@ func (s SNE) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, e
 		// (extending that partition's frontier cheaply), else the globally
 		// least-loaded partition.
 		for _, i := range rest {
+			if err := checkCtx(); err != nil {
+				return nil, err
+			}
 			e := g.Edge(int64(i))
 			lowDeg := e.U
 			if g.Degree(e.V) < g.Degree(e.U) {

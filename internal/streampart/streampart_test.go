@@ -11,7 +11,12 @@ import (
 
 func testGraph() *graph.Graph { return gen.RMAT(11, 8, 6) }
 
-func run(t *testing.T, p partition.Partitioner, parts int) partition.Quality {
+type edgePartitioner interface {
+	Name() string
+	Partition(*graph.Graph, int) (*partition.Partitioning, error)
+}
+
+func run(t *testing.T, p edgePartitioner, parts int) partition.Quality {
 	t.Helper()
 	g := testGraph()
 	pt, err := p.Partition(g, parts)
@@ -88,7 +93,7 @@ func TestSNEWindowsParameter(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	g := testGraph()
-	for _, p := range []partition.Partitioner{HDRF{Seed: 4}, SNE{Seed: 4}} {
+	for _, p := range []edgePartitioner{HDRF{Seed: 4}, SNE{Seed: 4}} {
 		a, _ := p.Partition(g, 8)
 		b, _ := p.Partition(g, 8)
 		for i := range a.Owner {
