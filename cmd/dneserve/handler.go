@@ -86,7 +86,19 @@ type errorBody struct {
 }
 
 func newHandler(maxEdges int64, reqTimeout time.Duration) http.Handler {
+	h, _ := newHandlerWithStores(maxEdges, reqTimeout, defaultMaxStores, "")
+	return h
+}
+
+// newHandlerWithStores is newHandler plus store-registry configuration:
+// maxStores bounds resident stores, and a non-empty storeDir persists every
+// built store as a snapshot and restores them at startup (restore errors
+// are returned, not fatal).
+func newHandlerWithStores(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir string) (http.Handler, []error) {
 	mux := http.NewServeMux()
+	registry := newStoreRegistry(maxStores, storeDir)
+	restoreErrs := registry.restore()
+	registry.register(mux, maxEdges, reqTimeout)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -124,7 +136,7 @@ func newHandler(maxEdges int64, reqTimeout time.Duration) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	return mux
+	return mux, restoreErrs
 }
 
 func servePartition(ctx context.Context, req *Request, maxEdges int64) (*Response, int, error) {

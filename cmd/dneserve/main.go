@@ -5,9 +5,15 @@
 //
 // Endpoints:
 //
-//	GET  /healthz            liveness probe
-//	GET  /api/methods        JSON list of method names
-//	POST /api/partition      partition a graph (JSON; see Request)
+//	GET    /healthz              liveness probe
+//	GET    /api/methods          JSON list of method names
+//	POST   /api/partition        partition a graph (JSON; see Request)
+//	POST   /api/store/build      partition a graph and materialize a sharded
+//	                             query store (JSON; see StoreBuildRequest)
+//	GET    /api/store            list resident stores with serving metrics
+//	DELETE /api/store/{id}       drop a store
+//	POST   /api/query/neighbors  point lookups against a store
+//	POST   /api/query/khop       k-hop BFS fanned out across the shards
 //
 // A request supplies either explicit edges or a synthetic-generator spec:
 //
@@ -30,11 +36,17 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxEdges := flag.Int64("max-edges", 5_000_000, "reject requests beyond this edge count")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request partitioning deadline (0 = none)")
+	maxStores := flag.Int("max-stores", defaultMaxStores, "maximum resident query stores")
+	storeDir := flag.String("store-dir", "", "persist store snapshots here and restore them at startup")
 	flag.Parse()
 
+	handler, restoreErrs := newHandlerWithStores(*maxEdges, *timeout, *maxStores, *storeDir)
+	for _, err := range restoreErrs {
+		log.Printf("dneserve: restoring store snapshot: %v", err)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newHandler(*maxEdges, *timeout),
+		Handler: handler,
 		// Partitioning runs under its own deadline (-timeout); these bound
 		// slow clients on the read/write side.
 		ReadHeaderTimeout: 10 * time.Second,

@@ -1,0 +1,545 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/methods"
+	"github.com/distributedne/dne/internal/partition"
+	"github.com/distributedne/dne/internal/store"
+)
+
+// The store endpoints turn the partitioning service into an online serving
+// layer: /api/store/build partitions a graph and materializes the result
+// into a sharded store; /api/query/* serve point and traversal queries
+// against it, reporting the cross-shard fan-out each query paid. With
+// -store-dir set, every built store is snapshotted to disk and restored on
+// restart, so a server comes back without re-partitioning.
+
+// defaultMaxStores bounds how many stores a server holds at once.
+const defaultMaxStores = 16
+
+// maxKHop bounds traversal depth per query.
+const maxKHop = 32
+
+// maxNeighborsBatch bounds the vertices of one /api/query/neighbors call.
+const maxNeighborsBatch = 1024
+
+// snapExt is the snapshot file extension under -store-dir.
+const snapExt = ".dns"
+
+var storeNameRE = regexp.MustCompile(`^[a-zA-Z0-9_-]{1,64}$`)
+
+// storeEntry is one resident store with its build provenance.
+type storeEntry struct {
+	info StoreInfo
+	st   *store.Store
+}
+
+// storeRegistry is the server's mutable state: the resident stores, keyed
+// by id. Queries hold no lock while running — the registry lock only guards
+// the map, and stores themselves are immutable.
+type storeRegistry struct {
+	mu        sync.Mutex
+	stores    map[string]*storeEntry
+	nextID    int
+	maxStores int
+	dir       string // "" disables persistence
+}
+
+func newStoreRegistry(maxStores int, dir string) *storeRegistry {
+	if maxStores <= 0 {
+		maxStores = defaultMaxStores
+	}
+	return &storeRegistry{stores: map[string]*storeEntry{}, maxStores: maxStores, dir: dir}
+}
+
+// StoreBuildRequest is the /api/store/build body: the same graph sources and
+// partitioner selection as /api/partition, plus an optional store name.
+type StoreBuildRequest struct {
+	Method string         `json:"method"`
+	Parts  int            `json:"parts"`
+	Seed   int64          `json:"seed,omitempty"`
+	Params map[string]any `json:"params,omitempty"`
+	Edges  [][2]uint32    `json:"edges,omitempty"`
+	RMAT   *RMATSpec      `json:"rmat,omitempty"`
+	// Name is the store id; a fresh "sN" is assigned when empty.
+	Name string `json:"name,omitempty"`
+}
+
+// ShardInfo summarizes one shard of a store.
+type ShardInfo struct {
+	Edges    int64 `json:"edges"`
+	Vertices int   `json:"vertices"`
+}
+
+// StoreInfo describes a resident store.
+type StoreInfo struct {
+	Store             string      `json:"store"`
+	Method            string      `json:"method"`
+	Parts             int         `json:"parts"`
+	NumVertices       uint32      `json:"numVertices"`
+	NumEdges          int64       `json:"numEdges"`
+	ReplicationFactor float64     `json:"replicationFactor"`
+	Quality           *Quality    `json:"quality,omitempty"`
+	Shards            []ShardInfo `json:"shards"`
+	PartitionMS       float64     `json:"partitionMs,omitempty"`
+	BuildMS           float64     `json:"buildMs,omitempty"`
+	// Restored is set when the store was loaded from a snapshot instead of
+	// built this run.
+	Restored bool `json:"restored,omitempty"`
+}
+
+// StoreStatus is StoreInfo plus the live serving counters.
+type StoreStatus struct {
+	StoreInfo
+	Metrics store.Metrics `json:"metrics"`
+}
+
+// NeighborsRequest queries one vertex or a batch.
+type NeighborsRequest struct {
+	Store    string   `json:"store"`
+	Vertex   *uint32  `json:"vertex,omitempty"`
+	Vertices []uint32 `json:"vertices,omitempty"`
+}
+
+// VertexNeighbors is one vertex's answer.
+type VertexNeighbors struct {
+	Vertex    uint32   `json:"vertex"`
+	Degree    int64    `json:"degree"`
+	Neighbors []uint32 `json:"neighbors"`
+}
+
+// NeighborsResponse reports the batch plus the cross-shard cost it paid.
+type NeighborsResponse struct {
+	Store          string            `json:"store"`
+	Results        []VertexNeighbors `json:"results"`
+	CrossShardHops int64             `json:"crossShardHops"`
+	ElapsedMS      float64           `json:"elapsedMs"`
+}
+
+// KHopRequest asks for the k-hop neighborhood of a vertex.
+type KHopRequest struct {
+	Store  string `json:"store"`
+	Vertex uint32 `json:"vertex"`
+	K      int    `json:"k"`
+}
+
+// KHopResponse reports the traversal and its serving cost.
+type KHopResponse struct {
+	Store          string   `json:"store"`
+	Source         uint32   `json:"source"`
+	K              int      `json:"k"`
+	Visited        int      `json:"visited"`
+	Vertices       []uint32 `json:"vertices"`
+	Depths         []int32  `json:"depths"`
+	LevelSizes     []int64  `json:"levelSizes"`
+	CrossShardHops int64    `json:"crossShardHops"`
+	ShardTasks     int64    `json:"shardTasks"`
+	ElapsedMS      float64  `json:"elapsedMs"`
+}
+
+// register wires the store/query endpoints onto mux.
+func (sr *storeRegistry) register(mux *http.ServeMux, maxEdges int64, reqTimeout time.Duration) {
+	mux.HandleFunc("POST /api/store/build", func(w http.ResponseWriter, r *http.Request) {
+		var req StoreBuildRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+			return
+		}
+		ctx := r.Context()
+		if reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, reqTimeout)
+			defer cancel()
+		}
+		info, status, err := sr.buildStore(ctx, &req, maxEdges)
+		if err != nil {
+			body := errorBody{Error: err.Error()}
+			var perr *methods.ParamError
+			if errors.As(err, &perr) {
+				body.Method = perr.Method
+				body.DeclaredParams = perr.Declared
+			}
+			writeJSON(w, status, body)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("GET /api/store", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sr.list())
+	})
+	mux.HandleFunc("DELETE /api/store/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !sr.drop(id) {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no store %q", id)})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /api/query/neighbors", func(w http.ResponseWriter, r *http.Request) {
+		var req NeighborsRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+			return
+		}
+		ctx := r.Context()
+		if reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, reqTimeout)
+			defer cancel()
+		}
+		resp, status, err := sr.serveNeighbors(ctx, &req)
+		if err != nil {
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /api/query/khop", func(w http.ResponseWriter, r *http.Request) {
+		var req KHopRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+			return
+		}
+		ctx := r.Context()
+		if reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, reqTimeout)
+			defer cancel()
+		}
+		resp, status, err := sr.serveKHop(ctx, &req)
+		if err != nil {
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+func (sr *storeRegistry) buildStore(ctx context.Context, req *StoreBuildRequest, maxEdges int64) (*StoreInfo, int, error) {
+	if req.Parts <= 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("parts must be positive, got %d", req.Parts)
+	}
+	if req.Method == "" {
+		req.Method = "dne"
+	}
+	if req.Name != "" && !storeNameRE.MatchString(req.Name) {
+		return nil, http.StatusBadRequest, fmt.Errorf("store name %q must match %s", req.Name, storeNameRE)
+	}
+	preq := &Request{Method: req.Method, Parts: req.Parts, Seed: req.Seed,
+		Params: req.Params, Edges: req.Edges, RMAT: req.RMAT}
+	g, err := buildGraph(preq, maxEdges)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if g.NumEdges() == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("graph has no edges")
+	}
+	spec := partition.Spec{NumParts: req.Parts, Seed: req.Seed, Params: req.Params}
+	pr, spec, err := methods.New(req.Method, spec)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	res, err := pr.Partition(ctx, g, spec)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout, fmt.Errorf("partitioning timed out: %w", err)
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+	buildStart := time.Now()
+	st, err := store.Build(g, res)
+	if err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("materializing store: %w", err)
+	}
+	q := res.Quality
+	info := StoreInfo{
+		Method:            pr.Name(),
+		Parts:             req.Parts,
+		NumVertices:       st.NumVertices(),
+		NumEdges:          st.NumEdges(),
+		ReplicationFactor: st.ReplicationFactor(),
+		Quality: &Quality{
+			ReplicationFactor: q.ReplicationFactor,
+			EdgeBalance:       q.EdgeBalance,
+			VertexBalance:     q.VertexBalance,
+			VertexCuts:        q.VertexCuts,
+		},
+		Shards:      shardInfos(st),
+		PartitionMS: float64(res.Stats.Wall.Microseconds()) / 1000,
+		BuildMS:     float64(time.Since(buildStart).Microseconds()) / 1000,
+	}
+	added, err := sr.add(req.Name, info, st)
+	if err != nil {
+		return nil, http.StatusConflict, err
+	}
+	return added, http.StatusOK, nil
+}
+
+func shardInfos(st *store.Store) []ShardInfo {
+	out := make([]ShardInfo, st.NumShards())
+	for s := range out {
+		out[s] = ShardInfo{Edges: st.ShardEdges(s), Vertices: st.ShardVertices(s)}
+	}
+	return out
+}
+
+// add registers a built store under name (or a fresh id) and persists it.
+func (sr *storeRegistry) add(name string, info StoreInfo, st *store.Store) (*StoreInfo, error) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.stores) >= sr.maxStores {
+		return nil, fmt.Errorf("server already holds %d stores; DELETE /api/store/{id} first", len(sr.stores))
+	}
+	if name == "" {
+		for {
+			sr.nextID++
+			name = fmt.Sprintf("s%d", sr.nextID)
+			if _, taken := sr.stores[name]; !taken {
+				break
+			}
+		}
+	} else if _, taken := sr.stores[name]; taken {
+		return nil, fmt.Errorf("store %q already exists", name)
+	}
+	info.Store = name
+	sr.stores[name] = &storeEntry{info: info, st: st}
+	if sr.dir != "" {
+		if err := sr.persist(name, info, st); err != nil {
+			delete(sr.stores, name)
+			return nil, fmt.Errorf("persisting store: %w", err)
+		}
+	}
+	return &info, nil
+}
+
+func (sr *storeRegistry) get(id string) (*storeEntry, bool) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	e, ok := sr.stores[id]
+	return e, ok
+}
+
+func (sr *storeRegistry) list() []StoreStatus {
+	sr.mu.Lock()
+	entries := make([]*storeEntry, 0, len(sr.stores))
+	for _, e := range sr.stores {
+		entries = append(entries, e)
+	}
+	sr.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].info.Store < entries[j].info.Store })
+	out := make([]StoreStatus, len(entries))
+	for i, e := range entries {
+		out[i] = StoreStatus{StoreInfo: e.info, Metrics: e.st.Metrics()}
+	}
+	return out
+}
+
+func (sr *storeRegistry) drop(id string) bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if _, ok := sr.stores[id]; !ok {
+		return false
+	}
+	delete(sr.stores, id)
+	if sr.dir != "" {
+		os.Remove(filepath.Join(sr.dir, id+snapExt))
+		os.Remove(filepath.Join(sr.dir, id+".json"))
+	}
+	return true
+}
+
+// persist writes the snapshot plus a JSON sidecar with build provenance. A
+// failed write removes the partial snapshot so a later restart does not
+// trip over a truncated file.
+func (sr *storeRegistry) persist(name string, info StoreInfo, st *store.Store) error {
+	if err := os.MkdirAll(sr.dir, 0o755); err != nil {
+		return err
+	}
+	snapPath := filepath.Join(sr.dir, name+snapExt)
+	f, err := os.Create(snapPath)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteSnapshot(f, st); err != nil {
+		f.Close()
+		os.Remove(snapPath)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(snapPath)
+		return err
+	}
+	meta, err := json.Marshal(info)
+	if err == nil {
+		err = os.WriteFile(filepath.Join(sr.dir, name+".json"), meta, 0o644)
+	}
+	if err != nil {
+		os.Remove(snapPath)
+		return err
+	}
+	return nil
+}
+
+// restore loads every snapshot under dir; corrupt files are skipped with an
+// error list so one bad file doesn't take the server down.
+func (sr *storeRegistry) restore() []error {
+	if sr.dir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(sr.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return []error{err}
+	}
+	var errs []error
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), snapExt) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), snapExt)
+		if !storeNameRE.MatchString(name) {
+			continue
+		}
+		f, err := os.Open(filepath.Join(sr.dir, de.Name()))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		st, err := store.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", de.Name(), err))
+			continue
+		}
+		info := StoreInfo{
+			Store:             name,
+			Method:            "unknown",
+			Parts:             st.NumShards(),
+			NumVertices:       st.NumVertices(),
+			NumEdges:          st.NumEdges(),
+			ReplicationFactor: st.ReplicationFactor(),
+			Shards:            shardInfos(st),
+			Restored:          true,
+		}
+		if meta, err := os.ReadFile(filepath.Join(sr.dir, name+".json")); err == nil {
+			var saved StoreInfo
+			if json.Unmarshal(meta, &saved) == nil && saved.Method != "" {
+				info.Method = saved.Method
+				info.Quality = saved.Quality
+			}
+		}
+		sr.mu.Lock()
+		if len(sr.stores) < sr.maxStores {
+			sr.stores[name] = &storeEntry{info: info, st: st}
+			sr.mu.Unlock()
+		} else {
+			sr.mu.Unlock()
+			errs = append(errs, fmt.Errorf("%s: not restored, server already holds %d stores (-max-stores)",
+				de.Name(), sr.maxStores))
+		}
+	}
+	return errs
+}
+
+func (sr *storeRegistry) serveNeighbors(ctx context.Context, req *NeighborsRequest) (*NeighborsResponse, int, error) {
+	e, ok := sr.get(req.Store)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("no store %q (POST /api/store/build first)", req.Store)
+	}
+	var vs []uint32
+	switch {
+	case req.Vertex != nil && len(req.Vertices) > 0:
+		return nil, http.StatusBadRequest, fmt.Errorf("supply vertex or vertices, not both")
+	case req.Vertex != nil:
+		vs = []uint32{*req.Vertex}
+	case len(req.Vertices) > maxNeighborsBatch:
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%d vertices exceed batch cap %d", len(req.Vertices), maxNeighborsBatch)
+	case len(req.Vertices) > 0:
+		vs = req.Vertices
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("supply vertex or vertices")
+	}
+	start := time.Now()
+	resp := &NeighborsResponse{Store: req.Store, Results: make([]VertexNeighbors, 0, len(vs))}
+	for _, v := range vs {
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return nil, http.StatusGatewayTimeout, err
+			}
+			return nil, http.StatusRequestTimeout, err
+		}
+		ns, err := e.st.Neighbors(graph.Vertex(v))
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		reps := e.st.Replicas(graph.Vertex(v))
+		if len(reps) > 1 {
+			resp.CrossShardHops += int64(len(reps) - 1)
+		}
+		out := make([]uint32, len(ns))
+		for i, n := range ns {
+			out[i] = uint32(n)
+		}
+		resp.Results = append(resp.Results, VertexNeighbors{
+			Vertex: v, Degree: int64(len(ns)), Neighbors: out,
+		})
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, http.StatusOK, nil
+}
+
+func (sr *storeRegistry) serveKHop(ctx context.Context, req *KHopRequest) (*KHopResponse, int, error) {
+	e, ok := sr.get(req.Store)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("no store %q (POST /api/store/build first)", req.Store)
+	}
+	if req.K < 0 || req.K > maxKHop {
+		return nil, http.StatusBadRequest, fmt.Errorf("k %d outside [0,%d]", req.K, maxKHop)
+	}
+	start := time.Now()
+	res, err := e.st.KHop(ctx, graph.Vertex(req.Vertex), req.K)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	resp := &KHopResponse{
+		Store:          req.Store,
+		Source:         req.Vertex,
+		K:              req.K,
+		Visited:        len(res.Vertices),
+		Vertices:       make([]uint32, len(res.Vertices)),
+		Depths:         res.Depths,
+		LevelSizes:     res.LevelSizes,
+		CrossShardHops: res.CrossShardHops,
+		ShardTasks:     res.ShardTasks,
+		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, v := range res.Vertices {
+		resp.Vertices[i] = uint32(v)
+	}
+	return resp, http.StatusOK, nil
+}

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+)
+
+// ringEdges returns a cycle 0-1-...-n-1-0 plus chords so BFS levels are
+// non-trivial.
+func ringEdges(n uint32) [][2]uint32 {
+	edges := make([][2]uint32, 0, 2*n)
+	for i := uint32(0); i < n; i++ {
+		edges = append(edges, [2]uint32{i, (i + 1) % n})
+	}
+	for i := uint32(0); i < n; i += 5 {
+		edges = append(edges, [2]uint32{i, (i + n/2) % n})
+	}
+	return edges
+}
+
+func buildTestStore(t *testing.T, h http.Handler, req StoreBuildRequest) StoreInfo {
+	t.Helper()
+	rec := doJSON(t, h, http.MethodPost, "/api/store/build", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("store build status %d: %s", rec.Code, rec.Body)
+	}
+	var info StoreInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestStoreBuildAndList(t *testing.T) {
+	h := newHandler(100_000, time.Minute)
+	info := buildTestStore(t, h, StoreBuildRequest{
+		Method: "hdrf", Parts: 4, Edges: ringEdges(100),
+	})
+	if info.Store == "" || info.Method != "HDRF" || info.Parts != 4 {
+		t.Fatalf("info %+v", info)
+	}
+	if info.ReplicationFactor < 1 || len(info.Shards) != 4 {
+		t.Fatalf("info %+v", info)
+	}
+	var totalEdges int64
+	for _, s := range info.Shards {
+		totalEdges += s.Edges
+	}
+	if totalEdges != info.NumEdges {
+		t.Errorf("shard edges %d != total %d", totalEdges, info.NumEdges)
+	}
+
+	rec := doJSON(t, h, http.MethodGet, "/api/store", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	var list []StoreStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Store != info.Store {
+		t.Fatalf("list %+v", list)
+	}
+
+	if rec := doJSON(t, h, http.MethodDelete, "/api/store/"+info.Store, nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete status %d", rec.Code)
+	}
+	if rec := doJSON(t, h, http.MethodDelete, "/api/store/"+info.Store, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete status %d", rec.Code)
+	}
+}
+
+func TestQueryNeighbors(t *testing.T) {
+	h := newHandler(100_000, time.Minute)
+	info := buildTestStore(t, h, StoreBuildRequest{
+		Method: "random", Parts: 4, Seed: 3, Edges: [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}},
+	})
+	v := uint32(0)
+	rec := doJSON(t, h, http.MethodPost, "/api/query/neighbors",
+		NeighborsRequest{Store: info.Store, Vertex: &v})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp NeighborsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Degree != 3 {
+		t.Fatalf("resp %+v", resp)
+	}
+	if got := resp.Results[0].Neighbors; len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("neighbors %v", got)
+	}
+
+	rec = doJSON(t, h, http.MethodPost, "/api/query/neighbors",
+		NeighborsRequest{Store: info.Store, Vertices: []uint32{1, 2}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("batch resp %+v", resp)
+	}
+}
+
+// TestQueryKHopMatchesOracle is the serving acceptance check: the endpoint's
+// answer equals a BFS oracle computed directly on the request edges.
+func TestQueryKHopMatchesOracle(t *testing.T) {
+	h := newHandler(100_000, time.Minute)
+	edges := ringEdges(60)
+	info := buildTestStore(t, h, StoreBuildRequest{Method: "dne", Parts: 5, Seed: 2, Edges: edges})
+
+	// Oracle BFS on the adjacency implied by the request edges.
+	adj := map[uint32][]uint32{}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	oracle := func(src uint32, k int) map[uint32]int32 {
+		dist := map[uint32]int32{src: 0}
+		frontier := []uint32{src}
+		for d := int32(1); int(d) <= k && len(frontier) > 0; d++ {
+			var next []uint32
+			for _, u := range frontier {
+				for _, w := range adj[u] {
+					if _, seen := dist[w]; !seen {
+						dist[w] = d
+						next = append(next, w)
+					}
+				}
+			}
+			frontier = next
+		}
+		return dist
+	}
+
+	for _, tc := range []struct {
+		src uint32
+		k   int
+	}{{0, 0}, {0, 1}, {7, 2}, {30, 3}, {59, 4}} {
+		rec := doJSON(t, h, http.MethodPost, "/api/query/khop",
+			KHopRequest{Store: info.Store, Vertex: tc.src, K: tc.k})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("khop(%d,%d) status %d: %s", tc.src, tc.k, rec.Code, rec.Body)
+		}
+		var resp KHopResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want := oracle(tc.src, tc.k)
+		if resp.Visited != len(want) || len(resp.Vertices) != len(want) {
+			t.Fatalf("khop(%d,%d) visited %d, oracle %d", tc.src, tc.k, resp.Visited, len(want))
+		}
+		for i, v := range resp.Vertices {
+			d, ok := want[v]
+			if !ok || d != resp.Depths[i] {
+				t.Fatalf("khop(%d,%d): vertex %d depth %d, oracle %d (found %v)",
+					tc.src, tc.k, v, resp.Depths[i], d, ok)
+			}
+		}
+		// Depth ordering invariant: sorted by (depth, id).
+		if !sort.SliceIsSorted(resp.Vertices, func(i, j int) bool {
+			if resp.Depths[i] != resp.Depths[j] {
+				return resp.Depths[i] < resp.Depths[j]
+			}
+			return resp.Vertices[i] < resp.Vertices[j]
+		}) {
+			t.Fatalf("khop(%d,%d) output not depth-ordered", tc.src, tc.k)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	h := newHandler(100_000, time.Minute)
+	info := buildTestStore(t, h, StoreBuildRequest{
+		Method: "random", Parts: 2, Edges: [][2]uint32{{0, 1}, {1, 2}},
+	})
+	v := uint32(0)
+	cases := []struct {
+		name string
+		path string
+		body any
+		code int
+	}{
+		{"unknown store", "/api/query/neighbors", NeighborsRequest{Store: "nope", Vertex: &v}, http.StatusNotFound},
+		{"no vertex", "/api/query/neighbors", NeighborsRequest{Store: info.Store}, http.StatusBadRequest},
+		{"both vertex forms", "/api/query/neighbors",
+			NeighborsRequest{Store: info.Store, Vertex: &v, Vertices: []uint32{1}}, http.StatusBadRequest},
+		{"vertex out of range", "/api/query/neighbors",
+			NeighborsRequest{Store: info.Store, Vertices: []uint32{999}}, http.StatusBadRequest},
+		{"batch too large", "/api/query/neighbors",
+			NeighborsRequest{Store: info.Store, Vertices: make([]uint32, maxNeighborsBatch+1)},
+			http.StatusRequestEntityTooLarge},
+		{"khop unknown store", "/api/query/khop", KHopRequest{Store: "nope", Vertex: 0, K: 1}, http.StatusNotFound},
+		{"khop k too large", "/api/query/khop", KHopRequest{Store: info.Store, Vertex: 0, K: 1000}, http.StatusBadRequest},
+		{"khop bad vertex", "/api/query/khop", KHopRequest{Store: info.Store, Vertex: 999, K: 1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := doJSON(t, h, http.MethodPost, c.path, c.body)
+		if rec.Code != c.code {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, rec.Code, c.code, rec.Body)
+		}
+	}
+}
+
+func TestStoreBuildErrors(t *testing.T) {
+	h := newHandler(100, time.Minute)
+	cases := []struct {
+		name string
+		req  StoreBuildRequest
+		code int
+	}{
+		{"no graph", StoreBuildRequest{Method: "dne", Parts: 2}, http.StatusBadRequest},
+		{"bad parts", StoreBuildRequest{Method: "dne", Parts: 0, Edges: [][2]uint32{{0, 1}}}, http.StatusBadRequest},
+		{"unknown method", StoreBuildRequest{Method: "nope", Parts: 2, Edges: [][2]uint32{{0, 1}}}, http.StatusBadRequest},
+		{"bad name", StoreBuildRequest{Method: "random", Parts: 2, Name: "../evil",
+			Edges: [][2]uint32{{0, 1}}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := doJSON(t, h, http.MethodPost, "/api/store/build", c.req)
+		if rec.Code != c.code {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, rec.Code, c.code, rec.Body)
+		}
+	}
+}
+
+func TestStoreNameCollisionAndCap(t *testing.T) {
+	h, errs := newHandlerWithStores(100_000, time.Minute, 2, "")
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	req := StoreBuildRequest{Method: "random", Parts: 2, Name: "mine", Edges: [][2]uint32{{0, 1}, {1, 2}}}
+	if rec := doJSON(t, h, http.MethodPost, "/api/store/build", req); rec.Code != http.StatusOK {
+		t.Fatalf("first build: %d", rec.Code)
+	}
+	if rec := doJSON(t, h, http.MethodPost, "/api/store/build", req); rec.Code != http.StatusConflict {
+		t.Fatalf("name collision status %d, want 409", rec.Code)
+	}
+	req.Name = "other"
+	if rec := doJSON(t, h, http.MethodPost, "/api/store/build", req); rec.Code != http.StatusOK {
+		t.Fatalf("second build: %d", rec.Code)
+	}
+	req.Name = "overflow"
+	if rec := doJSON(t, h, http.MethodPost, "/api/store/build", req); rec.Code != http.StatusConflict {
+		t.Fatalf("cap overflow status %d, want 409", rec.Code)
+	}
+}
+
+// TestStorePersistenceAcrossRestart: a store built with -store-dir set is
+// served again by a fresh handler over the same directory — the restart
+// path the snapshot format exists for.
+func TestStorePersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	h1, errs := newHandlerWithStores(100_000, time.Minute, 4, dir)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	info := buildTestStore(t, h1, StoreBuildRequest{
+		Method: "hdrf", Parts: 3, Name: "persisted", Edges: ringEdges(50),
+	})
+
+	h2, errs := newHandlerWithStores(100_000, time.Minute, 4, dir)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	rec := doJSON(t, h2, http.MethodGet, "/api/store", nil)
+	var list []StoreStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Store != "persisted" || !list[0].Restored {
+		t.Fatalf("restored list %+v", list)
+	}
+	if list[0].Method != "HDRF" {
+		t.Errorf("restored method %q, want HDRF (sidecar lost)", list[0].Method)
+	}
+	if list[0].NumEdges != info.NumEdges || list[0].ReplicationFactor != info.ReplicationFactor {
+		t.Errorf("restored shape %+v != built %+v", list[0].StoreInfo, info)
+	}
+
+	// Queries against the restored store answer identically.
+	v := uint32(10)
+	recA := doJSON(t, h1, http.MethodPost, "/api/query/neighbors", NeighborsRequest{Store: "persisted", Vertex: &v})
+	recB := doJSON(t, h2, http.MethodPost, "/api/query/neighbors", NeighborsRequest{Store: "persisted", Vertex: &v})
+	if recA.Code != http.StatusOK || recB.Code != http.StatusOK {
+		t.Fatalf("query status %d / %d", recA.Code, recB.Code)
+	}
+	var a, b NeighborsResponse
+	if err := json.Unmarshal(recA.Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recB.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != 1 || len(b.Results) != 1 || a.Results[0].Degree != b.Results[0].Degree {
+		t.Fatalf("restored answers diverge: %+v vs %+v", a, b)
+	}
+	for i := range a.Results[0].Neighbors {
+		if a.Results[0].Neighbors[i] != b.Results[0].Neighbors[i] {
+			t.Fatalf("restored neighbors diverge at %d", i)
+		}
+	}
+
+	// Deleting on the restored server removes the snapshot files too.
+	if rec := doJSON(t, h2, http.MethodDelete, "/api/store/persisted", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete status %d", rec.Code)
+	}
+	h3, _ := newHandlerWithStores(100_000, time.Minute, 4, dir)
+	rec = doJSON(t, h3, http.MethodGet, "/api/store", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("deleted store came back: %+v", list)
+	}
+}

@@ -1,0 +1,132 @@
+// Command loadgen measures the online serving cost of edge partitionings.
+// It partitions one graph with each requested method, materializes every
+// result into a sharded query store (internal/store), drives an identical
+// query workload against each store, and prints a table comparing
+// throughput, latency percentiles, and — the point of the exercise —
+// cross-shard hops per query, the serving-time analogue of the paper's
+// replication factor.
+//
+//	loadgen -methods random,hdrf,dne -parts 8 -rmat-scale 12 -rmat-ef 8 \
+//	        -queries 5000 -workers 8 -khop-ratio 0.3 -k 2
+//
+// A method with a lower replication factor routes fewer mirror fetches, so
+// its hops/query column is correspondingly lower for the same workload.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/distributedne/dne/internal/bench"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
+	"github.com/distributedne/dne/internal/partition"
+	"github.com/distributedne/dne/internal/store"
+)
+
+func main() {
+	methodList := flag.String("methods", "random,hdrf,dne", "comma-separated partitioning methods to compare")
+	parts := flag.Int("parts", 8, "number of shards (partitions)")
+	seed := flag.Int64("seed", 1, "partitioner seed")
+
+	graphPath := flag.String("graph", "", "binary graph file (DNE1); overrides -rmat-*")
+	rmatScale := flag.Int("rmat-scale", 12, "RMAT scale (2^scale vertices) when no -graph is given")
+	rmatEF := flag.Int("rmat-ef", 8, "RMAT edge factor")
+	graphSeed := flag.Int64("graph-seed", 1, "RMAT generator seed")
+
+	queries := flag.Int("queries", 5000, "queries per method")
+	qps := flag.Float64("qps", 0, "target aggregate QPS (0 = closed loop)")
+	workers := flag.Int("workers", 8, "concurrent query workers")
+	khopRatio := flag.Float64("khop-ratio", 0.3, "fraction of queries that are k-hop traversals")
+	k := flag.Int("k", 2, "traversal depth of k-hop queries")
+	workloadSeed := flag.Int64("workload-seed", 7, "query-selection seed (same seed = identical workload)")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	g, err := loadGraph(*graphPath, *rmatScale, *rmatEF, *graphSeed)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	fmt.Printf("graph: %v, %d shards, %d queries/method (%.0f%% khop k=%d, workers=%d",
+		g, *parts, *queries, *khopRatio*100, *k, *workers)
+	if *qps > 0 {
+		fmt.Printf(", %.0f qps", *qps)
+	}
+	fmt.Println(")")
+
+	table := &bench.Table{Header: []string{
+		"method", "rf", "part(s)", "build(s)", "qps", "p50(ms)", "p95(ms)", "p99(ms)", "hops/query", "imbalance",
+	}}
+	cfg := bench.ServingConfig{
+		Queries:   *queries,
+		QPS:       *qps,
+		Workers:   *workers,
+		KHopRatio: *khopRatio,
+		KHopK:     *k,
+		Seed:      *workloadSeed,
+	}
+	for _, name := range strings.Split(*methodList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec := partition.NewSpec(*parts, *seed)
+		pr, spec, err := methods.New(name, spec)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		res, err := pr.Partition(ctx, g, spec)
+		if err != nil {
+			log.Fatalf("loadgen: %s: partition: %v", name, err)
+		}
+		buildStart := time.Now()
+		st, err := store.Build(g, res)
+		if err != nil {
+			log.Fatalf("loadgen: %s: store build: %v", name, err)
+		}
+		buildElapsed := time.Since(buildStart)
+		rep, err := bench.RunServing(ctx, st, cfg)
+		if err != nil {
+			log.Fatalf("loadgen: %s: workload: %v", name, err)
+		}
+		table.Add(
+			pr.Name(),
+			res.Quality.ReplicationFactor,
+			res.Stats.PartitionTime(),
+			buildElapsed,
+			fmt.Sprintf("%.0f", rep.Throughput),
+			ms(rep.LatencyP50),
+			ms(rep.LatencyP95),
+			ms(rep.LatencyP99),
+			rep.HopsPerQuery,
+			rep.TouchImbalance,
+		)
+	}
+	table.Print(os.Stdout)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+func loadGraph(path string, scale, ef int, seed int64) (*graph.Graph, error) {
+	if path == "" {
+		return gen.RMAT(scale, ef, seed), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadBinary(f)
+}

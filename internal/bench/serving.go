@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/store"
+)
+
+// ServingConfig describes one online workload run against a store: a mix of
+// neighbor lookups and k-hop traversals over uniformly random vertices,
+// issued by Workers concurrent clients at a target QPS.
+type ServingConfig struct {
+	// Queries is the total number of queries to issue.
+	Queries int
+	// QPS is the target aggregate query rate; 0 runs closed-loop (each
+	// worker issues its next query as soon as the previous one returns).
+	QPS float64
+	// Workers is the number of concurrent clients (default 4).
+	Workers int
+	// KHopRatio in [0,1] is the fraction of queries that are KHop
+	// traversals; the rest are Neighbors lookups.
+	KHopRatio float64
+	// KHopK is the traversal depth of KHop queries (default 2).
+	KHopK int
+	// Seed drives vertex and query-kind selection; equal seeds issue the
+	// identical workload, so two stores can be compared query-for-query.
+	Seed int64
+}
+
+func (c ServingConfig) withDefaults() ServingConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.KHopK <= 0 {
+		c.KHopK = 2
+	}
+	return c
+}
+
+// ServingReport is the measured outcome of a serving workload: throughput,
+// latency percentiles, and the cross-shard traffic the store's partitioning
+// induced — the online counterpart of the offline replication factor.
+type ServingReport struct {
+	Queries    int64
+	Elapsed    time.Duration
+	Throughput float64 // queries per second
+
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+	LatencyMax time.Duration
+
+	// CrossShardHops is the total replica fetches beyond the first; see
+	// store.Metrics. HopsPerQuery is the per-query average.
+	CrossShardHops int64
+	HopsPerQuery   float64
+	ShardTasks     int64
+	// TouchImbalance is max/mean per-shard touches (1.0 = perfectly even).
+	TouchImbalance float64
+}
+
+// RunServing drives cfg's workload against st and reports the measured
+// serving cost. The store's metrics are reset at the start, so the report
+// reflects exactly this run.
+func RunServing(ctx context.Context, st *store.Store, cfg ServingConfig) (ServingReport, error) {
+	cfg = cfg.withDefaults()
+	if st.NumVertices() == 0 {
+		return ServingReport{}, fmt.Errorf("bench: serving over an empty store")
+	}
+	if cfg.Queries <= 0 {
+		return ServingReport{}, fmt.Errorf("bench: non-positive query count %d", cfg.Queries)
+	}
+
+	// Pre-generate the workload so equal seeds issue identical queries
+	// regardless of worker interleaving.
+	type query struct {
+		v    graph.Vertex
+		khop bool
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queries := make([]query, cfg.Queries)
+	for i := range queries {
+		queries[i] = query{
+			v:    graph.Vertex(rng.Intn(int(st.NumVertices()))),
+			khop: rng.Float64() < cfg.KHopRatio,
+		}
+	}
+
+	st.ResetMetrics()
+	latencies := make([]time.Duration, cfg.Queries)
+	var next atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Queries) || firstErr.Load() != nil {
+					return
+				}
+				if cfg.QPS > 0 {
+					// Open-loop pacing: query i is due at start + i/QPS.
+					due := start.Add(time.Duration(float64(i) / cfg.QPS * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							firstErr.CompareAndSwap(nil, ctx.Err())
+							return
+						}
+					}
+				}
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				q := queries[i]
+				qStart := time.Now()
+				var err error
+				if q.khop {
+					_, err = st.KHop(ctx, q.v, cfg.KHopK)
+				} else {
+					_, err = st.Neighbors(q.v)
+				}
+				latencies[i] = time.Since(qStart)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return ServingReport{}, err
+	}
+
+	m := st.Metrics()
+	rep := ServingReport{
+		Queries:        int64(cfg.Queries),
+		Elapsed:        elapsed,
+		CrossShardHops: m.CrossShardHops,
+		HopsPerQuery:   m.HopsPerQuery(),
+		ShardTasks:     m.ShardTasks,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(cfg.Queries) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.LatencyP50 = percentile(latencies, 0.50)
+	rep.LatencyP95 = percentile(latencies, 0.95)
+	rep.LatencyP99 = percentile(latencies, 0.99)
+	rep.LatencyMax = latencies[len(latencies)-1]
+	var sum, max int64
+	for _, c := range m.PerShardTouches {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum > 0 {
+		rep.TouchImbalance = float64(max) / (float64(sum) / float64(len(m.PerShardTouches)))
+	}
+	return rep, nil
+}
+
+// percentile reads quantile q from sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

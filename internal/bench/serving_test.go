@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
+	"github.com/distributedne/dne/internal/store"
+)
+
+func servingStore(t *testing.T, g *graph.Graph, parts int, seed int64) *store.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := partition.New(parts, g.NumEdges())
+	for i := range p.Owner {
+		p.Owner[i] = int32(rng.Intn(parts))
+	}
+	st, err := store.BuildPartitioning(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRunServingClosedLoop(t *testing.T) {
+	g := gen.RMAT(8, 8, 3)
+	st := servingStore(t, g, 4, 3)
+	rep, err := RunServing(context.Background(), st, ServingConfig{
+		Queries:   200,
+		Workers:   4,
+		KHopRatio: 0.3,
+		KHopK:     2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 200 {
+		t.Errorf("queries = %d", rep.Queries)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v", rep.Throughput)
+	}
+	if rep.LatencyP50 > rep.LatencyP95 || rep.LatencyP95 > rep.LatencyP99 || rep.LatencyP99 > rep.LatencyMax {
+		t.Errorf("percentiles not monotone: %v %v %v %v",
+			rep.LatencyP50, rep.LatencyP95, rep.LatencyP99, rep.LatencyMax)
+	}
+	if rep.CrossShardHops <= 0 {
+		t.Error("random 4-way partitioning served with zero cross-shard hops")
+	}
+	if rep.TouchImbalance < 1 {
+		t.Errorf("touch imbalance %v < 1", rep.TouchImbalance)
+	}
+	if got := st.Metrics().Queries(); got != 200 {
+		t.Errorf("store recorded %d queries", got)
+	}
+}
+
+func TestRunServingPaced(t *testing.T) {
+	g := gen.ER(200, 800, 5)
+	st := servingStore(t, g, 3, 5)
+	rep, err := RunServing(context.Background(), st, ServingConfig{
+		Queries: 50,
+		QPS:     5000,
+		Workers: 2,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 50 {
+		t.Errorf("queries = %d", rep.Queries)
+	}
+	// Open-loop pacing stretches the run to roughly Queries/QPS.
+	if min := 50.0 / 5000; rep.Elapsed.Seconds() < min/2 {
+		t.Errorf("paced run finished in %v, expected ≳ %vs", rep.Elapsed, min)
+	}
+}
+
+func TestRunServingSameSeedSameHops(t *testing.T) {
+	g := gen.RMAT(8, 6, 7)
+	st := servingStore(t, g, 5, 7)
+	cfg := ServingConfig{Queries: 100, Workers: 3, KHopRatio: 0.5, KHopK: 2, Seed: 11}
+	a, err := RunServing(context.Background(), st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServing(context.Background(), st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CrossShardHops != b.CrossShardHops {
+		t.Errorf("same workload, different hops: %d vs %d", a.CrossShardHops, b.CrossShardHops)
+	}
+}
+
+func TestRunServingErrors(t *testing.T) {
+	g := gen.ER(100, 300, 1)
+	st := servingStore(t, g, 2, 1)
+	if _, err := RunServing(context.Background(), st, ServingConfig{Queries: 0}); err == nil {
+		t.Error("zero queries accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunServing(ctx, st, ServingConfig{Queries: 100}); err == nil {
+		t.Error("cancelled context not honored")
+	}
+}

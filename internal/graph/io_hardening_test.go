@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// TestReadBinaryRejectsOutOfRangeEndpoint: a corrupt edge endpoint beyond
+// the declared vertex count must error, not panic in FromEdges.
+func TestReadBinaryRejectsOutOfRangeEndpoint(t *testing.T) {
+	g := FromEdges(0, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[16:], 1<<30) // first edge's U
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+// TestReadBinaryRejectsTruncation: every strict prefix errors.
+func TestReadBinaryRejectsTruncation(t *testing.T) {
+	edges := make([]Edge, 0, 1000)
+	for i := uint32(0); i < 1000; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	g := FromEdges(0, edges)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 8, 15, 16, 20, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestReadBinaryHostileEdgeCount: a header declaring 2^40 edges over a tiny
+// body must fail on the short read without a huge up-front allocation.
+func TestReadBinaryHostileEdgeCount(t *testing.T) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 100)
+	binary.LittleEndian.PutUint64(hdr[8:], 1<<40)
+	body := append(hdr[:], make([]byte, 256)...)
+	if _, err := ReadBinary(bytes.NewReader(body)); err == nil {
+		t.Error("hostile edge count accepted")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a graph")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+// TestWriteEdgeListMatchesFprintf pins the fast AppendUint formatting to
+// the exact bytes the old Fprintf produced.
+func TestWriteEdgeListMatchesFprintf(t *testing.T) {
+	g := FromEdges(0, []Edge{{0, 1}, {7, 2}, {1048576, 123456789}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	want := "0 1\n2 7\n1048576 123456789\n"
+	if buf.String() != want {
+		t.Errorf("WriteEdgeList = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestBinaryLargeRoundTrip crosses the write-side page boundary so the
+// batched writer's flush path is exercised.
+func TestBinaryLargeRoundTrip(t *testing.T) {
+	edges := make([]Edge, 0, ioPageEdges+100)
+	for i := uint32(0); i < ioPageEdges+100; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	g := FromEdges(0, edges)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %v vs %v", g2, g)
+	}
+	for i, e := range g.Edges() {
+		if g2.Edge(int64(i)) != e {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}

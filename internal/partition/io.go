@@ -17,8 +17,20 @@ import (
 // binMagic identifies the binary partitioning format ("DNP1").
 const binMagic = 0x444e5031
 
+// maxPrealloc caps slice preallocation driven by untrusted header counts: a
+// hostile edge count past this bound grows incrementally and fails on the
+// short read instead of attempting a huge up-front allocation.
+const maxPrealloc = 1 << 20
+
+// maxParts bounds the header part count: anything above this is a corrupt
+// or hostile file, not a plausible partitioning.
+const maxParts = 1 << 24
+
+// ioPageOwners is the number of owners batched per binary read/write (16 KiB).
+const ioPageOwners = 4096
+
 // WriteBinary writes p as: magic, numParts (uint32), numEdges (uint64), then
-// one little-endian int32 owner per edge.
+// one little-endian int32 owner per edge, batched into page-sized writes.
 func WriteBinary(w io.Writer, p *Partitioning) error {
 	bw := bufio.NewWriter(w)
 	var hdr [16]byte
@@ -28,17 +40,28 @@ func WriteBinary(w io.Writer, p *Partitioning) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	var buf [4]byte
+	buf := make([]byte, 0, ioPageOwners*4)
 	for _, o := range p.Owner {
-		binary.LittleEndian.PutUint32(buf[:], uint32(o))
-		if _, err := bw.Write(buf[:]); err != nil {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o))
+		if len(buf) == cap(buf) {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadBinary reads the format written by WriteBinary.
+// ReadBinary reads the format written by WriteBinary. The header is treated
+// as untrusted: the part count is bounded, preallocation is capped, and
+// every owner is range-checked, so a truncated or corrupt file errors
+// instead of producing an invalid partitioning.
 func ReadBinary(r io.Reader) (*Partitioning, error) {
 	br := bufio.NewReader(r)
 	var hdr [16]byte
@@ -50,22 +73,34 @@ func ReadBinary(r io.Reader) (*Partitioning, error) {
 	}
 	numParts := int(binary.LittleEndian.Uint32(hdr[4:]))
 	numEdges := binary.LittleEndian.Uint64(hdr[8:])
-	if numParts <= 0 {
+	if numParts <= 0 || numParts > maxParts {
 		return nil, fmt.Errorf("partition: invalid part count %d", numParts)
 	}
-	p := &Partitioning{NumParts: numParts, Owner: make([]int32, numEdges)}
-	var buf [4]byte
-	for i := uint64(0); i < numEdges; i++ {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("partition: reading owner %d: %w", i, err)
-		}
-		o := int32(binary.LittleEndian.Uint32(buf[:]))
-		if o != None && (o < 0 || int(o) >= numParts) {
-			return nil, fmt.Errorf("partition: owner %d out of range at edge %d", o, i)
-		}
-		p.Owner[i] = o
+	prealloc := numEdges
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
 	}
-	return p, nil
+	owner := make([]int32, 0, prealloc)
+	page := make([]byte, ioPageOwners*4)
+	for done := uint64(0); done < numEdges; {
+		chunk := uint64(ioPageOwners)
+		if rem := numEdges - done; rem < chunk {
+			chunk = rem
+		}
+		b := page[:chunk*4]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("partition: reading owner %d: %w", done, err)
+		}
+		for i := uint64(0); i < chunk; i++ {
+			o := int32(binary.LittleEndian.Uint32(b[i*4:]))
+			if o != None && (o < 0 || int(o) >= numParts) {
+				return nil, fmt.Errorf("partition: owner %d out of range at edge %d", o, done+i)
+			}
+			owner = append(owner, o)
+		}
+		done += chunk
+	}
+	return &Partitioning{NumParts: numParts, Owner: owner}, nil
 }
 
 // WriteText writes "edgeIndex owner" lines preceded by a header comment.

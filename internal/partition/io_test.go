@@ -2,6 +2,7 @@ package partition
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -96,6 +97,71 @@ func TestReadTextMissingLinesStayNone(t *testing.T) {
 	}
 	if got.Owner[0] != None || got.Owner[1] != 0 || got.Owner[2] != None {
 		t.Fatalf("owners %v", got.Owner)
+	}
+}
+
+// TestReadBinaryRejectsTruncation: every strict prefix errors.
+func TestReadBinaryRejectsTruncation(t *testing.T) {
+	p := New(4, 1000)
+	for i := range p.Owner {
+		p.Owner[i] = int32(i % 4)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 8, 15, 16, 18, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestReadBinaryHostileHeader: absurd part/edge counts must error (on the
+// bound check or the short read) without a huge up-front allocation.
+func TestReadBinaryHostileHeader(t *testing.T) {
+	mk := func(parts uint32, edges uint64) []byte {
+		var hdr [16]byte
+		binary.LittleEndian.PutUint32(hdr[0:], binMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], parts)
+		binary.LittleEndian.PutUint64(hdr[8:], edges)
+		return append(hdr[:], make([]byte, 64)...)
+	}
+	if _, err := ReadBinary(bytes.NewReader(mk(1<<30, 4))); err == nil {
+		t.Error("absurd part count accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(mk(4, 1<<40))); err == nil {
+		t.Error("hostile edge count accepted")
+	}
+}
+
+// TestBinaryLargeRoundTrip crosses the write-side page boundary so the
+// batched writer's flush path is exercised.
+func TestBinaryLargeRoundTrip(t *testing.T) {
+	p := New(7, ioPageOwners+100)
+	for i := range p.Owner {
+		if i%11 == 0 {
+			p.Owner[i] = None
+		} else {
+			p.Owner[i] = int32(i % 7)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumParts != p.NumParts || len(got.Owner) != len(p.Owner) {
+		t.Fatalf("shape mismatch")
+	}
+	for i := range p.Owner {
+		if got.Owner[i] != p.Owner[i] {
+			t.Fatalf("owner[%d] = %d, want %d", i, got.Owner[i], p.Owner[i])
+		}
 	}
 }
 

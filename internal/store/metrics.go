@@ -1,0 +1,100 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// queryKind indexes the per-kind query counters.
+type queryKind int
+
+const (
+	qDegree queryKind = iota
+	qNeighbors
+	qKHop
+	numKinds
+)
+
+// metrics is the store's live instrumentation: lock-free counters bumped on
+// every query so serving cost can be read off a running store.
+type metrics struct {
+	queries  [numKinds]atomic.Int64
+	hops     atomic.Int64 // cross-shard hops (replica fetches beyond the first)
+	tasks    atomic.Int64 // KHop per-shard scan tasks
+	latency  atomic.Int64 // summed query wall time, ns
+	perShard []atomic.Int64
+}
+
+func (m *metrics) init(numShards int) {
+	m.perShard = make([]atomic.Int64, numShards)
+}
+
+// begin counts one query of kind k and returns the closure that records its
+// latency; call it when the query finishes.
+func (m *metrics) begin(k queryKind) func() {
+	m.queries[k].Add(1)
+	start := time.Now()
+	return func() { m.latency.Add(int64(time.Since(start))) }
+}
+
+func (m *metrics) touchShard(s int) { m.perShard[s].Add(1) }
+func (m *metrics) addHops(n int64)  { m.hops.Add(n) }
+func (m *metrics) addTasks(n int64) { m.tasks.Add(n) }
+
+// Metrics is a point-in-time snapshot of a store's serving counters.
+type Metrics struct {
+	DegreeQueries    int64   `json:"degreeQueries"`
+	NeighborsQueries int64   `json:"neighborsQueries"`
+	KHopQueries      int64   `json:"khopQueries"`
+	CrossShardHops   int64   `json:"crossShardHops"`
+	ShardTasks       int64   `json:"shardTasks"`
+	PerShardTouches  []int64 `json:"perShardTouches"`
+	// TotalLatency is the summed wall time of all finished queries.
+	TotalLatency time.Duration `json:"totalLatencyNs"`
+}
+
+// Queries is the total query count across kinds.
+func (m Metrics) Queries() int64 {
+	return m.DegreeQueries + m.NeighborsQueries + m.KHopQueries
+}
+
+// HopsPerQuery is the average cross-shard fan-out per query — the measured
+// serving analogue of the partitioning's replication factor.
+func (m Metrics) HopsPerQuery() float64 {
+	q := m.Queries()
+	if q == 0 {
+		return 0
+	}
+	return float64(m.CrossShardHops) / float64(q)
+}
+
+// Metrics returns a snapshot of the store's counters. Queries in flight may
+// be partially reflected; counters are individually exact.
+func (st *Store) Metrics() Metrics {
+	m := Metrics{
+		DegreeQueries:    st.metrics.queries[qDegree].Load(),
+		NeighborsQueries: st.metrics.queries[qNeighbors].Load(),
+		KHopQueries:      st.metrics.queries[qKHop].Load(),
+		CrossShardHops:   st.metrics.hops.Load(),
+		ShardTasks:       st.metrics.tasks.Load(),
+		TotalLatency:     time.Duration(st.metrics.latency.Load()),
+		PerShardTouches:  make([]int64, len(st.metrics.perShard)),
+	}
+	for i := range st.metrics.perShard {
+		m.PerShardTouches[i] = st.metrics.perShard[i].Load()
+	}
+	return m
+}
+
+// ResetMetrics zeroes all counters (between workload phases).
+func (st *Store) ResetMetrics() {
+	for k := range st.metrics.queries {
+		st.metrics.queries[k].Store(0)
+	}
+	st.metrics.hops.Store(0)
+	st.metrics.tasks.Store(0)
+	st.metrics.latency.Store(0)
+	for i := range st.metrics.perShard {
+		st.metrics.perShard[i].Store(0)
+	}
+}

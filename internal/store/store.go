@@ -1,0 +1,427 @@
+// Package store is the online serving layer over an edge partitioning: it
+// materializes a partitioning into immutable per-shard CSR stores plus a
+// vertex→master routing table and mirror index, and serves concurrent
+// point and traversal queries across the shards.
+//
+// The offline partitioners in this repository minimize replication factor
+// (Eq. 1 of the paper); the store turns that static metric into a measured
+// serving cost. Every query records how many shards it had to touch beyond
+// the first — the cross-shard hops — so two partitionings with different
+// replication factors produce measurably different serving traffic for the
+// same workload.
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// shard is one partition's immutable CSR slice of the graph: the edges the
+// partitioning assigned to it, indexed by the (global) vertices they touch.
+type shard struct {
+	id    int
+	verts []graph.Vertex          // global ids present in this shard, sorted
+	index map[graph.Vertex]uint32 // global id -> local slot
+	off   []int64                 // CSR offsets, len(verts)+1
+	tgt   []graph.Vertex          // neighbor global ids
+	edges int64                   // owned edge count
+}
+
+// degreeOf returns v's local degree in the shard (0 if absent).
+func (s *shard) degreeOf(v graph.Vertex) int64 {
+	l, ok := s.index[v]
+	if !ok {
+		return 0
+	}
+	return s.off[l+1] - s.off[l]
+}
+
+// neighborsOf returns v's local adjacency slice (nil if absent). Callers
+// must not mutate it.
+func (s *shard) neighborsOf(v graph.Vertex) []graph.Vertex {
+	l, ok := s.index[v]
+	if !ok {
+		return nil
+	}
+	return s.tgt[s.off[l]:s.off[l+1]]
+}
+
+// Store serves point and traversal queries over a sharded graph. It is
+// immutable after Build/ReadSnapshot and safe for concurrent use.
+type Store struct {
+	numVertices uint32
+	numEdges    int64
+	shards      []*shard
+
+	// master[v] is the shard that owns v's primary copy: the replica shard
+	// where v has the highest local degree (ties to the lowest shard id).
+	// Isolated vertices are hash-routed so every vertex has exactly one
+	// master even when no edge covers it.
+	master []int32
+
+	// Mirror index, flattened: replicas of v are
+	// repShard[repOff[v]:repOff[v+1]], sorted by shard id. A vertex's
+	// mirrors are its replicas minus its master.
+	repOff   []int64
+	repShard []int32
+
+	metrics metrics
+}
+
+// Build materializes a partitioner result into a Store.
+func Build(g *graph.Graph, res *partition.Result) (*Store, error) {
+	if res == nil || res.Partitioning == nil {
+		return nil, fmt.Errorf("store: nil partitioning result")
+	}
+	return BuildPartitioning(g, res.Partitioning)
+}
+
+// BuildPartitioning materializes a raw partitioning into a Store. The
+// partitioning must be complete and in range for g (Validate).
+func BuildPartitioning(g *graph.Graph, p *partition.Partitioning) (*Store, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if p.NumParts <= 0 {
+		return nil, fmt.Errorf("store: no shards")
+	}
+	numShards := p.NumParts
+	n := g.NumVertices()
+
+	// Local degree of every (shard, vertex) pair with at least one owned
+	// edge: each edge contributes to both endpoints in its owner shard.
+	deg := make([]map[graph.Vertex]int64, numShards)
+	for s := range deg {
+		deg[s] = make(map[graph.Vertex]int64)
+	}
+	for i, o := range p.Owner {
+		e := g.Edge(int64(i))
+		deg[o][e.U]++
+		deg[o][e.V]++
+	}
+
+	st := &Store{
+		numVertices: n,
+		numEdges:    g.NumEdges(),
+		shards:      make([]*shard, numShards),
+		master:      make([]int32, n),
+	}
+	for s := 0; s < numShards; s++ {
+		sh := &shard{id: s, index: make(map[graph.Vertex]uint32, len(deg[s]))}
+		sh.verts = make([]graph.Vertex, 0, len(deg[s]))
+		for v := range deg[s] {
+			sh.verts = append(sh.verts, v)
+		}
+		sort.Slice(sh.verts, func(i, j int) bool { return sh.verts[i] < sh.verts[j] })
+		sh.off = make([]int64, len(sh.verts)+1)
+		for l, v := range sh.verts {
+			sh.index[v] = uint32(l)
+			sh.off[l+1] = sh.off[l] + deg[s][v]
+		}
+		sh.tgt = make([]graph.Vertex, sh.off[len(sh.verts)])
+		st.shards[s] = sh
+	}
+
+	// Fill adjacency: one pass over the edges, appending each endpoint to
+	// the other's local list in the owner shard.
+	cursor := make([][]int64, numShards)
+	for s := range cursor {
+		cursor[s] = make([]int64, len(st.shards[s].verts))
+	}
+	for i, o := range p.Owner {
+		e := g.Edge(int64(i))
+		sh := st.shards[o]
+		lu, lv := sh.index[e.U], sh.index[e.V]
+		sh.tgt[sh.off[lu]+cursor[o][lu]] = e.V
+		cursor[o][lu]++
+		sh.tgt[sh.off[lv]+cursor[o][lv]] = e.U
+		cursor[o][lv]++
+		sh.edges++
+	}
+
+	// Mirror index: replica count per vertex, then a fill pass in shard
+	// order so each vertex's replica list comes out sorted by shard id.
+	st.repOff = make([]int64, n+1)
+	for s := 0; s < numShards; s++ {
+		for _, v := range st.shards[s].verts {
+			st.repOff[v+1]++
+		}
+	}
+	for v := uint32(0); v < n; v++ {
+		st.repOff[v+1] += st.repOff[v]
+	}
+	st.repShard = make([]int32, st.repOff[n])
+	repCursor := make([]int64, n)
+	for s := 0; s < numShards; s++ {
+		for _, v := range st.shards[s].verts {
+			st.repShard[st.repOff[v]+repCursor[v]] = int32(s)
+			repCursor[v]++
+		}
+	}
+
+	// Route every vertex to a master: the replica shard with the highest
+	// local degree; isolated vertices hash to a shard so routing is total.
+	for v := uint32(0); v < n; v++ {
+		reps := st.repShard[st.repOff[v]:st.repOff[v+1]]
+		if len(reps) == 0 {
+			st.master[v] = int32(v % uint32(numShards))
+			continue
+		}
+		best := reps[0]
+		bestDeg := st.shards[best].degreeOf(v)
+		for _, s := range reps[1:] {
+			if d := st.shards[s].degreeOf(v); d > bestDeg {
+				best, bestDeg = s, d
+			}
+		}
+		st.master[v] = best
+	}
+
+	st.metrics.init(numShards)
+	return st, nil
+}
+
+// NumVertices returns |V| of the graph the store was built from.
+func (st *Store) NumVertices() uint32 { return st.numVertices }
+
+// NumEdges returns the total owned edge count across shards (== |E|).
+func (st *Store) NumEdges() int64 { return st.numEdges }
+
+// NumShards returns the shard count (the partitioning's NumParts).
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// ShardEdges returns the number of edges owned by shard s.
+func (st *Store) ShardEdges(s int) int64 { return st.shards[s].edges }
+
+// ShardVertices returns the number of vertex replicas held by shard s.
+func (st *Store) ShardVertices(s int) int { return len(st.shards[s].verts) }
+
+// Master returns the shard owning v's primary copy.
+func (st *Store) Master(v graph.Vertex) (int32, error) {
+	if v >= st.numVertices {
+		return 0, fmt.Errorf("store: vertex %d out of range [0,%d)", v, st.numVertices)
+	}
+	return st.master[v], nil
+}
+
+// Replicas returns the shards holding a copy of v, sorted by shard id.
+// Callers must not mutate the returned slice.
+func (st *Store) Replicas(v graph.Vertex) []int32 {
+	if v >= st.numVertices {
+		return nil
+	}
+	return st.repShard[st.repOff[v]:st.repOff[v+1]]
+}
+
+// TotalReplicas returns Σp |V(Ep)| — the numerator of the paper's
+// replication factor, and the size of the mirror index.
+func (st *Store) TotalReplicas() int64 { return int64(len(st.repShard)) }
+
+// ReplicationFactor returns TotalReplicas / |V| (0 for an empty store).
+func (st *Store) ReplicationFactor() float64 {
+	if st.numVertices == 0 {
+		return 0
+	}
+	return float64(len(st.repShard)) / float64(st.numVertices)
+}
+
+// Degree returns v's global degree by summing its local degree on every
+// replica shard. Touching each replica beyond the first counts as a
+// cross-shard hop.
+func (st *Store) Degree(v graph.Vertex) (int64, error) {
+	stop := st.metrics.begin(qDegree)
+	defer stop()
+	if v >= st.numVertices {
+		return 0, fmt.Errorf("store: vertex %d out of range [0,%d)", v, st.numVertices)
+	}
+	var d int64
+	reps := st.Replicas(v)
+	for _, s := range reps {
+		st.metrics.touchShard(int(s))
+		d += st.shards[s].degreeOf(v)
+	}
+	st.metrics.addHops(crossHops(len(reps)))
+	return d, nil
+}
+
+// Neighbors returns v's full neighbor set. Each edge lives on exactly one
+// shard, so the per-shard adjacency lists are disjoint and their
+// concatenation (master shard first, then mirrors) is the global list,
+// which is sorted before returning.
+func (st *Store) Neighbors(v graph.Vertex) ([]graph.Vertex, error) {
+	stop := st.metrics.begin(qNeighbors)
+	defer stop()
+	if v >= st.numVertices {
+		return nil, fmt.Errorf("store: vertex %d out of range [0,%d)", v, st.numVertices)
+	}
+	reps := st.Replicas(v)
+	var out []graph.Vertex
+	m := st.master[v]
+	for _, s := range reps {
+		if s != m {
+			continue
+		}
+		st.metrics.touchShard(int(s))
+		out = append(out, st.shards[s].neighborsOf(v)...)
+	}
+	for _, s := range reps {
+		if s == m {
+			continue
+		}
+		st.metrics.touchShard(int(s))
+		out = append(out, st.shards[s].neighborsOf(v)...)
+	}
+	st.metrics.addHops(crossHops(len(reps)))
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// DegreeBatch returns the global degree of every vertex in vs.
+func (st *Store) DegreeBatch(vs []graph.Vertex) ([]int64, error) {
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		d, err := st.Degree(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// NeighborsBatch returns the neighbor set of every vertex in vs.
+func (st *Store) NeighborsBatch(vs []graph.Vertex) ([][]graph.Vertex, error) {
+	out := make([][]graph.Vertex, len(vs))
+	for i, v := range vs {
+		ns, err := st.Neighbors(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ns
+	}
+	return out, nil
+}
+
+// crossHops is the cross-shard cost of touching r replica shards: the
+// fetches beyond the first. A vertex mastered and mirrored nowhere else
+// costs zero; every extra mirror is one hop — which is exactly what a low
+// replication factor minimizes.
+func crossHops(r int) int64 {
+	if r <= 1 {
+		return 0
+	}
+	return int64(r - 1)
+}
+
+// KHopResult is the outcome of a KHop traversal.
+type KHopResult struct {
+	Source graph.Vertex
+	K      int
+	// Vertices are all vertices within distance ≤ K of Source (Source
+	// included), ordered by (depth, id); Depths is parallel to it.
+	Vertices []graph.Vertex
+	Depths   []int32
+	// LevelSizes[d] is the number of vertices first reached at depth d.
+	LevelSizes []int64
+	// CrossShardHops is the replica fetches beyond the first per expanded
+	// frontier vertex — the traffic a distributed BFS pays for mirrors.
+	CrossShardHops int64
+	// ShardTasks is the number of per-shard scan tasks the traversal
+	// fanned out (one goroutine each).
+	ShardTasks int64
+}
+
+// KHop runs a level-synchronous BFS from v to depth k. Each level the
+// frontier is routed to every shard holding a copy of a frontier vertex;
+// one goroutine per touched shard scans its local adjacency, and the
+// results merge into the next frontier. The fan-out is where a
+// partitioning's replication factor becomes serving cost: every mirror of
+// a frontier vertex is one extra shard fetch.
+func (st *Store) KHop(ctx context.Context, v graph.Vertex, k int) (*KHopResult, error) {
+	stop := st.metrics.begin(qKHop)
+	defer stop()
+	if v >= st.numVertices {
+		return nil, fmt.Errorf("store: vertex %d out of range [0,%d)", v, st.numVertices)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("store: negative hop count %d", k)
+	}
+	res := &KHopResult{
+		Source:     v,
+		K:          k,
+		Vertices:   []graph.Vertex{v},
+		Depths:     []int32{0},
+		LevelSizes: []int64{1},
+	}
+	visited := make([]uint64, (st.numVertices+63)/64)
+	visited[v/64] |= 1 << (v % 64)
+	frontier := []graph.Vertex{v}
+	perShard := make([][]graph.Vertex, len(st.shards))
+	outs := make([][]graph.Vertex, len(st.shards))
+
+	for depth := int32(1); int(depth) <= k && len(frontier) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Route the frontier: every replica shard of a frontier vertex
+		// must scan its share of the adjacency, since each shard holds a
+		// disjoint subset of the incident edges.
+		for s := range perShard {
+			perShard[s] = perShard[s][:0]
+		}
+		for _, u := range frontier {
+			reps := st.Replicas(u)
+			for _, s := range reps {
+				perShard[s] = append(perShard[s], u)
+			}
+			res.CrossShardHops += crossHops(len(reps))
+		}
+		var wg sync.WaitGroup
+		for s := range perShard {
+			if len(perShard[s]) == 0 {
+				outs[s] = outs[s][:0]
+				continue
+			}
+			res.ShardTasks++
+			st.metrics.touchShard(s)
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sh := st.shards[s]
+				out := outs[s][:0]
+				for _, u := range perShard[s] {
+					out = append(out, sh.neighborsOf(u)...)
+				}
+				outs[s] = out
+			}(s)
+		}
+		wg.Wait()
+
+		var next []graph.Vertex
+		for s := range outs {
+			for _, w := range outs[s] {
+				if visited[w/64]&(1<<(w%64)) == 0 {
+					visited[w/64] |= 1 << (w % 64)
+					next = append(next, w)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, w := range next {
+			res.Vertices = append(res.Vertices, w)
+			res.Depths = append(res.Depths, depth)
+		}
+		if len(next) > 0 {
+			res.LevelSizes = append(res.LevelSizes, int64(len(next)))
+		}
+		frontier = next
+	}
+	st.metrics.addHops(res.CrossShardHops)
+	st.metrics.addTasks(res.ShardTasks)
+	return res, nil
+}
