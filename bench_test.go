@@ -72,6 +72,28 @@ func BenchmarkTable5Apps(b *testing.B) { runExperiment(b, experiments.Table5) }
 // BenchmarkTable6Roads regenerates Table 6 (road networks).
 func BenchmarkTable6Roads(b *testing.B) { runExperiment(b, experiments.Table6) }
 
+// BenchmarkDNEPartition1M is the tracked perf benchmark behind
+// BENCH_dne.json: Distributed NE on the seeded ~1M-edge RMAT (scale 16,
+// edge factor 16) with 16 machines. The graph build is excluded; the
+// measured region is exactly the partitioning. RF is reported so quality
+// regressions show up next to wall-time ones.
+func BenchmarkDNEPartition1M(b *testing.B) {
+	g := gen.RMAT(16, 16, 42)
+	cfg := dne.DefaultConfig()
+	cfg.Seed = 42
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dne.Partition(g, 16, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(res.Partitioning.Measure(g).ReplicationFactor, "RF")
+		b.StartTimer()
+	}
+}
+
 // --- Ablations (DESIGN.md §4) ---
 
 func ablationGraph() *graph.Graph { return gen.RMAT(13, 16, 9) }

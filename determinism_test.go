@@ -1,0 +1,126 @@
+package dnebench
+
+import (
+	"context"
+	"hash/fnv"
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// The checksums below were produced by the map/comparator-sort
+// implementations that predate internal/dsa (the hash-map boundaries, the
+// sort.Slice CSR build, the per-machine subgraph scans). The dense rewrite
+// is required to reproduce every one of them bit for bit: same
+// partition.Spec (seed) ⇒ same Partitioning, for every registered method,
+// across the graph core and both expansion partitioner families.
+
+func ownersChecksum(owner []int32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, o := range owner {
+		buf[0], buf[1], buf[2], buf[3] = byte(o), byte(o>>8), byte(o>>16), byte(o>>24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func graphChecksum(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, e := range g.Edges() {
+		buf[0], buf[1], buf[2], buf[3] = byte(e.U), byte(e.U>>8), byte(e.U>>16), byte(e.U>>24)
+		buf[4], buf[5], buf[6], buf[7] = byte(e.V), byte(e.V>>8), byte(e.V>>16), byte(e.V>>24)
+		h.Write(buf[:])
+	}
+	for v := graph.Vertex(0); v < g.NumVertices(); v++ {
+		ie := g.IncidentEdges(v)
+		for i, nb := range g.Neighbors(v) {
+			buf[0], buf[1], buf[2], buf[3] = byte(nb), byte(nb>>8), byte(nb>>16), byte(nb>>24)
+			buf[4], buf[5], buf[6], buf[7] = byte(ie[i]), byte(ie[i]>>8), byte(ie[i]>>16), byte(ie[i]>>24)
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func TestGraphBuildGolden(t *testing.T) {
+	if got := graphChecksum(gen.RMAT(12, 8, 7)); got != 0x861602950186f519 {
+		t.Fatalf("RMAT(12,8,7) graph checksum %#x changed (edges or CSR layout differ from the pre-dsa build)", got)
+	}
+	if got := graphChecksum(gen.Road(48, 48, 3)); got != 0x7add2b10d585a25 {
+		t.Fatalf("Road(48,48,3) graph checksum %#x changed", got)
+	}
+}
+
+func TestSeededPartitioningsGolden(t *testing.T) {
+	golden := map[string]map[string]uint64{
+		"rmat12": {
+			"dbh":       0xbffd72f4e31363d2,
+			"distlp":    0x9ae611968fb9abd7,
+			"dne":       0x4b30ae3631512257,
+			"fennel":    0x82c28491ae573f60,
+			"ginger":    0x2fd4affa7fdfd472,
+			"grid":      0x387902484d2ebfb3,
+			"hdrf":      0xdfe49f1596553f16,
+			"hybrid":    0xa3191c3543d1f451,
+			"hyperne":   0xa179c2c51bda1922,
+			"metis":     0xdfec932faa158691,
+			"ne":        0x156a04e9a1f79e51,
+			"oblivious": 0x82c28491ae573f60,
+			"random":    0xdc2f30f3ebb52141,
+			"sheep":     0x32fff370a3dba6e6,
+			"sne":       0xcb62d7acb7b909a3,
+			"spinner":   0xa3e562226d0d1582,
+			"xtrapulp":  0xbea748b41315df3,
+		},
+		"road48": {
+			"dbh":       0xa8627938ae39f763,
+			"distlp":    0x9a8262c1cb0e8687,
+			"dne":       0x28600f34e6ea3ae3,
+			"fennel":    0xd21aac0d43f0b1b2,
+			"ginger":    0xfdc7021ab9aa02c4,
+			"grid":      0x9048c3b95dcfff76,
+			"hdrf":      0xb7e08e9f6a56a507,
+			"hybrid":    0x19194b08b14c9d77,
+			"hyperne":   0xd2755c4c77aeb315,
+			"metis":     0x634a4b33bc4d49c3,
+			"ne":        0x2e756c365a468980,
+			"oblivious": 0xd21aac0d43f0b1b2,
+			"random":    0x6d7c8e4a77840284,
+			"sheep":     0xbb7bef9bc890a434,
+			"sne":       0x3890a1e2339e6e12,
+			"spinner":   0xc1aa2bd08ab55a14,
+			"xtrapulp":  0xa92c8f0858f9f737,
+		},
+	}
+	graphs := map[string]*graph.Graph{
+		"rmat12": gen.RMAT(12, 8, 7),
+		"road48": gen.Road(48, 48, 3),
+	}
+	for glabel, want := range golden {
+		g := graphs[glabel]
+		for name, sum := range want {
+			t.Run(glabel+"/"+name, func(t *testing.T) {
+				if testing.Short() && glabel == "road48" {
+					t.Skip("short: one graph is enough")
+				}
+				p, spec, err := methods.New(name, partition.Spec{NumParts: 8, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := p.Partition(context.Background(), g, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := ownersChecksum(res.Partitioning.Owner); got != sum {
+					t.Fatalf("%s on %s: seeded partitioning checksum %#x, want %#x (pre-dsa output)", name, glabel, got, sum)
+				}
+			})
+		}
+	}
+}

@@ -107,5 +107,10 @@ func (s Set) Clone() Set {
 // Words exposes the backing words (read-only use).
 func (s Set) Words() []uint64 { return s.words }
 
+// FromWords wraps an existing word slice as a Set view. Mutations through
+// the view write to the slice; used to pack many small per-vertex sets into
+// one flat slab.
+func FromWords(words []uint64) Set { return Set{words: words} }
+
 // MemoryFootprint returns the bytes held by the backing array.
 func (s Set) MemoryFootprint() int64 { return int64(len(s.words)) * 8 }

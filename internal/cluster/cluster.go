@@ -13,8 +13,9 @@
 package cluster
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -206,11 +207,11 @@ func (n *node) TryRecvAll(tag Tag) []Message {
 func (n *node) Barrier() { n.c.bar.wait() }
 
 func sortMessages(msgs []Message) {
-	sort.Slice(msgs, func(i, j int) bool {
-		if msgs[i].From != msgs[j].From {
-			return msgs[i].From < msgs[j].From
+	slices.SortFunc(msgs, func(a, b Message) int {
+		if a.From != b.From {
+			return cmp.Compare(a.From, b.From)
 		}
-		return msgs[i].Seq < msgs[j].Seq
+		return cmp.Compare(a.Seq, b.Seq)
 	})
 }
 

@@ -145,9 +145,19 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, numParts int, cfg Config)
 	results := make([]machineResult, numParts)
 	p := partition.New(numParts, g.NumEdges())
 
+	// Single-pass grid-bucketed extraction: the driver splits the canonical
+	// edge indices by owning machine once (O(|E|), chunk-parallel) instead
+	// of every machine scanning every edge (O(|P|·|E|)). It is part of the
+	// measured partitioning time, as the per-machine scans it replaced were.
 	start := time.Now()
+	buckets := edgeBuckets(g, newGrid(numParts), numParts)
+	for r := range buckets {
+		if buckets[r] == nil {
+			buckets[r] = []int64{}
+		}
+	}
 	err := c.Run(func(comm cluster.Comm) error {
-		return runMachine(ctx, comm, g, cfg, &results[comm.Rank()], p.Owner)
+		return runMachine(ctx, comm, g, cfg, &results[comm.Rank()], p.Owner, buckets[comm.Rank()])
 	})
 	elapsed := time.Since(start)
 	if err != nil {

@@ -1,99 +1,9 @@
 package dne
 
-import (
-	"container/heap"
-
-	"github.com/distributedne/dne/internal/graph"
-)
-
-// boundary is the expansion process's priority queue of ⟨Drest(v), v⟩ pairs
-// (Alg. 1). Scores are refreshed whenever a vertex re-enters the new-boundary
-// set (the paper recomputes local Drest for every synced BPnew vertex, §4
-// phase 4); refreshes are applied lazily by re-pushing and skipping stale
-// heap entries on pop. Vertices that have been expanded never re-enter.
-type boundary struct {
-	h        scoreHeap
-	score    map[graph.Vertex]int32
-	expanded map[graph.Vertex]struct{}
-	peak     int
-}
-
-type scoreEntry struct {
-	v     graph.Vertex
-	drest int32
-}
-
-type scoreHeap []scoreEntry
-
-func (h scoreHeap) Len() int { return len(h) }
-func (h scoreHeap) Less(i, j int) bool {
-	if h[i].drest != h[j].drest {
-		return h[i].drest < h[j].drest
-	}
-	return h[i].v < h[j].v // deterministic tie-break
-}
-func (h scoreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *scoreHeap) Push(x any)   { *h = append(*h, x.(scoreEntry)) }
-func (h *scoreHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-func newBoundary() *boundary {
-	return &boundary{
-		score:    make(map[graph.Vertex]int32),
-		expanded: make(map[graph.Vertex]struct{}),
-	}
-}
-
-// update inserts v with the given global Drest, or refreshes its score if v
-// is already in the boundary. Expanded vertices are ignored.
-func (b *boundary) update(v graph.Vertex, drest int32) {
-	if _, done := b.expanded[v]; done {
-		return
-	}
-	if old, ok := b.score[v]; ok && old == drest {
-		return
-	}
-	b.score[v] = drest
-	heap.Push(&b.h, scoreEntry{v: v, drest: drest})
-	if len(b.score) > b.peak {
-		b.peak = len(b.score)
-	}
-}
-
-// len returns the number of live boundary vertices.
-func (b *boundary) len() int { return len(b.score) }
-
-// popK removes and returns up to k minimum-Drest vertices
-// (popK-MinDrestVertices, Alg. 4), additionally stopping once the popped
-// vertices' cumulative Drest reaches budget — the expected number of one-hop
-// edges the batch will allocate — so a single multi-expansion superstep
-// cannot overshoot the α cap (Eq. 2). At least one vertex is returned when
-// the boundary is non-empty and budget > 0. The returned vertices are marked
-// expanded.
-func (b *boundary) popK(k int, budget int64) []graph.Vertex {
-	out := make([]graph.Vertex, 0, k)
-	var cum int64
-	for len(out) < k && cum < budget && b.h.Len() > 0 {
-		e := heap.Pop(&b.h).(scoreEntry)
-		cur, live := b.score[e.v]
-		if !live || cur != e.drest {
-			continue // stale heap entry
-		}
-		delete(b.score, e.v)
-		b.expanded[e.v] = struct{}{}
-		out = append(out, e.v)
-		cum += int64(e.drest)
-	}
-	return out
-}
-
-// memoryFootprint estimates the boundary's peak byte usage for the Fig-9
-// memory score (map entry ≈ 16 bytes + heap entry 8 bytes).
-func (b *boundary) memoryFootprint() int64 {
-	return int64(b.peak) * 24
-}
+// The expansion process's boundary — the priority queue of ⟨Drest(v), v⟩
+// pairs of Alg. 1 / Alg. 4, with lazy score refresh and an expanded set —
+// is dsa.Boundary: flat epoch-stamped slabs indexed by vertex id plus a
+// monomorphic 4-ary min-heap, shared with the sequential NE partitioner
+// (internal/nepart). The map/container-heap implementation it replaced is
+// preserved as the differential-test reference in internal/dsa, which
+// asserts identical pop order on randomized update/pop sequences.

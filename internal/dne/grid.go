@@ -1,6 +1,6 @@
 package dne
 
-import "sort"
+import "slices"
 
 // grid implements the 2D-hash initial distribution of §4 ("Data Structure").
 // Machines are arranged in an R×C logical grid (R·C ≥ P, cells folded onto
@@ -51,7 +51,7 @@ func (g grid) vertexProcs(x uint32, dst []int) []int {
 	for ii := 0; ii < g.r; ii++ {
 		dst = append(dst, (ii*g.c+j)%g.p)
 	}
-	sort.Ints(dst)
+	slices.Sort(dst)
 	out := dst[:0]
 	for k, pr := range dst {
 		if k == 0 || pr != dst[k-1] {

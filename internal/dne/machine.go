@@ -11,8 +11,64 @@ import (
 
 	"github.com/distributedne/dne/internal/bitset"
 	"github.com/distributedne/dne/internal/cluster"
+	"github.com/distributedne/dne/internal/dsa"
 	"github.com/distributedne/dne/internal/graph"
 )
+
+// vpSet tracks the ⟨vertex, partition⟩ pairs already seen in one superstep.
+// For partition counts up to 64 it is a dense epoch-stamped slab (one stamp
+// word and one partition bitmask per vertex, cleared in O(1)); beyond that
+// it falls back to a reusable map. Both give identical membership answers,
+// so the superstep's pair ordering — and therefore the partitioning — does
+// not depend on which representation runs.
+type vpSet struct {
+	set  *dsa.EpochSet
+	mask []uint64
+	m    map[vp]struct{}
+}
+
+func newVPSet(n uint32, p int) *vpSet {
+	if p <= 64 {
+		return &vpSet{set: dsa.NewEpochSet(int(n)), mask: make([]uint64, n)}
+	}
+	return &vpSet{m: make(map[vp]struct{})}
+}
+
+func (s *vpSet) clear() {
+	if s.m != nil {
+		clear(s.m)
+		return
+	}
+	s.set.Clear()
+}
+
+// add inserts the pair and reports whether it was newly added.
+func (s *vpSet) add(x vp) bool {
+	if s.m != nil {
+		if _, ok := s.m[x]; ok {
+			return false
+		}
+		s.m[x] = struct{}{}
+		return true
+	}
+	bit := uint64(1) << uint(x.P)
+	if s.set.Add(x.V) {
+		s.mask[x.V] = bit
+		return true
+	}
+	if s.mask[x.V]&bit != 0 {
+		return false
+	}
+	s.mask[x.V] |= bit
+	return true
+}
+
+func (s *vpSet) memoryFootprint() int64 {
+	if s.m != nil {
+		return 0 // transient map, sized by the superstep's traffic
+	}
+	return s.set.MemoryFootprint() + int64(len(s.mask))*8
+}
 
 // machineResult is what one machine reports back to the driver.
 type machineResult struct {
@@ -36,18 +92,27 @@ type machineResult struct {
 // machines abort together at the end of the superstep in which any flag was
 // seen. Deciding on received flags (identical on every machine) rather than
 // on the racy local ctx keeps the lock-step protocol deadlock-free.
-func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResult, ownerOut []int32) error {
+// bucket, when non-nil, is this rank's precomputed share of the canonical
+// edge indices (from edgeBuckets); a nil bucket makes the machine extract
+// its own share by scanning the graph, which is what the multi-process
+// transport does.
+func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResult, ownerOut []int32, bucket []int64) error {
 	p := comm.Size()
 	rank := comm.Rank()
 	gd := newGrid(p)
-	sg := buildSubGraph(g, gd, rank, p)
+	var sg *subGraph
+	if bucket != nil {
+		sg = buildSubGraphFrom(g, p, bucket)
+	} else {
+		sg = buildSubGraph(g, gd, rank, p)
+	}
 	if cfg.ParallelAllocation {
 		// Superstep tags for conflict accounting; iter starts at 1, so the
 		// zero value never aliases a live superstep.
 		sg.claimIter = make([]int32, len(sg.edges))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(rank)+1)*0x9e3779b9))
-	bnd := newBoundary()
+	bnd := dsa.NewBoundary(int(g.NumVertices()))
 
 	// replicaProcs resolves a vertex's replica machine set: the grid
 	// row ∪ column by default, or all machines under the BroadcastReplicas
@@ -86,6 +151,25 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 	bItems := make([][]boundaryItem, p)
 	eOut := make([][]graph.Edge, p)
 
+	// Per-superstep scratch, allocated once and cleared in O(1) per
+	// iteration (epoch bumps and length resets) instead of reallocating
+	// maps every superstep. Dense trade-off: each machine holds ~40 bytes
+	// per *global* vertex id of resident slabs (boundary, pair set, merge
+	// accumulator) — O(1) lookups and zero per-superstep allocation, paid
+	// for with O(|P|·|V|) total footprint in the in-process simulation. The
+	// Fig-9 memory accounting below charges all of it honestly.
+	n := g.NumVertices()
+	seenBP := newVPSet(n, p)         // ⟨v,p⟩ pairs already in the boundary update
+	seenV := dsa.NewEpochSet(int(n)) // vertices already two-hop-processed
+	mergedSet := dsa.NewEpochSet(int(n))
+	mergedVal := make([]int32, n) // summed Drest per merged boundary vertex
+	var mergedOrder []graph.Vertex
+	var popBuf []uint32
+	var allocLocal []int32
+	var orderBP []vp
+	sizesView := make([]int64, p)
+	twoBudget := make([]int64, p)
+
 	done := false // this machine's expansion finished
 	iter := 0
 	maxIter := cfg.MaxIterations
@@ -106,16 +190,17 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 		}
 		seedTo := -1
 		if !done {
-			if bnd.len() > 0 {
+			if bnd.Len() > 0 {
 				k := 1
 				if !cfg.SingleExpansion {
-					k = int(math.Ceil(cfg.Lambda * float64(bnd.len())))
+					k = int(math.Ceil(cfg.Lambda * float64(bnd.Len())))
 					if k < 1 {
 						k = 1
 					}
 				}
 				budget := capEdges - int64(len(epEdges))
-				for _, v := range bnd.popK(k, budget) {
+				popBuf = bnd.PopK(k, budget, popBuf)
+				for _, v := range popBuf {
 					procsBuf = replicaProcs(v, procsBuf[:0])
 					for _, pr := range procsBuf {
 						outPairs[pr] = append(outPairs[pr], vp{V: v, P: int32(rank)})
@@ -153,12 +238,11 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 			syncOut[q] = syncOut[q][:0]
 			eOut[q] = eOut[q][:0]
 		}
-		var allocLocal []int32
-		var orderBP []vp
-		seenBP := make(map[vp]struct{})
+		allocLocal = allocLocal[:0]
+		orderBP = orderBP[:0]
+		seenBP.clear()
 		// Working view of global |Eq|: last gather plus local increments,
 		// used to enforce the α cap within the iteration.
-		sizesView := make([]int64, p)
 		copy(sizesView, partSizes)
 		var pairs []vp
 		anyCancel := false
@@ -179,8 +263,7 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 		if cfg.ParallelAllocation && len(pairs) > 1 {
 			bp := allocOneHopParallel(sg, pairs, int32(iter), sizesView, capEdges, &allocLocal, &res.wasted)
 			for _, b := range bp {
-				if _, ok := seenBP[b]; !ok {
-					seenBP[b] = struct{}{}
+				if seenBP.add(b) {
 					orderBP = append(orderBP, b)
 				}
 			}
@@ -191,8 +274,7 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 				}
 				before := len(allocLocal)
 				for _, b := range sg.allocOneHop(pair.V, pair.P, &allocLocal) {
-					if _, ok := seenBP[b]; !ok {
-						seenBP[b] = struct{}{}
+					if seenBP.add(b) {
 						orderBP = append(orderBP, b)
 					}
 				}
@@ -218,28 +300,24 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 		synced := orderBP
 		for _, m := range comm.RecvN(tagSync, p) {
 			for _, pair := range m.Body.(syncBody).Pairs {
-				if sg.applySync(pair.V, pair.P) >= 0 {
-					if _, ok := seenBP[pair]; !ok {
-						seenBP[pair] = struct{}{}
-						synced = append(synced, pair)
-					}
+				if sg.applySync(pair.V, pair.P) >= 0 && seenBP.add(pair) {
+					synced = append(synced, pair)
 				}
 			}
 		}
 
 		// ------- Phase B3: two-hop allocation (Alg. 2 L4, Alg. 3) -------
-		twoBudget := make([]int64, p)
 		for q := 0; q < p; q++ {
+			twoBudget[q] = 0
 			if rem := capEdges - partSizes[q]; rem > 0 {
 				twoBudget[q] = rem/int64(p) + 1
 			}
 		}
-		seenV := make(map[graph.Vertex]struct{}, len(synced))
+		seenV.Clear()
 		for _, pair := range synced {
-			if _, ok := seenV[pair.V]; ok {
+			if !seenV.Add(pair.V) {
 				continue
 			}
-			seenV[pair.V] = struct{}{}
 			sg.allocTwoHop(pair.V, sizesView, twoBudget, capEdges, scratch, &allocLocal)
 		}
 
@@ -259,18 +337,20 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 		}
 
 		// ------- Phase C: boundary/edge-set update (Alg. 1 L10–13) -------
-		merged := make(map[graph.Vertex]int32)
-		var mergedOrder []graph.Vertex
+		mergedSet.Clear()
+		mergedOrder = mergedOrder[:0]
 		for _, m := range comm.RecvN(tagBoundary, p) {
 			for _, it := range m.Body.(boundaryBody).Items {
-				if _, ok := merged[it.V]; !ok {
+				if mergedSet.Add(it.V) {
+					mergedVal[it.V] = it.Drest
 					mergedOrder = append(mergedOrder, it.V)
+				} else {
+					mergedVal[it.V] += it.Drest
 				}
-				merged[it.V] += it.Drest
 			}
 		}
 		for _, v := range mergedOrder {
-			bnd.update(v, merged[v])
+			bnd.Update(v, mergedVal[v])
 		}
 		for _, m := range comm.RecvN(tagEdges, p) {
 			epEdges = append(epEdges, m.Body.(edgesBody).Edges...)
@@ -328,7 +408,9 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 	res.iterations = iter
 	res.swept = swept
 	res.partEdges = int64(len(epEdges))
-	res.memBytes = sg.memoryFootprint() + int64(len(epEdges))*8 + bnd.memoryFootprint()
+	res.memBytes = sg.memoryFootprint() + int64(len(epEdges))*8 + bnd.MemoryFootprint() +
+		seenBP.memoryFootprint() + seenV.MemoryFootprint() +
+		mergedSet.MemoryFootprint() + int64(len(mergedVal))*4
 
 	// Result collection: every machine (including the master, via a free
 	// self-send) ships its (global edge index, owner) pairs to rank 0, which

@@ -2,7 +2,8 @@ package dne
 
 import (
 	"math/rand"
-	"sort"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"github.com/distributedne/dne/internal/bitset"
@@ -13,6 +14,11 @@ import (
 // Structure"): a CSR over the locally-owned (unique) edges, per-edge atomic
 // owner words, and per-local-vertex partition bitsets and free-degree
 // counters. Vertices are replicated across machines; edges are not.
+//
+// All per-vertex state is held in flat slabs indexed by local vertex id, and
+// the global→local translation is a dense array (lid) rather than a binary
+// search — the paper's compact-arrays-not-hash-tables argument (§7.3)
+// applied to the reproduction's own inner loops.
 type subGraph struct {
 	numParts int
 
@@ -20,18 +26,34 @@ type subGraph struct {
 	// "local vertex id".
 	verts []graph.Vertex
 
+	// lid[g] is the local id of global vertex g, or -1 when g has no local
+	// edge. Dense: len = |V| of the input graph.
+	lid []int32
+
 	// CSR over local edges: each local undirected edge appears in two
 	// adjacency lists.
 	off    []int64
 	target []graph.Vertex // neighbor (global id)
 	eIdx   []int32        // local edge index for the adjacency slot
 
+	// aliveLen[lv] bounds the adjacency slots of lv still worth scanning:
+	// the sequential allocation paths compact surviving free slots to the
+	// front of lv's range (stably, preserving ascending edge-index order),
+	// so repeated expansions of hub vertices do not rescan allocated edges.
+	// Invariant: every free local edge incident to lv lies in
+	// target/eIdx[off[lv] : off[lv]+aliveLen[lv]].
+	aliveLen []int32
+
 	edges     []graph.Edge // local edges
 	globalIdx []int64      // canonical (global) edge index of each local edge
 	owner     []int32      // partition owning local edge i, or -1 (CAS'd)
 
-	partSets []bitset.Set // partitions each local vertex belongs to
-	drest    []int32      // free (unallocated) local degree per local vertex
+	// Partition membership bitsets, one per local vertex, packed into a
+	// single slab of wordsPer words each; partSet(lv) is the view.
+	partWords []uint64
+	wordsPer  int
+
+	drest []int32 // free (unallocated) local degree per local vertex
 
 	freeEdges int64 // number of unallocated local edges
 	seedCur   int   // rotating cursor for random-seed scans
@@ -46,49 +68,145 @@ type subGraph struct {
 	claimIter []int32
 }
 
-// buildSubGraph extracts rank's 2D-hash share of g.
+// bucketMinChunk is the smallest per-worker edge chunk worth a goroutine in
+// the grid-bucketed extraction.
+const bucketMinChunk = 1 << 16
+
+// edgeBuckets partitions the canonical edge indices of g by owning machine
+// in a single pass (instead of every machine scanning every edge). Chunk
+// workers bucket their contiguous edge ranges independently; concatenating
+// the chunk buckets in chunk order preserves ascending global index within
+// each bucket, which is the order the per-machine scan produced.
+func edgeBuckets(g *graph.Graph, gd grid, p int) [][]int64 {
+	w := runtime.GOMAXPROCS(0)
+	if maxW := len(g.Edges()) / bucketMinChunk; w > maxW {
+		w = maxW
+	}
+	if w < 1 {
+		w = 1
+	}
+	return edgeBucketsWorkers(g, gd, p, w)
+}
+
+// edgeBucketsWorkers is edgeBuckets with an explicit worker count.
+func edgeBucketsWorkers(g *graph.Graph, gd grid, p, w int) [][]int64 {
+	edges := g.Edges()
+	m := len(edges)
+	if w == 1 {
+		buckets := make([][]int64, p)
+		for i, e := range edges {
+			r := gd.edgeOwner(e.U, e.V)
+			buckets[r] = append(buckets[r], int64(i))
+		}
+		return buckets
+	}
+	chunk := (m + w - 1) / w
+	shards := make([][][]int64, w) // shards[wi][rank]
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo, hi := wi*chunk, min((wi+1)*chunk, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			local := make([][]int64, p)
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				r := gd.edgeOwner(e.U, e.V)
+				local[r] = append(local[r], int64(i))
+			}
+			shards[wi] = local
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	buckets := make([][]int64, p)
+	for r := 0; r < p; r++ {
+		total := 0
+		for wi := 0; wi < w; wi++ {
+			if shards[wi] != nil {
+				total += len(shards[wi][r])
+			}
+		}
+		b := make([]int64, 0, total)
+		for wi := 0; wi < w; wi++ {
+			if shards[wi] != nil {
+				b = append(b, shards[wi][r]...)
+			}
+		}
+		buckets[r] = b
+	}
+	return buckets
+}
+
+// buildSubGraph extracts rank's 2D-hash share of g with a single scan. Used
+// by the multi-process path where each rank extracts only its own share; the
+// in-process driver precomputes all shares at once with edgeBuckets.
 func buildSubGraph(g *graph.Graph, gd grid, rank, numParts int) *subGraph {
-	sg := &subGraph{numParts: numParts}
+	var bucket []int64
 	for i, e := range g.Edges() {
-		if gd.edgeOwner(e.U, e.V) != rank {
-			continue
+		if gd.edgeOwner(e.U, e.V) == rank {
+			bucket = append(bucket, int64(i))
 		}
-		sg.edges = append(sg.edges, e)
-		sg.globalIdx = append(sg.globalIdx, int64(i))
 	}
-	// Collect distinct local vertices.
-	sg.verts = make([]graph.Vertex, 0, len(sg.edges))
+	return buildSubGraphFrom(g, numParts, bucket)
+}
+
+// buildSubGraphFrom materializes the subgraph over the given canonical edge
+// indices (ascending).
+func buildSubGraphFrom(g *graph.Graph, numParts int, bucket []int64) *subGraph {
+	sg := &subGraph{numParts: numParts, globalIdx: bucket}
+	sg.edges = make([]graph.Edge, len(bucket))
+	for i, gi := range bucket {
+		sg.edges[i] = g.Edge(gi)
+	}
+
+	// Distinct local vertices, ascending, and the dense global→local map:
+	// mark endpoints in lid, then one scan over the id space assigns local
+	// ids in ascending global order.
+	nGlobal := int(g.NumVertices())
+	sg.lid = make([]int32, nGlobal)
+	for i := range sg.lid {
+		sg.lid[i] = -1
+	}
 	for _, e := range sg.edges {
-		sg.verts = append(sg.verts, e.U, e.V)
+		sg.lid[e.U] = 0
+		sg.lid[e.V] = 0
 	}
-	sort.Slice(sg.verts, func(i, j int) bool { return sg.verts[i] < sg.verts[j] })
-	uniq := sg.verts[:0]
-	for i, v := range sg.verts {
-		if i == 0 || v != sg.verts[i-1] {
-			uniq = append(uniq, v)
+	count := 0
+	for v := 0; v < nGlobal; v++ {
+		if sg.lid[v] == 0 {
+			count++
 		}
 	}
-	sg.verts = uniq
+	sg.verts = make([]graph.Vertex, 0, count)
+	for v := 0; v < nGlobal; v++ {
+		if sg.lid[v] == 0 {
+			sg.lid[v] = int32(len(sg.verts))
+			sg.verts = append(sg.verts, graph.Vertex(v))
+		}
+	}
 
 	n := len(sg.verts)
 	sg.off = make([]int64, n+1)
 	for _, e := range sg.edges {
-		sg.off[sg.localID(e.U)+1]++
-		sg.off[sg.localID(e.V)+1]++
+		sg.off[sg.lid[e.U]+1]++
+		sg.off[sg.lid[e.V]+1]++
 	}
 	for v := 0; v < n; v++ {
 		sg.off[v+1] += sg.off[v]
 	}
 	sg.target = make([]graph.Vertex, sg.off[n])
 	sg.eIdx = make([]int32, sg.off[n])
-	cursor := make([]int64, n)
+	cursor := make([]int32, n)
 	for i, e := range sg.edges {
-		lu, lv := sg.localID(e.U), sg.localID(e.V)
-		pu := sg.off[lu] + cursor[lu]
+		lu, lv := sg.lid[e.U], sg.lid[e.V]
+		pu := sg.off[lu] + int64(cursor[lu])
 		sg.target[pu] = e.V
 		sg.eIdx[pu] = int32(i)
 		cursor[lu]++
-		pv := sg.off[lv] + cursor[lv]
+		pv := sg.off[lv] + int64(cursor[lv])
 		sg.target[pv] = e.U
 		sg.eIdx[pv] = int32(i)
 		cursor[lv]++
@@ -97,13 +215,14 @@ func buildSubGraph(g *graph.Graph, gd grid, rank, numParts int) *subGraph {
 	for i := range sg.owner {
 		sg.owner[i] = -1
 	}
-	sg.partSets = make([]bitset.Set, n)
-	for v := range sg.partSets {
-		sg.partSets[v] = bitset.New(numParts)
-	}
+	sg.wordsPer = bitset.WordsFor(numParts)
+	sg.partWords = make([]uint64, n*sg.wordsPer)
 	sg.drest = make([]int32, n)
+	sg.aliveLen = make([]int32, n)
 	for v := 0; v < n; v++ {
-		sg.drest[v] = int32(sg.off[v+1] - sg.off[v])
+		d := int32(sg.off[v+1] - sg.off[v])
+		sg.drest[v] = d
+		sg.aliveLen[v] = d
 	}
 	sg.freeEdges = int64(len(sg.edges))
 	return sg
@@ -111,12 +230,11 @@ func buildSubGraph(g *graph.Graph, gd grid, rank, numParts int) *subGraph {
 
 // localID returns the local index of global vertex v, or -1 if v is not
 // local.
-func (sg *subGraph) localID(v graph.Vertex) int {
-	i := sort.Search(len(sg.verts), func(i int) bool { return sg.verts[i] >= v })
-	if i < len(sg.verts) && sg.verts[i] == v {
-		return i
-	}
-	return -1
+func (sg *subGraph) localID(v graph.Vertex) int { return int(sg.lid[v]) }
+
+// partSet returns the partition-membership bitset view of local vertex lv.
+func (sg *subGraph) partSet(lv int) bitset.Set {
+	return bitset.FromWords(sg.partWords[lv*sg.wordsPer : (lv+1)*sg.wordsPer])
 }
 
 // allocateEdge tries to claim local edge le for partition p; it returns true
@@ -127,10 +245,10 @@ func (sg *subGraph) allocateEdge(le int32, p int32) bool {
 		return false
 	}
 	e := sg.edges[le]
-	if lu := sg.localID(e.U); lu >= 0 {
+	if lu := sg.lid[e.U]; lu >= 0 {
 		atomic.AddInt32(&sg.drest[lu], -1)
 	}
-	if lv := sg.localID(e.V); lv >= 0 {
+	if lv := sg.lid[e.V]; lv >= 0 {
 		atomic.AddInt32(&sg.drest[lv], -1)
 	}
 	atomic.AddInt64(&sg.freeEdges, -1)
@@ -139,14 +257,16 @@ func (sg *subGraph) allocateEdge(le int32, p int32) bool {
 
 // allocOneHop performs Alg. 3 AllocateOneHopNeighbors for a single received
 // ⟨v, p⟩ pair. It returns the new local boundary pairs ⟨u, p⟩ and appends the
-// allocated local edge indices to out.
+// allocated local edge indices to out. Sequential mode only: every free slot
+// of v is claimed here, so v's alive adjacency empties.
 func (sg *subGraph) allocOneHop(v graph.Vertex, p int32, out *[]int32) []vp {
-	lv := sg.localID(v)
+	lv := int64(sg.lid[v])
 	if lv < 0 {
 		return nil
 	}
 	var bp []vp
-	for s := sg.off[lv]; s < sg.off[lv+1]; s++ {
+	base := sg.off[lv]
+	for s := base; s < base+int64(sg.aliveLen[lv]); s++ {
 		le := sg.eIdx[s]
 		if atomic.LoadInt32(&sg.owner[le]) != -1 {
 			continue
@@ -155,13 +275,16 @@ func (sg *subGraph) allocOneHop(v graph.Vertex, p int32, out *[]int32) []vp {
 			continue
 		}
 		u := sg.target[s]
-		sg.partSets[lv].Set(int(p))
-		if lu := sg.localID(u); lu >= 0 {
-			sg.partSets[lu].Set(int(p))
+		sg.partSet(int(lv)).Set(int(p))
+		if lu := sg.lid[u]; lu >= 0 {
+			sg.partSet(int(lu)).Set(int(p))
 		}
 		bp = append(bp, vp{V: u, P: p})
 		*out = append(*out, le)
 	}
+	// Every slot in the alive range is now allocated (either previously or
+	// by this call), so the compacted free adjacency of v is empty.
+	sg.aliveLen[lv] = 0
 	return bp
 }
 
@@ -172,9 +295,10 @@ func (sg *subGraph) allocOneHop(v graph.Vertex, p int32, out *[]int32) []vp {
 // sequentially after the parallel phase. iter tags claims so that losing a
 // wanted edge to a different partition *within the same superstep* is
 // counted as an allocation conflict (§4). Returns the number of edges
-// claimed.
+// claimed. Workers may scan the same vertex concurrently, so this path reads
+// the alive range but never compacts it.
 func (sg *subGraph) allocOneHopDeferred(v graph.Vertex, p int32, iter int32, out *[]int32, bp *[]vp, defs *[]vp) int {
-	lv := sg.localID(v)
+	lv := int64(sg.lid[v])
 	if lv < 0 {
 		return 0
 	}
@@ -182,7 +306,8 @@ func (sg *subGraph) allocOneHopDeferred(v graph.Vertex, p int32, iter int32, out
 		panic("dne: allocOneHopDeferred requires claimIter (parallel mode)")
 	}
 	claimed := 0
-	for s := sg.off[lv]; s < sg.off[lv+1]; s++ {
+	base := sg.off[lv]
+	for s := base; s < base+int64(sg.aliveLen[lv]); s++ {
 		le := sg.eIdx[s]
 		if o := atomic.LoadInt32(&sg.owner[le]); o != -1 {
 			if o != p && atomic.LoadInt32(&sg.claimIter[le]) == iter {
@@ -207,11 +332,11 @@ func (sg *subGraph) allocOneHopDeferred(v graph.Vertex, p int32, iter int32, out
 // applySync records that vertex v now belongs to partition p (replica
 // synchronisation, Alg. 2 Line 3). Returns the local id, or -1.
 func (sg *subGraph) applySync(v graph.Vertex, p int32) int {
-	lv := sg.localID(v)
+	lv := sg.lid[v]
 	if lv >= 0 {
-		sg.partSets[lv].Set(int(p))
+		sg.partSet(int(lv)).Set(int(p))
 	}
-	return lv
+	return int(lv)
 }
 
 // allocTwoHop performs Alg. 3 AllocateTwoHopNeighbors for one synced boundary
@@ -226,25 +351,38 @@ func (sg *subGraph) applySync(v graph.Vertex, p int32) int {
 // each partition this iteration (a 1/P fair share of the partition's
 // remaining capacity), bounding the cross-machine overshoot that the
 // one-iteration-stale sizesView cannot see.
+// Runs in the sequential phase, so it stably compacts u's surviving free
+// slots to the front of the alive range as it scans.
 func (sg *subGraph) allocTwoHop(u graph.Vertex, sizesView, twoBudget []int64, capEdges int64, scratch bitset.Set, out *[]int32) {
-	lu := sg.localID(u)
+	lu := int64(sg.lid[u])
 	if lu < 0 {
 		return
 	}
 	if atomic.LoadInt32(&sg.drest[lu]) == 0 {
 		return
 	}
-	for s := sg.off[lu]; s < sg.off[lu+1]; s++ {
-		le := sg.eIdx[s]
+	base := sg.off[lu]
+	alive := int64(sg.aliveLen[lu])
+	setU := sg.partSet(int(lu))
+	var keep int64
+	for s := int64(0); s < alive; s++ {
+		le := sg.eIdx[base+s]
 		if atomic.LoadInt32(&sg.owner[le]) != -1 {
-			continue
+			continue // allocated: drop from the alive range
 		}
-		w := sg.target[s]
-		lw := sg.localID(w)
+		w := sg.target[base+s]
+		lw := sg.lid[w]
 		if lw < 0 {
+			// Never allocatable here; keep (still a free edge of u).
+			sg.eIdx[base+keep] = le
+			sg.target[base+keep] = w
+			keep++
 			continue
 		}
-		if !bitset.IntersectInto(scratch, sg.partSets[lu], sg.partSets[lw]) {
+		if !bitset.IntersectInto(scratch, setU, sg.partSet(int(lw))) {
+			sg.eIdx[base+keep] = le
+			sg.target[base+keep] = w
+			keep++
 			continue
 		}
 		best := int32(-1)
@@ -259,19 +397,27 @@ func (sg *subGraph) allocTwoHop(u graph.Vertex, sizesView, twoBudget []int64, ca
 			}
 		})
 		if best == -1 {
+			sg.eIdx[base+keep] = le
+			sg.target[base+keep] = w
+			keep++
 			continue
 		}
 		if sg.allocateEdge(le, best) {
 			sizesView[best]++
 			twoBudget[best]--
 			*out = append(*out, le)
+		} else {
+			sg.eIdx[base+keep] = le
+			sg.target[base+keep] = w
+			keep++
 		}
 	}
+	sg.aliveLen[lu] = int32(keep)
 }
 
 // localDrest returns the current free local degree of v (Alg. 2 Line 5).
 func (sg *subGraph) localDrest(v graph.Vertex) int32 {
-	lv := sg.localID(v)
+	lv := sg.lid[v]
 	if lv < 0 {
 		return 0
 	}
@@ -315,7 +461,7 @@ func (sg *subGraph) sweepLeftovers(partSizes []int64, scratch bitset.Set) int64 
 			continue
 		}
 		e := sg.edges[le]
-		lu, lv := sg.localID(e.U), sg.localID(e.V)
+		lu, lv := sg.lid[e.U], sg.lid[e.V]
 		best := int32(-1)
 		var bestSize int64
 		consider := func(q int) {
@@ -326,10 +472,10 @@ func (sg *subGraph) sweepLeftovers(partSizes []int64, scratch bitset.Set) int64 
 		}
 		scratch.Reset()
 		if lu >= 0 {
-			scratch.Or(sg.partSets[lu])
+			scratch.Or(sg.partSet(int(lu)))
 		}
 		if lv >= 0 {
-			scratch.Or(sg.partSets[lv])
+			scratch.Or(sg.partSet(int(lv)))
 		}
 		if !scratch.Empty() {
 			scratch.ForEach(consider)
@@ -347,19 +493,20 @@ func (sg *subGraph) sweepLeftovers(partSizes []int64, scratch bitset.Set) int64 
 }
 
 // memoryFootprint returns an analytic byte count of this subgraph's arrays,
-// used by the Fig-9 memory score.
+// used by the Fig-9 memory score. The dense global→local map and the packed
+// partition-bitset slab are charged at their true flat-array sizes; no
+// hash-map entry overhead exists any more.
 func (sg *subGraph) memoryFootprint() int64 {
-	bytes := int64(len(sg.verts))*4 +
+	return int64(len(sg.verts))*4 +
+		int64(len(sg.lid))*4 +
 		int64(len(sg.off))*8 +
 		int64(len(sg.target))*4 +
 		int64(len(sg.eIdx))*4 +
+		int64(len(sg.aliveLen))*4 +
 		int64(len(sg.edges))*8 +
 		int64(len(sg.globalIdx))*8 +
 		int64(len(sg.owner))*4 +
 		int64(len(sg.claimIter))*4 +
-		int64(len(sg.drest))*4
-	for _, s := range sg.partSets {
-		bytes += s.MemoryFootprint()
-	}
-	return bytes
+		int64(len(sg.drest))*4 +
+		int64(len(sg.partWords))*8
 }

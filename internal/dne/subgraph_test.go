@@ -1,0 +1,130 @@
+package dne
+
+import (
+	"slices"
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// TestEdgeBucketsMatchesScan checks the single-pass grid-bucketed
+// extraction — sequential and chunk-parallel — against the per-rank scan,
+// for several machine counts (square and non-square grids).
+func TestEdgeBucketsMatchesScan(t *testing.T) {
+	g := gen.RMAT(11, 8, 5)
+	for _, p := range []int{1, 3, 8, 17} {
+		gd := newGrid(p)
+		want := make([][]int64, p)
+		for i, e := range g.Edges() {
+			r := gd.edgeOwner(e.U, e.V)
+			want[r] = append(want[r], int64(i))
+		}
+		for _, w := range []int{1, 2, 5} {
+			got := edgeBucketsWorkers(g, gd, p, w)
+			for r := 0; r < p; r++ {
+				if !slices.Equal(got[r], want[r]) {
+					t.Fatalf("p=%d w=%d rank %d: bucket mismatch (%d vs %d edges)",
+						p, w, r, len(got[r]), len(want[r]))
+				}
+			}
+		}
+	}
+}
+
+// TestBuildSubGraphFromEquivalence checks that the bucket-driven build and
+// the self-extracting build produce identical subgraphs, field for field.
+func TestBuildSubGraphFromEquivalence(t *testing.T) {
+	g := gen.RMAT(11, 8, 9)
+	const p = 6
+	gd := newGrid(p)
+	buckets := edgeBuckets(g, gd, p)
+	for rank := 0; rank < p; rank++ {
+		a := buildSubGraph(g, gd, rank, p)
+		b := buildSubGraphFrom(g, p, buckets[rank])
+		if !slices.Equal(a.verts, b.verts) {
+			t.Fatalf("rank %d: verts differ", rank)
+		}
+		if !slices.Equal(a.lid, b.lid) {
+			t.Fatalf("rank %d: lid differs", rank)
+		}
+		if !slices.Equal(a.off, b.off) {
+			t.Fatalf("rank %d: off differs", rank)
+		}
+		if !slices.Equal(a.target, b.target) {
+			t.Fatalf("rank %d: target differs", rank)
+		}
+		if !slices.Equal(a.eIdx, b.eIdx) {
+			t.Fatalf("rank %d: eIdx differs", rank)
+		}
+		if !slices.Equal(a.edges, b.edges) {
+			t.Fatalf("rank %d: edges differ", rank)
+		}
+		if !slices.Equal(a.globalIdx, b.globalIdx) {
+			t.Fatalf("rank %d: globalIdx differs", rank)
+		}
+		if !slices.Equal(a.drest, b.drest) || !slices.Equal(a.aliveLen, b.aliveLen) {
+			t.Fatalf("rank %d: drest/aliveLen differ", rank)
+		}
+	}
+}
+
+// TestSubGraphLocalIDDense spot-checks the dense global→local map against
+// the sorted verts slice it is derived from.
+func TestSubGraphLocalIDDense(t *testing.T) {
+	g := gen.RMAT(10, 6, 3)
+	gd := newGrid(4)
+	sg := buildSubGraph(g, gd, 2, 4)
+	for lv, v := range sg.verts {
+		if got := sg.localID(v); got != lv {
+			t.Fatalf("localID(%d) = %d, want %d", v, got, lv)
+		}
+	}
+	seen := make(map[graph.Vertex]bool, len(sg.verts))
+	for _, v := range sg.verts {
+		seen[v] = true
+	}
+	for v := graph.Vertex(0); v < g.NumVertices(); v++ {
+		if !seen[v] && sg.localID(v) != -1 {
+			t.Fatalf("localID(%d) = %d for non-local vertex", v, sg.localID(v))
+		}
+	}
+}
+
+// BenchmarkBuildSubGraph measures the driver path: one grid-bucketed pass
+// over the edges plus per-machine CSR materialization, for all 16 machines.
+func BenchmarkBuildSubGraph(b *testing.B) {
+	g := gen.RMAT(14, 16, 21)
+	const p = 16
+	gd := newGrid(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buckets := edgeBuckets(g, gd, p)
+		for rank := 0; rank < p; rank++ {
+			sg := buildSubGraphFrom(g, p, buckets[rank])
+			if len(sg.edges) == 0 {
+				b.Fatal("empty subgraph")
+			}
+		}
+	}
+}
+
+// BenchmarkBuildSubGraphScan is the self-extracting fallback the
+// multi-process transport uses (and the closest surviving relative of the
+// old per-machine scan), for the same total work.
+func BenchmarkBuildSubGraphScan(b *testing.B) {
+	g := gen.RMAT(14, 16, 21)
+	const p = 16
+	gd := newGrid(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for rank := 0; rank < p; rank++ {
+			sg := buildSubGraph(g, gd, rank, p)
+			if len(sg.edges) == 0 {
+				b.Fatal("empty subgraph")
+			}
+		}
+	}
+}

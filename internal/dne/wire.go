@@ -36,7 +36,7 @@ func PartitionOver(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg C
 			owner[i] = -1
 		}
 	}
-	if err := runMachine(ctx, comm, g, cfg, &res, owner); err != nil {
+	if err := runMachine(ctx, comm, g, cfg, &res, owner, nil); err != nil {
 		return nil, nil, err
 	}
 	return owner, &MachineStats{

@@ -1,0 +1,131 @@
+package dsa
+
+// Boundary is the expansion frontier of (Distributed) Neighbor Expansion: a
+// priority queue of ⟨Drest(v), v⟩ pairs supporting lazy score refresh, plus
+// an optional "expanded" set for vertices that must never re-enter (Alg. 1 /
+// Alg. 4 of the paper).
+//
+// All membership state lives in flat slabs indexed by dense vertex id and
+// stamped with an epoch counter, so Reset is O(1) and a single Boundary is
+// reused across partitions (NE) or supersteps (Distributed NE) without
+// reallocation. Scores are refreshed by re-pushing and skipping stale heap
+// entries on pop, exactly like the map-based implementation it replaces; the
+// pop sequence is the same total order by (Drest, v).
+//
+// Invariants:
+//   - A vertex is live iff mark[v] == epoch; its current score is score[v].
+//   - A vertex is expanded iff done[v] == epoch; expanded vertices ignore
+//     Update and never re-enter until Reset.
+//   - Stale heap entries (score changed, vertex popped or expanded) are
+//     detected on pop by comparing against score/mark and discarded.
+type Boundary struct {
+	h     MinHeap4
+	score []int32
+	mark  []uint32 // mark[v] == epoch ⇔ v live in the boundary
+	done  []uint32 // done[v] == epoch ⇔ v expanded (PopK users)
+	epoch uint32
+	size  int
+	peak  int
+}
+
+// NewBoundary returns a Boundary over vertex ids [0, n).
+func NewBoundary(n int) *Boundary {
+	return &Boundary{
+		score: make([]int32, n),
+		mark:  make([]uint32, n),
+		done:  make([]uint32, n),
+		epoch: 1,
+	}
+}
+
+// Reset empties the boundary and the expanded set in O(1) by bumping the
+// epoch. The slabs are reused; no allocation happens. After 2^32−1 Resets
+// the stamps are zeroed once so stale epochs can never alias, as in
+// EpochSet.Clear.
+func (b *Boundary) Reset() {
+	b.epoch++
+	if b.epoch == 0 {
+		clear(b.mark)
+		clear(b.done)
+		b.epoch = 1
+	}
+	b.h.Reset()
+	b.size = 0
+}
+
+// Len returns the number of live boundary vertices.
+func (b *Boundary) Len() int { return b.size }
+
+// Update inserts v with score d, or refreshes its score if v is already
+// live. Expanded vertices are ignored; unchanged scores are not re-pushed.
+func (b *Boundary) Update(v uint32, d int32) {
+	if b.done[v] == b.epoch {
+		return
+	}
+	if b.mark[v] == b.epoch {
+		if b.score[v] == d {
+			return
+		}
+	} else {
+		b.mark[v] = b.epoch
+		b.size++
+		if b.size > b.peak {
+			b.peak = b.size
+		}
+	}
+	b.score[v] = d
+	b.h.Push(d, v)
+}
+
+// PopMin removes and returns the live vertex with the minimal (score, id)
+// pair. It returns false when the boundary is empty.
+func (b *Boundary) PopMin() (uint32, bool) {
+	for b.h.Len() > 0 {
+		e := b.h.Pop()
+		if b.mark[e.V] != b.epoch || b.score[e.V] != e.K {
+			continue // stale entry
+		}
+		b.mark[e.V] = 0
+		b.size--
+		return e.V, true
+	}
+	return 0, false
+}
+
+// PopK removes and returns up to k minimum-score vertices, additionally
+// stopping once the popped vertices' cumulative score reaches budget (the
+// expected number of one-hop edges the batch will allocate, so a single
+// multi-expansion superstep cannot overshoot the α cap, Eq. 2). At least one
+// vertex is returned when the boundary is non-empty and budget > 0. Popped
+// vertices are marked expanded and never re-enter until Reset. The returned
+// slice aliases dst's backing array.
+func (b *Boundary) PopK(k int, budget int64, dst []uint32) []uint32 {
+	dst = dst[:0]
+	var cum int64
+	for len(dst) < k && cum < budget && b.h.Len() > 0 {
+		e := b.h.Pop()
+		if b.mark[e.V] != b.epoch || b.score[e.V] != e.K {
+			continue // stale entry
+		}
+		b.mark[e.V] = 0
+		b.done[e.V] = b.epoch
+		b.size--
+		dst = append(dst, e.V)
+		cum += int64(e.K)
+	}
+	return dst
+}
+
+// MemoryFootprint returns the bytes held by the boundary's dense slabs and
+// the heap's peak backing array: 12 bytes per vertex id in the domain plus 8
+// per peak heap entry. Unlike the map-based predecessor there is no
+// per-entry bucket overhead to charge.
+func (b *Boundary) MemoryFootprint() int64 {
+	return int64(len(b.score))*4 +
+		int64(len(b.mark))*4 +
+		int64(len(b.done))*4 +
+		b.h.MemoryFootprint()
+}
+
+// Peak returns the maximum number of simultaneously live vertices observed.
+func (b *Boundary) Peak() int { return b.peak }

@@ -1,0 +1,414 @@
+package dsa
+
+import (
+	"container/heap"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// --- reference implementations (the map/container-heap structures the dense
+// ones replaced; kept here so every release is differentially checked
+// against them) ---
+
+type refEntry struct {
+	v uint32
+	d int32
+}
+
+type refHeap []refEntry
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].v < h[j].v
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEntry)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// refBoundary is the old map-based lazy boundary.
+type refBoundary struct {
+	h        refHeap
+	score    map[uint32]int32
+	expanded map[uint32]struct{}
+}
+
+func newRefBoundary() *refBoundary {
+	return &refBoundary{score: map[uint32]int32{}, expanded: map[uint32]struct{}{}}
+}
+
+func (b *refBoundary) update(v uint32, d int32) {
+	if _, done := b.expanded[v]; done {
+		return
+	}
+	if old, ok := b.score[v]; ok && old == d {
+		return
+	}
+	b.score[v] = d
+	heap.Push(&b.h, refEntry{v: v, d: d})
+}
+
+func (b *refBoundary) popK(k int, budget int64) []uint32 {
+	var out []uint32
+	var cum int64
+	for len(out) < k && cum < budget && b.h.Len() > 0 {
+		e := heap.Pop(&b.h).(refEntry)
+		cur, live := b.score[e.v]
+		if !live || cur != e.d {
+			continue
+		}
+		delete(b.score, e.v)
+		b.expanded[e.v] = struct{}{}
+		out = append(out, e.v)
+		cum += int64(e.d)
+	}
+	return out
+}
+
+func (b *refBoundary) popMin() (uint32, bool) {
+	for b.h.Len() > 0 {
+		e := heap.Pop(&b.h).(refEntry)
+		if cur, ok := b.score[e.v]; ok && cur == e.d {
+			delete(b.score, e.v)
+			return e.v, true
+		}
+	}
+	return 0, false
+}
+
+// --- MinHeap4 ---
+
+func TestMinHeap4MatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		var h MinHeap4
+		var ref refHeap
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			k := int32(rng.Intn(50))
+			v := uint32(rng.Intn(300))
+			h.Push(k, v)
+			heap.Push(&ref, refEntry{v: v, d: k})
+		}
+		for ref.Len() > 0 {
+			want := heap.Pop(&ref).(refEntry)
+			got := h.Pop()
+			if got.K != want.d || got.V != want.v {
+				t.Fatalf("trial %d: pop mismatch: got (%d,%d) want (%d,%d)",
+					trial, got.K, got.V, want.d, want.v)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: heap not drained: %d left", trial, h.Len())
+		}
+	}
+}
+
+// TestBoundaryPopOrderMatchesReference drives the dense boundary and the old
+// map/container-heap boundary through identical randomized update/pop
+// sequences and asserts identical pop order — the bit-for-bit determinism
+// contract the partitioners rely on.
+func TestBoundaryPopOrderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 512
+	b := NewBoundary(n)
+	for trial := 0; trial < 30; trial++ {
+		b.Reset()
+		ref := newRefBoundary()
+		var scratch []uint32
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0, 1: // batch of updates
+				for i := 0; i < rng.Intn(40); i++ {
+					v := uint32(rng.Intn(n))
+					d := int32(rng.Intn(30))
+					b.Update(v, d)
+					ref.update(v, d)
+				}
+			case 2: // popK with budget
+				k := 1 + rng.Intn(8)
+				budget := int64(1 + rng.Intn(40))
+				got := b.PopK(k, budget, scratch)
+				want := ref.popK(k, budget)
+				if !slices.Equal(got, want) {
+					t.Fatalf("trial %d step %d: popK(%d,%d) = %v, want %v",
+						trial, step, k, budget, got, want)
+				}
+				scratch = got
+			}
+			if b.Len() != len(ref.score) {
+				t.Fatalf("trial %d step %d: len %d != ref %d", trial, step, b.Len(), len(ref.score))
+			}
+		}
+		// Drain.
+		for {
+			got := b.PopK(4, 1<<40, scratch)
+			want := ref.popK(4, 1<<40)
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d drain: %v != %v", trial, got, want)
+			}
+			if len(want) == 0 {
+				break
+			}
+		}
+	}
+}
+
+// TestBoundaryPopMinMatchesReference covers the NE-style popMin path,
+// including epoch reuse across partitions.
+func TestBoundaryPopMinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 256
+	b := NewBoundary(n)
+	for part := 0; part < 40; part++ {
+		b.Reset()
+		ref := newRefBoundary()
+		for step := 0; step < 150; step++ {
+			if rng.Intn(3) > 0 {
+				v := uint32(rng.Intn(n))
+				d := int32(rng.Intn(20) - 5)
+				b.Update(v, d)
+				ref.update(v, d)
+			} else {
+				gotV, gotOK := b.PopMin()
+				wantV, wantOK := ref.popMin()
+				if gotOK != wantOK || gotV != wantV {
+					t.Fatalf("part %d step %d: popMin (%d,%v) != (%d,%v)",
+						part, step, gotV, gotOK, wantV, wantOK)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundaryExpandedNeverReenters(t *testing.T) {
+	b := NewBoundary(8)
+	b.Update(3, 5)
+	got := b.PopK(1, 100, nil)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("popK = %v, want [3]", got)
+	}
+	b.Update(3, 1) // expanded: must be ignored
+	if b.Len() != 0 {
+		t.Fatalf("expanded vertex re-entered: len=%d", b.Len())
+	}
+	b.Reset()
+	b.Update(3, 1) // after Reset it may re-enter
+	if b.Len() != 1 {
+		t.Fatalf("vertex did not re-enter after Reset: len=%d", b.Len())
+	}
+}
+
+func TestBoundaryPopKBudget(t *testing.T) {
+	b := NewBoundary(16)
+	for v := uint32(0); v < 10; v++ {
+		b.Update(v, 4)
+	}
+	// budget 9 : pops scores 4+4 = 8 < 9, then one more (cum check is
+	// pre-pop), matching the reference loop's "cum < budget" condition.
+	got := b.PopK(10, 9, nil)
+	ref := newRefBoundary()
+	for v := uint32(0); v < 10; v++ {
+		ref.update(v, 4)
+	}
+	want := ref.popK(10, 9)
+	if !slices.Equal(got, want) {
+		t.Fatalf("budget semantics differ: %v vs %v", got, want)
+	}
+}
+
+func TestBoundaryResetEpochWrap(t *testing.T) {
+	b := NewBoundary(4)
+	b.Update(1, 7)
+	b.PopK(1, 100, nil) // 1 expanded in epoch 1
+	b.epoch = ^uint32(0)
+	b.mark[2] = 1 // stale stamps that would alias the post-wrap epoch
+	b.done[3] = 1
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("stale live membership after epoch wrap")
+	}
+	b.Update(3, 5) // done[3] must not suppress the insert
+	if b.Len() != 1 {
+		t.Fatal("stale expanded stamp survived epoch wrap")
+	}
+	if v, ok := b.PopMin(); !ok || v != 3 {
+		t.Fatalf("PopMin = (%d,%v), want (3,true)", v, ok)
+	}
+}
+
+// --- EpochSet ---
+
+func TestEpochSet(t *testing.T) {
+	s := NewEpochSet(10)
+	if s.Has(4) {
+		t.Fatal("fresh set has 4")
+	}
+	if !s.Add(4) || s.Add(4) {
+		t.Fatal("Add semantics wrong")
+	}
+	if !s.Has(4) {
+		t.Fatal("4 missing after Add")
+	}
+	s.Clear()
+	if s.Has(4) {
+		t.Fatal("4 survived Clear")
+	}
+	if !s.Add(4) {
+		t.Fatal("re-Add after Clear failed")
+	}
+}
+
+func TestEpochSetWrap(t *testing.T) {
+	s := NewEpochSet(4)
+	s.Add(1)
+	s.epoch = ^uint32(0) // force wrap on next Clear
+	s.stamp[2] = 1       // stale stamp equal to the post-wrap epoch
+	s.Clear()
+	if s.Has(2) || s.Has(1) {
+		t.Fatal("stale membership after epoch wrap")
+	}
+}
+
+// --- sorts ---
+
+func TestSortU32MatchesSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 5, sortSmall - 1, sortSmall + 1, 50_000} {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = rng.Uint32() >> uint(rng.Intn(20)) // mix of ranges
+		}
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		SortU32(keys)
+		if !slices.Equal(keys, want) {
+			t.Fatalf("n=%d: SortU32 mismatch", n)
+		}
+	}
+}
+
+func TestSortU64MatchesSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 3, sortSmall + 7, 120_000} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64() >> uint(rng.Intn(40))
+		}
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		SortU64(keys)
+		if !slices.Equal(keys, want) {
+			t.Fatalf("n=%d: SortU64 mismatch", n)
+		}
+	}
+}
+
+// TestRadixSortParallelPath forces the multi-worker scatter path (a
+// single-core machine would otherwise only run w=1) and checks stability of
+// the digit passes via full ordering.
+func TestRadixSortParallelPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	keys := make([]uint64, 30_000)
+	for i := range keys {
+		keys[i] = uint64(rng.Uint32()) // exercises the skip of high passes
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	got := slices.Clone(keys)
+	radixSortWorkers(got, make([]uint64, len(got)), 4, 4)
+	if !slices.Equal(got, want) {
+		t.Fatal("parallel radix mismatch")
+	}
+	// And uniform input (every pass skipped).
+	uni := make([]uint64, 10_000)
+	for i := range uni {
+		uni[i] = 42
+	}
+	radixSortWorkers(uni, make([]uint64, len(uni)), 4, 3)
+	for _, k := range uni {
+		if k != 42 {
+			t.Fatal("uniform input corrupted")
+		}
+	}
+}
+
+func BenchmarkSortU64(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]uint64, 1<<20)
+	for i := range keys {
+		keys[i] = uint64(rng.Uint32())<<32 | uint64(rng.Uint32())
+	}
+	scratch := make([]uint64, len(keys))
+	work := make([]uint64, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, keys)
+		SortU64Scratch(work, scratch)
+	}
+}
+
+// BenchmarkBoundaryPopK measures the popK hot path: a large churn of
+// updates and budgeted pops, the per-superstep pattern of Distributed NE.
+func BenchmarkBoundaryPopK(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(8))
+	vs := make([]uint32, 1<<18)
+	ds := make([]int32, len(vs))
+	for i := range vs {
+		vs[i] = uint32(rng.Intn(n))
+		ds[i] = int32(rng.Intn(256))
+	}
+	bd := NewBoundary(n)
+	var scratch []uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.Reset()
+		for j := range vs {
+			bd.Update(vs[j], ds[j])
+			if j&1023 == 1023 {
+				scratch = bd.PopK(64, 1<<20, scratch)
+			}
+		}
+		for bd.Len() > 0 {
+			scratch = bd.PopK(256, 1<<30, scratch)
+		}
+	}
+}
+
+// BenchmarkBoundaryPopKReference is the map/container-heap predecessor on
+// the same workload, so `go test -bench BoundaryPopK` prints the before and
+// after side by side.
+func BenchmarkBoundaryPopKReference(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(8))
+	vs := make([]uint32, 1<<18)
+	ds := make([]int32, len(vs))
+	for i := range vs {
+		vs[i] = uint32(rng.Intn(n))
+		ds[i] = int32(rng.Intn(256))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd := newRefBoundary()
+		for j := range vs {
+			bd.update(vs[j], ds[j])
+			if j&1023 == 1023 {
+				bd.popK(64, 1<<20)
+			}
+		}
+		for len(bd.score) > 0 {
+			bd.popK(256, 1<<30)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 package engine
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"github.com/distributedne/dne/internal/graph"
 )
@@ -142,7 +143,7 @@ func (e *Engine) Coreness() []int32 {
 // hIndex returns the largest h such that at least h values are >= h.
 // It mutates vals (sorts descending).
 func hIndex(vals []int32) int32 {
-	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	slices.SortFunc(vals, func(a, b int32) int { return cmp.Compare(b, a) })
 	var h int32
 	for i, v := range vals {
 		if v >= int32(i+1) {

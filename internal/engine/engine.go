@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -90,7 +91,7 @@ func New(g *graph.Graph, pt *partition.Partitioning) *Engine {
 	}
 	for v := 0; v < n; v++ {
 		reps := e.replicasOf[v]
-		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+		slices.Sort(reps)
 		if len(reps) > 0 {
 			e.masterOf[v] = reps[0]
 		}

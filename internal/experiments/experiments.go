@@ -35,7 +35,10 @@ type Options struct {
 	PRIters int
 	// Quick restricts sweeps to fewer points (used by unit tests).
 	Quick bool
-	Out   io.Writer
+	// JSONPath, when non-empty, makes experiments that support it (perf)
+	// write a machine-readable snapshot to this file.
+	JSONPath string
+	Out      io.Writer
 }
 
 func (o Options) out() io.Writer { return o.Out }
@@ -572,6 +575,7 @@ var All = []struct {
 	{"table4", "comparison with sequential algorithms", Table4},
 	{"table5", "graph applications (SSSP/WCC/PageRank)", Table5},
 	{"table6", "road networks (non-skewed)", Table6},
+	{"perf", "tracked perf snapshot of the expansion partitioners (BENCH_dne.json)", Perf},
 	{"extdyn", "§8 extension: dynamic-graph incremental maintenance", ExtDynamic},
 	{"exthyper", "§8 extension: hypergraph partitioning", ExtHyper},
 	{"extpl", "§6 premise: power-law fits of the stand-ins", ExtPowerLaw},

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/distributedne/dne/internal/bench"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// PerfRecord is one method's measurement in the tracked perf snapshot.
+type PerfRecord struct {
+	Method  string  `json:"method"`
+	Edges   int64   `json:"edges"`
+	Parts   int     `json:"parts"`
+	WallMS  float64 `json:"wall_ms"`
+	PeakMem int64   `json:"peak_mem"`
+	RF      float64 `json:"rf"`
+}
+
+// PerfSnapshot is the BENCH_dne.json document: the seeded reference
+// benchmark (RMAT scale 16, edge factor 16 ⇒ ~0.9M canonical edges, 16
+// partitions) measured for the expansion partitioners, so the repository
+// carries a perf trajectory that regressions are judged against.
+type PerfSnapshot struct {
+	Graph    string       `json:"graph"`
+	Vertices uint32       `json:"vertices"`
+	Edges    int64        `json:"edges"`
+	Parts    int          `json:"parts"`
+	Seed     int64        `json:"seed"`
+	Runs     []PerfRecord `json:"runs"`
+}
+
+// Perf runs the tracked DNE perf benchmark and prints the snapshot as a
+// table; when o.JSONPath is non-empty the snapshot is also written there
+// (the checked-in baseline is regenerated with
+// `go run ./cmd/expbench -exp perf -json BENCH_dne.json`).
+func Perf(o Options) error {
+	scale := 16 + o.Shift
+	if o.Quick {
+		scale = 12 + o.Shift
+	}
+	const edgeFactor = 16
+	const parts = 16
+	g := gen.RMAT(scale, edgeFactor, o.Seed)
+	snap := PerfSnapshot{
+		Graph:    fmt.Sprintf("rmat-s%d-e%d", scale, edgeFactor),
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Parts:    parts,
+		Seed:     o.Seed,
+	}
+	tbl := &bench.Table{Header: []string{"method", "edges", "parts", "wall_ms", "peak_mem", "RF"}}
+	for _, name := range []string{"dne", "ne"} {
+		run := bench.Execute(o.ctx(), method(name), g, partition.Spec{NumParts: parts, Seed: o.Seed})
+		if run.Err != nil {
+			return fmt.Errorf("perf: %s: %w", name, run.Err)
+		}
+		rec := PerfRecord{
+			Method:  name,
+			Edges:   g.NumEdges(),
+			Parts:   parts,
+			WallMS:  float64(run.Elapsed.Microseconds()) / 1000,
+			PeakMem: run.MemBytes,
+			RF:      run.Quality.ReplicationFactor,
+		}
+		snap.Runs = append(snap.Runs, rec)
+		tbl.Add(rec.Method, rec.Edges, rec.Parts, rec.WallMS, rec.PeakMem, rec.RF)
+	}
+	tbl.Print(o.out())
+	if o.JSONPath != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(o.JSONPath, buf, 0o644); err != nil {
+			return fmt.Errorf("perf: write snapshot: %w", err)
+		}
+		fmt.Fprintf(o.out(), "wrote %s\n", o.JSONPath)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPerfWritesJSONSnapshot checks the BENCH_dne.json writer: a complete,
+// well-formed snapshot with one record per expansion method and sane fields.
+func TestPerfWritesJSONSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	o := quickOpts(&buf)
+	o.JSONPath = filepath.Join(t.TempDir(), "BENCH_dne.json")
+	if err := Perf(o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(o.JSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap PerfSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Parts != 16 || snap.Edges == 0 {
+		t.Fatalf("snapshot header incomplete: %+v", snap)
+	}
+	want := map[string]bool{"dne": false, "ne": false}
+	for _, r := range snap.Runs {
+		want[r.Method] = true
+		if r.Edges != snap.Edges || r.Parts != snap.Parts {
+			t.Fatalf("record %q disagrees with header: %+v", r.Method, r)
+		}
+		if r.WallMS <= 0 || r.PeakMem <= 0 || r.RF < 1 {
+			t.Fatalf("record %q has implausible measurements: %+v", r.Method, r)
+		}
+	}
+	for m, seen := range want {
+		if !seen {
+			t.Fatalf("snapshot missing method %q", m)
+		}
+	}
+}

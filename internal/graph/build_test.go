@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// refFromEdges is the sequential comparator-sort reference build the radix
+// construction replaced; FromEdges must reproduce it bit for bit.
+func refFromEdges(numVertices uint32, raw []Edge) *Graph {
+	edges := make([]Edge, 0, len(raw))
+	maxV := uint32(0)
+	for _, e := range raw {
+		if e.U == e.V {
+			continue
+		}
+		c := e.Canon()
+		if c.V >= maxV {
+			maxV = c.V + 1
+		}
+		edges = append(edges, c)
+	}
+	if numVertices == 0 {
+		numVertices = maxV
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	out := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			out = append(out, e)
+		}
+	}
+	g := &Graph{n: numVertices, edges: out}
+	g.buildCSRSequential()
+	return g
+}
+
+func assertGraphsIdentical(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.n != want.n {
+		t.Fatalf("n: %d != %d", got.n, want.n)
+	}
+	if !slices.Equal(got.edges, want.edges) {
+		t.Fatalf("edge lists differ (%d vs %d edges)", len(got.edges), len(want.edges))
+	}
+	if !slices.Equal(got.adjOff, want.adjOff) {
+		t.Fatal("adjOff differs")
+	}
+	if !slices.Equal(got.adjTarget, want.adjTarget) {
+		t.Fatal("adjTarget differs")
+	}
+	if !slices.Equal(got.adjEdge, want.adjEdge) {
+		t.Fatal("adjEdge differs")
+	}
+}
+
+// TestFromEdgesMatchesReference builds randomized multigraphs (with self
+// loops and duplicates) through the new radix/parallel path and the old
+// sequential path and asserts identical edge lists and CSR arrays.
+func TestFromEdgesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		n := uint32(1 + rng.Intn(5000))
+		m := rng.Intn(40_000)
+		raw := make([]Edge, m)
+		for i := range raw {
+			raw[i] = Edge{U: uint32(rng.Intn(int(n))), V: uint32(rng.Intn(int(n)))}
+		}
+		// Salt in duplicates.
+		for i := 0; i+1 < len(raw); i += 7 {
+			raw[i+1] = raw[i]
+		}
+		got := FromEdges(n, raw)
+		want := refFromEdges(n, slices.Clone(raw))
+		assertGraphsIdentical(t, got, want)
+	}
+}
+
+// TestBuildCSRWorkersIdentical forces every worker count (a single-core
+// machine would otherwise only exercise w=1) and asserts the parallel fill
+// produces the sequential layout.
+func TestBuildCSRWorkersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	raw := make([]Edge, 30_000)
+	for i := range raw {
+		raw[i] = Edge{U: uint32(rng.Intn(2000)), V: uint32(rng.Intn(2000))}
+	}
+	want := FromEdges(2000, raw)
+	for _, w := range []int{2, 3, 7, 16} {
+		got := &Graph{n: want.n, edges: slices.Clone(want.edges)}
+		got.buildCSRWorkers(w)
+		assertGraphsIdentical(t, got, want)
+	}
+}
+
+func TestFromEdgesEmptyAndTiny(t *testing.T) {
+	g := FromEdges(0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: %v", g)
+	}
+	g = FromEdges(0, []Edge{{U: 3, V: 3}}) // only a self loop
+	if g.NumEdges() != 0 {
+		t.Fatalf("self loop survived: %v", g)
+	}
+	if g.NumVertices() != 0 {
+		t.Fatalf("self loops must not widen the inferred vertex range: %v", g)
+	}
+	g = FromEdges(0, []Edge{{U: 5, V: 2}, {U: 2, V: 5}})
+	if g.NumEdges() != 1 || g.Edge(0) != (Edge{U: 2, V: 5}) {
+		t.Fatalf("canon+dedup wrong: %v %v", g, g.Edges())
+	}
+}
+
+// BenchmarkGraphBuild measures FromEdges end to end (canonicalize, radix
+// sort, dedup, CSR fill) on an RMAT-like skewed multigraph.
+func BenchmarkGraphBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 1 << 16
+	raw := make([]Edge, 1<<20)
+	for i := range raw {
+		// Skewed endpoints: square the uniform variate toward 0.
+		u := uint32(float64(n-1) * rng.Float64() * rng.Float64())
+		v := uint32(rng.Intn(n))
+		raw[i] = Edge{U: u, V: v}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := FromEdges(n, raw)
+		if g.NumEdges() == 0 {
+			b.Fatal("empty build")
+		}
+	}
+}
+
+// BenchmarkGraphBuildReference is the pre-change sequential comparator
+// build on the same input, for before/after comparison.
+func BenchmarkGraphBuildReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 1 << 16
+	raw := make([]Edge, 1<<20)
+	for i := range raw {
+		u := uint32(float64(n-1) * rng.Float64() * rng.Float64())
+		v := uint32(rng.Intn(n))
+		raw[i] = Edge{U: u, V: v}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := refFromEdges(n, slices.Clone(raw))
+		if g.NumEdges() == 0 {
+			b.Fatal("empty build")
+		}
+	}
+}

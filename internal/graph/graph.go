@@ -10,7 +10,10 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
+
+	"github.com/distributedne/dne/internal/dsa"
 )
 
 // Vertex is a dense vertex identifier.
@@ -60,8 +63,15 @@ type Graph struct {
 // FromEdges builds a graph from raw (possibly duplicated, possibly
 // non-canonical) edges. numVertices may be 0, in which case it is inferred as
 // max endpoint + 1. Self loops are dropped and duplicates compacted.
+//
+// Construction is parallel end to end on multi-core machines: canonical
+// edges are packed into uint64 keys and sorted with a parallel radix sort
+// (replacing the comparator-based sort.Slice), and the CSR adjacency is
+// filled by concurrent chunk workers. The result is bit-identical to the
+// sequential build: the same sorted, deduplicated edge list and the same
+// adjacency layout (each vertex's slots ascending by canonical edge index).
 func FromEdges(numVertices uint32, raw []Edge) *Graph {
-	edges := make([]Edge, 0, len(raw))
+	keys := make([]uint64, 0, len(raw))
 	maxV := uint32(0)
 	for _, e := range raw {
 		if e.U == e.V {
@@ -71,32 +81,129 @@ func FromEdges(numVertices uint32, raw []Edge) *Graph {
 		if c.V >= maxV {
 			maxV = c.V + 1
 		}
-		edges = append(edges, c)
+		keys = append(keys, uint64(c.U)<<32|uint64(c.V))
 	}
 	if numVertices == 0 {
 		numVertices = maxV
 	} else if maxV > numVertices {
 		panic(fmt.Sprintf("graph: edge endpoint %d exceeds numVertices %d", maxV-1, numVertices))
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+	// Sorting the packed keys ascending is exactly the (U, V) lexicographic
+	// order of the canonical edges.
+	dsa.SortU64(keys)
+	edges := make([]Edge, 0, len(keys))
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			continue // duplicate edge
 		}
-		return edges[i].V < edges[j].V
-	})
-	// Compact duplicates in place.
-	out := edges[:0]
-	for i, e := range edges {
-		if i == 0 || e != edges[i-1] {
-			out = append(out, e)
-		}
+		edges = append(edges, Edge{U: Vertex(k >> 32), V: Vertex(k)})
 	}
-	g := &Graph{n: numVertices, edges: out}
+	g := &Graph{n: numVertices, edges: edges}
 	g.buildCSR()
 	return g
 }
 
+// csrMinChunk is the smallest per-worker edge chunk worth a goroutine in the
+// CSR fill.
+const csrMinChunk = 1 << 16
+
 func (g *Graph) buildCSR() {
+	w := runtime.GOMAXPROCS(0)
+	if maxW := len(g.edges) / csrMinChunk; w > maxW {
+		w = maxW
+	}
+	// The parallel fill needs a w·|V| cursor slab; keep it a small fraction
+	// of the CSR being built (4·|E|/|V| workers bounds the slab by the
+	// adjacency array size) so sparse wide-id graphs fall back to the
+	// sequential path instead of allocating more scratch than output.
+	if g.n > 0 {
+		if maxW := 4 * len(g.edges) / int(g.n); w > maxW {
+			w = maxW
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	g.buildCSRWorkers(w)
+}
+
+// buildCSRWorkers builds the CSR index with w parallel chunk workers. The
+// layout is identical for every w: per-worker incidence counts are converted
+// into per-(vertex, chunk) starting cursors, so each worker fills its
+// chunk's slots in place and every vertex's adjacency stays ordered by
+// ascending edge index, exactly as a single sequential pass would leave it.
+func (g *Graph) buildCSRWorkers(w int) {
+	n := int(g.n)
+	m := len(g.edges)
+	if w < 1 {
+		w = 1
+	}
+	if w == 1 {
+		g.buildCSRSequential()
+		return
+	}
+	chunk := (m + w - 1) / w
+	// cnt[wi*n+v] = number of adjacency slots vertex v receives from chunk
+	// wi; converted below into the chunk's starting cursor within v's range.
+	cnt := make([]int32, w*n)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo, hi := wi*chunk, min((wi+1)*chunk, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			c := cnt[wi*n : (wi+1)*n]
+			for _, e := range g.edges[lo:hi] {
+				c[e.U]++
+				c[e.V]++
+			}
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+
+	off := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		var run int32
+		for wi := 0; wi < w; wi++ {
+			c := cnt[wi*n+v]
+			cnt[wi*n+v] = run
+			run += c
+		}
+		off[v+1] = off[v] + int64(run)
+	}
+	g.adjOff = off
+	total := off[n]
+	g.adjTarget = make([]Vertex, total)
+	g.adjEdge = make([]int32, total)
+	for wi := 0; wi < w; wi++ {
+		lo, hi := wi*chunk, min((wi+1)*chunk, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			cur := cnt[wi*n : (wi+1)*n]
+			for i := lo; i < hi; i++ {
+				e := g.edges[i]
+				pu := off[e.U] + int64(cur[e.U])
+				g.adjTarget[pu] = e.V
+				g.adjEdge[pu] = int32(i)
+				cur[e.U]++
+				pv := off[e.V] + int64(cur[e.V])
+				g.adjTarget[pv] = e.U
+				g.adjEdge[pv] = int32(i)
+				cur[e.V]++
+			}
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+}
+
+func (g *Graph) buildCSRSequential() {
 	deg := make([]int64, g.n+1)
 	for _, e := range g.edges {
 		deg[e.U+1]++

@@ -1,9 +1,10 @@
 package lppart
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/distributedne/dne/internal/cluster"
 	"github.com/distributedne/dne/internal/graph"
@@ -292,11 +293,14 @@ func (d *DistLP) runMachine(ctx context.Context, comm cluster.Comm, g *graph.Gra
 }
 
 // dedupVL removes duplicate (V,L) pairs keeping the last label per vertex.
+// The sort is the same pdqsort permutation sort.Slice ran (both stdlib
+// implementations are generated from one algorithm), so which duplicate
+// survives — and therefore the seeded partitioning — is unchanged.
 func dedupVL(in []vl) []vl {
 	if len(in) < 2 {
 		return in
 	}
-	sort.Slice(in, func(i, j int) bool { return in[i].V < in[j].V })
+	slices.SortFunc(in, func(a, b vl) int { return cmp.Compare(a.V, b.V) })
 	out := in[:0]
 	for i, p := range in {
 		if i+1 < len(in) && in[i+1].V == p.V {

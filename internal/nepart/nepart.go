@@ -5,11 +5,11 @@
 package nepart
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"math/rand"
 
+	"github.com/distributedne/dne/internal/dsa"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/partition"
 )
@@ -64,10 +64,15 @@ func (ne NE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*p
 	// freeCursor scans for seed vertices with remaining edges.
 	freeCursor := 0
 
+	// The boundary — a lazy min-heap keyed by remaining degree — is one
+	// dense epoch-stamped structure reused across all partitions (Reset is
+	// O(1)), shared with Distributed NE via internal/dsa.
+	bnd := dsa.NewBoundary(n)
+
 	for q := 0; q < numParts && allocated < totalE; q++ {
 		qi := int32(q)
 		var count int64
-		bnd := &neBoundary{score: map[graph.Vertex]int32{}}
+		bnd.Reset()
 		// Last partition absorbs everything that remains.
 		budget := capEdges
 		if q == numParts-1 {
@@ -80,8 +85,8 @@ func (ne NE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*p
 				}
 			}
 			var v graph.Vertex
-			if bnd.len() > 0 {
-				v = bnd.popMin()
+			if pv, ok := bnd.PopMin(); ok {
+				v = pv
 			} else {
 				sv, ok := seedVertex(g, p.Owner, &freeCursor, rng)
 				if !ok {
@@ -105,7 +110,7 @@ func (ne NE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*p
 				drest[u]--
 				if inPart[u] != qi {
 					inPart[u] = qi
-					bnd.update(u, drest[u])
+					bnd.Update(u, drest[u])
 					// Two-hop: u's free edges to vertices already in V(Eq).
 					unb := g.Neighbors(u)
 					uie := g.IncidentEdges(u)
@@ -155,53 +160,4 @@ func seedVertex(g *graph.Graph, owner []int32, cursor *int, rng *rand.Rand) (gra
 		}
 	}
 	return 0, false
-}
-
-// neBoundary is a lazy min-heap keyed by remaining degree.
-type neBoundary struct {
-	h     neHeap
-	score map[graph.Vertex]int32
-}
-
-type neEntry struct {
-	v graph.Vertex
-	d int32
-}
-
-type neHeap []neEntry
-
-func (h neHeap) Len() int { return len(h) }
-func (h neHeap) Less(i, j int) bool {
-	if h[i].d != h[j].d {
-		return h[i].d < h[j].d
-	}
-	return h[i].v < h[j].v
-}
-func (h neHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *neHeap) Push(x any)   { *h = append(*h, x.(neEntry)) }
-func (h *neHeap) Pop() any {
-	old := *h
-	e := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return e
-}
-
-func (b *neBoundary) len() int { return len(b.score) }
-
-func (b *neBoundary) update(v graph.Vertex, d int32) {
-	if old, ok := b.score[v]; ok && old == d {
-		return
-	}
-	b.score[v] = d
-	heap.Push(&b.h, neEntry{v, d})
-}
-
-func (b *neBoundary) popMin() graph.Vertex {
-	for {
-		e := heap.Pop(&b.h).(neEntry)
-		if cur, ok := b.score[e.v]; ok && cur == e.d {
-			delete(b.score, e.v)
-			return e.v
-		}
-	}
 }

@@ -14,8 +14,9 @@
 package sheep
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/partition"
@@ -66,16 +67,14 @@ func (s Sheep) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (
 	for v := range order {
 		order[v] = graph.Vertex(v)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
+	slices.SortFunc(order, func(a, b graph.Vertex) int {
 		if depth[a] != depth[b] {
-			return depth[a] > depth[b]
+			return cmp.Compare(depth[b], depth[a])
 		}
-		da, db := g.Degree(a), g.Degree(b)
-		if da != db {
-			return da < db
+		if da, db := g.Degree(a), g.Degree(b); da != db {
+			return cmp.Compare(da, db)
 		}
-		return a < b
+		return cmp.Compare(a, b)
 	})
 	rank := make([]int32, n) // elimination position of each vertex
 	for i, v := range order {
@@ -203,12 +202,11 @@ func bfsDepths(g *graph.Graph) []int32 {
 	for v := range roots {
 		roots[v] = graph.Vertex(v)
 	}
-	sort.Slice(roots, func(i, j int) bool {
-		di, dj := g.Degree(roots[i]), g.Degree(roots[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(roots, func(a, b graph.Vertex) int {
+		if da, db := g.Degree(a), g.Degree(b); da != db {
+			return cmp.Compare(db, da)
 		}
-		return roots[i] < roots[j]
+		return cmp.Compare(a, b)
 	})
 	var queue []graph.Vertex
 	for _, r := range roots {

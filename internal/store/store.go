@@ -14,9 +14,10 @@ package store
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
+	"github.com/distributedne/dne/internal/dsa"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/partition"
 )
@@ -117,7 +118,7 @@ func BuildPartitioning(g *graph.Graph, p *partition.Partitioning) (*Store, error
 		for v := range deg[s] {
 			sh.verts = append(sh.verts, v)
 		}
-		sort.Slice(sh.verts, func(i, j int) bool { return sh.verts[i] < sh.verts[j] })
+		dsa.SortU32(sh.verts)
 		sh.off = make([]int64, len(sh.verts)+1)
 		for l, v := range sh.verts {
 			sh.index[v] = uint32(l)
@@ -277,7 +278,7 @@ func (st *Store) Neighbors(v graph.Vertex) ([]graph.Vertex, error) {
 		out = append(out, st.shards[s].neighborsOf(v)...)
 	}
 	st.metrics.addHops(crossHops(len(reps)))
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 
@@ -411,7 +412,7 @@ func (st *Store) KHop(ctx context.Context, v graph.Vertex, k int) (*KHopResult, 
 				}
 			}
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		slices.Sort(next)
 		for _, w := range next {
 			res.Vertices = append(res.Vertices, w)
 			res.Depths = append(res.Depths, depth)
