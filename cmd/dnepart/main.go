@@ -4,11 +4,15 @@
 // Usage:
 //
 //	dnepart -in graph.txt -parts 16 [-method dne] [-out owners.txt]
+//	dnepart -shard-dir shards/ -parts 4 -method dne -checksum
 //	dnepart -rmat 16 -ef 16 -parts 16 -method dne -params lambda=0.05,alpha=1.2
 //	dnepart -list-methods
 //
-// The input is a whitespace edge list ("u v" per line, '#' comments); -rmat
-// generates a synthetic graph instead. The output file (optional) has one
+// The input is a whitespace edge list ("u v" per line, '#' comments), a
+// directory of EShard files written by gengraph -shards (-shard-dir), or a
+// synthetic RMAT graph (-rmat). -checksum prints the partitioning checksum,
+// directly comparable with the RESULT line of a multi-process dneworker run
+// over the same graph/seed/parts. The output file (optional) has one
 // "u v partition" line per edge; -save writes the compact binary
 // partitioning (partition.ReadBinary loads it back). Methods and their
 // parameters come from the method registry; -list-methods prints the
@@ -34,17 +38,19 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input edge-list file")
-		out     = flag.String("out", "", "output assignment file (u v part)")
-		save    = flag.String("save", "", "output binary partitioning file")
-		parts   = flag.Int("parts", 16, "number of partitions")
-		method  = flag.String("method", "dne", "partitioning method (see -list-methods)")
-		rmat    = flag.Int("rmat", 0, "generate RMAT graph with 2^scale vertices instead of -in")
-		ef      = flag.Int("ef", 16, "edge factor for -rmat")
-		seed    = flag.Int64("seed", 42, "random seed")
-		params  = flag.String("params", "", "per-method params as k=v[,k=v...], e.g. alpha=1.2,lambda=0.05")
-		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
-		list    = flag.Bool("list-methods", false, "print the registered methods and their parameters")
+		in       = flag.String("in", "", "input edge-list file")
+		shardDir = flag.String("shard-dir", "", "input directory of EShard files (gengraph -shards) instead of -in")
+		out      = flag.String("out", "", "output assignment file (u v part)")
+		save     = flag.String("save", "", "output binary partitioning file")
+		parts    = flag.Int("parts", 16, "number of partitions")
+		method   = flag.String("method", "dne", "partitioning method (see -list-methods)")
+		rmat     = flag.Int("rmat", 0, "generate RMAT graph with 2^scale vertices instead of -in")
+		ef       = flag.Int("ef", 16, "edge factor for -rmat")
+		seed     = flag.Int64("seed", 42, "random seed")
+		params   = flag.String("params", "", "per-method params as k=v[,k=v...], e.g. alpha=1.2,lambda=0.05")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		checksum = flag.Bool("checksum", false, "print the partitioning checksum (comparable with dneworker's RESULT line)")
+		list     = flag.Bool("list-methods", false, "print the registered methods and their parameters")
 	)
 	flag.Parse()
 
@@ -53,7 +59,7 @@ func main() {
 		return
 	}
 
-	g, err := loadGraph(*in, *rmat, *ef, *seed)
+	g, err := loadGraph(*in, *shardDir, *rmat, *ef, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,6 +104,9 @@ func main() {
 	if st.Iterations > 0 {
 		fmt.Printf("iterations: %d  comm: %.1f MB  mem score: %.1f B/edge\n",
 			st.Iterations, float64(st.CommBytes)/(1<<20), st.MemScore(g.NumEdges()))
+	}
+	if *checksum {
+		fmt.Printf("partitioning checksum: %#x\n", partition.Checksum(pt.Owner))
 	}
 	if *out != "" {
 		if err := writeAssignment(*out, g, pt); err != nil {
@@ -162,12 +171,19 @@ func printMethods(w *os.File) {
 	}
 }
 
-func loadGraph(in string, rmat, ef int, seed int64) (*graph.Graph, error) {
+func loadGraph(in, shardDir string, rmat, ef int, seed int64) (*graph.Graph, error) {
 	if rmat > 0 {
 		return gen.RMAT(rmat, ef, seed), nil
 	}
+	if shardDir != "" {
+		shard, err := graph.ReadShardDir(shardDir, nil)
+		if err != nil {
+			return nil, err
+		}
+		return graph.FromPacked(shard.NumVertices, shard.Packed), nil
+	}
 	if in == "" {
-		return nil, fmt.Errorf("either -in or -rmat is required")
+		return nil, fmt.Errorf("either -in, -shard-dir or -rmat is required")
 	}
 	f, err := os.Open(in)
 	if err != nil {

@@ -1,16 +1,27 @@
 // Command dneworker is one machine of a multi-process Distributed NE run
-// over TCP. All workers regenerate the same deterministic input graph from
-// identical flags, connect to the rank-0 router, and execute the identical
-// superstep protocol used by the in-process cluster.
+// over TCP.
 //
-// Rank 0 hosts the router and prints the final metrics:
+// In the shard mode (-shard-dir) each worker reads only its own slice of
+// the input — the EShard files whose index ≡ rank (mod size), as written by
+// gengraph -shards — so no process holds the full graph while partitioning
+// (rank 0 assembles the final 12-byte-per-edge owner sequence at collection
+// time, after the algorithm finishes). The workers shuffle their shards to
+// 2D-grid owners, expand, and rank 0 prints the partitioning checksum,
+// which equals dnepart -checksum for the same graph, seed and partition
+// count:
 //
-//	dneworker -rank 0 -size 4 -addr 127.0.0.1:7777 -rmat 12 -ef 16 &
-//	dneworker -rank 1 -size 4 -addr 127.0.0.1:7777 -rmat 12 -ef 16 &
-//	dneworker -rank 2 -size 4 -addr 127.0.0.1:7777 -rmat 12 -ef 16 &
-//	dneworker -rank 3 -size 4 -addr 127.0.0.1:7777 -rmat 12 -ef 16
+//	gengraph -kind rmat -scale 16 -ef 16 -seed 42 -shards 8 -shard-dir shards/
+//	dneworker -rank 0 -size 4 -addr 127.0.0.1:7777 -shard-dir shards/ &
+//	dneworker -rank 1 -size 4 -addr 127.0.0.1:7777 -shard-dir shards/ &
+//	dneworker -rank 2 -size 4 -addr 127.0.0.1:7777 -shard-dir shards/ &
+//	dneworker -rank 3 -size 4 -addr 127.0.0.1:7777 -shard-dir shards/
 //
-// examples/multiprocess spawns this arrangement automatically.
+// The legacy mode (no -shard-dir) regenerates the identical RMAT graph in
+// every process from shared flags and runs the whole-graph path; it remains
+// for A/B comparison against the shard data plane.
+//
+// Rank 0 hosts the router. examples/multiprocess spawns the arrangement
+// automatically.
 package main
 
 import (
@@ -24,28 +35,35 @@ import (
 	"github.com/distributedne/dne/internal/cluster"
 	"github.com/distributedne/dne/internal/dne"
 	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/partition"
 )
 
+// hardAbortGrace is how long a worker keeps waiting for the collective
+// (superstep-boundary) abort to complete after its context fires before the
+// transport watchdog kills blocked receives outright.
+const hardAbortGrace = 10 * time.Second
+
 func main() {
 	var (
-		rank   = flag.Int("rank", 0, "this machine's rank in [0,size)")
-		size   = flag.Int("size", 4, "number of machines (= partitions)")
-		addr   = flag.String("addr", "127.0.0.1:7777", "router address (rank 0 listens here)")
-		scale  = flag.Int("rmat", 12, "RMAT scale of the shared input graph")
-		ef     = flag.Int("ef", 16, "RMAT edge factor")
-		seed   = flag.Int64("seed", 42, "shared random seed")
-		alpha  = flag.Float64("alpha", 1.1, "imbalance factor")
-		lambda = flag.Float64("lambda", 0.1, "expansion factor")
+		rank     = flag.Int("rank", 0, "this machine's rank in [0,size)")
+		size     = flag.Int("size", 4, "number of machines (= partitions)")
+		addr     = flag.String("addr", "127.0.0.1:7777", "router address (rank 0 listens here)")
+		shardDir = flag.String("shard-dir", "", "read EShard files with index%size==rank from this directory")
+		scale    = flag.Int("rmat", 12, "legacy mode: RMAT scale of the shared input graph")
+		ef       = flag.Int("ef", 16, "legacy mode: RMAT edge factor")
+		seed     = flag.Int64("seed", 42, "shared random seed")
+		alpha    = flag.Float64("alpha", 1.1, "imbalance factor")
+		lambda   = flag.Float64("lambda", 0.1, "expansion factor")
 	)
 	flag.Parse()
-	if err := run(*rank, *size, *addr, *scale, *ef, *seed, *alpha, *lambda); err != nil {
+	if err := run(*rank, *size, *addr, *shardDir, *scale, *ef, *seed, *alpha, *lambda); err != nil {
 		fmt.Fprintf(os.Stderr, "dneworker rank %d: %v\n", *rank, err)
 		os.Exit(1)
 	}
 }
 
-func run(rank, size int, addr string, scale, ef int, seed int64, alpha, lambda float64) error {
+func run(rank, size int, addr, shardDir string, scale, ef int, seed int64, alpha, lambda float64) error {
 	var wait func() error
 	if rank == 0 {
 		var err error
@@ -54,25 +72,40 @@ func run(rank, size int, addr string, scale, ef int, seed int64, alpha, lambda f
 			return err
 		}
 	}
-	// Every worker regenerates the identical graph deterministically.
-	g := gen.RMAT(scale, ef, seed)
 
-	node, err := dialWithRetry(addr, rank, size)
-	if err != nil {
-		return err
-	}
 	cfg := dne.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Alpha = alpha
 	cfg.Lambda = lambda
 
 	// Ctrl-C aborts the run collectively: the local flag rides the next
-	// superstep's select messages and every rank returns together.
+	// superstep's select messages and every rank returns together. The
+	// transport watchdog (hardCtx) is the backstop for when a peer is
+	// already dead and those messages can never complete a superstep: a
+	// grace period after the soft abort, blocked receives fail outright.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	start := time.Now()
-	owner, stats, err := dne.PartitionOver(ctx, node, g, cfg)
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	go func() {
+		<-ctx.Done()
+		time.Sleep(hardAbortGrace)
+		hardCancel()
+	}()
+
+	node, err := dialWithRetry(hardCtx, addr, rank, size)
 	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var runErr error
+	if shardDir != "" {
+		runErr = runShards(ctx, node, rank, size, shardDir, cfg, start)
+	} else {
+		runErr = runWholeGraph(ctx, node, rank, size, scale, ef, seed, cfg, start)
+	}
+	if runErr != nil {
 		// Close politely (Bye) and, at rank 0, let the router drain the
 		// final superstep's frames to the other ranks so they abort
 		// collectively rather than finding a dead connection.
@@ -85,19 +118,7 @@ func run(rank, size int, addr string, scale, ef int, seed int64, alpha, lambda f
 			case <-time.After(3 * time.Second):
 			}
 		}
-		return err
-	}
-	elapsed := time.Since(start)
-	fmt.Printf("rank %d: iterations=%d partition-edges=%d comm=%.1fMB\n",
-		rank, stats.Iterations, stats.PartEdges, float64(stats.CommBytes)/(1<<20))
-	if rank == 0 {
-		pt := &partition.Partitioning{NumParts: size, Owner: owner}
-		if err := pt.Validate(g); err != nil {
-			return fmt.Errorf("result validation: %w", err)
-		}
-		q := pt.Measure(g)
-		fmt.Printf("rank 0: RESULT graph=%v parts=%d RF=%.4f EB=%.3f elapsed=%v\n",
-			g, size, q.ReplicationFactor, q.EdgeBalance, elapsed)
+		return runErr
 	}
 	if err := node.Close(); err != nil {
 		return err
@@ -108,11 +129,60 @@ func run(rank, size int, addr string, scale, ef int, seed int64, alpha, lambda f
 	return nil
 }
 
+// runShards is the sharded data plane: this rank loads only its own shard
+// files and never sees the full graph.
+func runShards(ctx context.Context, node *cluster.TCPNode, rank, size int, dir string, cfg dne.Config, start time.Time) error {
+	shard, err := graph.ReadShardDir(dir, func(index, count uint32) bool {
+		return int(index)%size == rank
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d: loaded %d shard edges (|V|=%d) from %s\n",
+		rank, shard.NumEdges(), shard.NumVertices, dir)
+	res, stats, err := dne.PartitionShards(ctx, node, shard, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d: iterations=%d partition-edges=%d peak-mem=%.1fMB comm=%.1fMB\n",
+		rank, stats.Iterations, stats.PartEdges,
+		float64(stats.MemBytes)/(1<<20), float64(stats.CommBytes)/(1<<20))
+	if res != nil {
+		fmt.Printf("rank 0: RESULT |V|=%d |E|=%d parts=%d EB=%.3f checksum=%#x elapsed=%v\n",
+			shard.NumVertices, res.NumEdges(), res.NumParts, res.EdgeBalance(),
+			res.Checksum(), time.Since(start))
+	}
+	return nil
+}
+
+// runWholeGraph is the legacy path: every worker regenerates the identical
+// graph deterministically and holds all of it.
+func runWholeGraph(ctx context.Context, node *cluster.TCPNode, rank, size, scale, ef int, seed int64, cfg dne.Config, start time.Time) error {
+	g := gen.RMAT(scale, ef, seed)
+	owner, stats, err := dne.PartitionOver(ctx, node, g, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d: iterations=%d partition-edges=%d peak-mem=%.1fMB comm=%.1fMB\n",
+		rank, stats.Iterations, stats.PartEdges,
+		float64(stats.MemBytes)/(1<<20), float64(stats.CommBytes)/(1<<20))
+	if rank == 0 {
+		pt := &partition.Partitioning{NumParts: size, Owner: owner}
+		if err := pt.Validate(g); err != nil {
+			return fmt.Errorf("result validation: %w", err)
+		}
+		q := pt.Measure(g)
+		fmt.Printf("rank 0: RESULT graph=%v parts=%d RF=%.4f EB=%.3f checksum=%#x elapsed=%v\n",
+			g, size, q.ReplicationFactor, q.EdgeBalance, partition.Checksum(owner), time.Since(start))
+	}
+	return nil
+}
+
 // dialWithRetry tolerates workers starting before the rank-0 router listens.
-func dialWithRetry(addr string, rank, size int) (*cluster.TCPNode, error) {
+func dialWithRetry(ctx context.Context, addr string, rank, size int) (*cluster.TCPNode, error) {
 	var lastErr error
 	for attempt := 0; attempt < 50; attempt++ {
-		node, err := cluster.DialTCP(addr, rank, size)
+		node, err := cluster.DialTCPContext(ctx, addr, rank, size)
 		if err == nil {
 			return node, nil
 		}

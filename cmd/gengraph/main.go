@@ -1,4 +1,5 @@
-// Command gengraph emits synthetic graphs as edge lists.
+// Command gengraph emits synthetic graphs as edge lists or as sharded
+// binary edge files (the EShard format read by dneworker and dnepart).
 //
 // Usage:
 //
@@ -6,9 +7,16 @@
 //	gengraph -kind powerlaw -n 100000 -alpha 2.4 > graph.txt
 //	gengraph -kind road -rows 200 -cols 220 > road.txt
 //	gengraph -kind ringcomplete -n 8 > thm2.txt
+//	gengraph -kind rmat -scale 20 -ef 16 -shards 16 -shard-dir shards/
 //
 // Kinds: rmat (Graph500 parameters), powerlaw (Chung–Lu), er, road,
 // ringcomplete (the Theorem-2 tightness construction), star.
+//
+// With -shards/-shard-dir the raw edge stream is routed by hash across N
+// shard files (shard-0000-of-0016.esh, ...). For rmat and er the stream is
+// generated and written in fixed-size chunks without ever materializing the
+// edge slice, so memory stays flat no matter the scale; the remaining kinds
+// materialize first (their generators are small) and then shard.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
@@ -23,34 +32,33 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "rmat", "rmat | powerlaw | er | road | ringcomplete | star")
-		scale = flag.Int("scale", 16, "rmat: 2^scale vertices")
-		ef    = flag.Int("ef", 16, "rmat/er: edge factor")
-		n     = flag.Int("n", 1<<16, "powerlaw/er/star: vertices; ringcomplete: clique size")
-		alpha = flag.Float64("alpha", 2.4, "powerlaw scaling parameter")
-		rows  = flag.Int("rows", 200, "road: rows")
-		cols  = flag.Int("cols", 220, "road: cols")
-		seed  = flag.Int64("seed", 42, "random seed")
+		kind     = flag.String("kind", "rmat", "rmat | powerlaw | er | road | ringcomplete | star")
+		scale    = flag.Int("scale", 16, "rmat: 2^scale vertices")
+		ef       = flag.Int("ef", 16, "rmat/er: edge factor")
+		n        = flag.Int("n", 1<<16, "powerlaw/er/star: vertices; ringcomplete: clique size")
+		alpha    = flag.Float64("alpha", 2.4, "powerlaw scaling parameter")
+		rows     = flag.Int("rows", 200, "road: rows")
+		cols     = flag.Int("cols", 220, "road: cols")
+		seed     = flag.Int64("seed", 42, "random seed")
+		shards   = flag.Int("shards", 0, "write this many EShard files instead of a text edge list")
+		shardDir = flag.String("shard-dir", "", "directory for -shards output (created if missing)")
 	)
 	flag.Parse()
 
-	var g *graph.Graph
-	switch *kind {
-	case "rmat":
-		g = gen.RMAT(*scale, *ef, *seed)
-	case "powerlaw":
-		g = gen.PowerLaw(uint32(*n), *alpha, *seed)
-	case "er":
-		g = gen.ER(uint32(*n), int64(*n**ef), *seed)
-	case "road":
-		g = gen.Road(*rows, *cols, *seed)
-	case "ringcomplete":
-		g = gen.RingPlusComplete(*n)
-	case "star":
-		g = gen.Star(uint32(*n))
-	default:
-		fmt.Fprintf(os.Stderr, "gengraph: unknown kind %q\n", *kind)
-		os.Exit(2)
+	if *shards > 0 {
+		if *shardDir == "" {
+			fmt.Fprintln(os.Stderr, "gengraph: -shards requires -shard-dir")
+			os.Exit(2)
+		}
+		if err := writeShards(*kind, *scale, *ef, *n, *alpha, *rows, *cols, *seed, *shards, *shardDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	g, err := materialize(*kind, *scale, *ef, *n, *alpha, *rows, *cols, *seed)
+	if err != nil {
+		fatal(err)
 	}
 	w := bufio.NewWriter(os.Stdout)
 	fmt.Fprintf(w, "# %s |V|=%d |E|=%d\n", *kind, g.NumVertices(), g.NumEdges())
@@ -60,6 +68,111 @@ func main() {
 	if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
 		fatal(err)
 	}
+}
+
+func materialize(kind string, scale, ef, n int, alpha float64, rows, cols int, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "rmat":
+		return gen.RMAT(scale, ef, seed), nil
+	case "powerlaw":
+		return gen.PowerLaw(uint32(n), alpha, seed), nil
+	case "er":
+		return gen.ER(uint32(n), int64(n*ef), seed), nil
+	case "road":
+		return gen.Road(rows, cols, seed), nil
+	case "ringcomplete":
+		return gen.RingPlusComplete(n), nil
+	case "star":
+		return gen.Star(uint32(n)), nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+// ShardFileName returns the canonical file name of shard i of n.
+func shardFileName(i, n int) string {
+	return fmt.Sprintf("shard-%04d-of-%04d.esh", i, n)
+}
+
+// writeShards streams the generated edges across count shard files. rmat
+// and er stream straight from the generator (no full edge slice, memory
+// bounded by the writers' chunk buffers); other kinds materialize first.
+func writeShards(kind string, scale, ef, n int, alpha float64, rows, cols int, seed int64, count int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var numVertices uint32
+	var stream func(emit func(u, v uint32)) error
+	switch kind {
+	case "rmat":
+		numVertices = uint32(1) << scale
+		stream = func(emit func(u, v uint32)) error {
+			gen.StreamRMAT(scale, ef, seed, emit)
+			return nil
+		}
+	case "er":
+		numVertices = uint32(n)
+		stream = func(emit func(u, v uint32)) error {
+			gen.StreamER(uint32(n), int64(n*ef), seed, emit)
+			return nil
+		}
+	default:
+		g, err := materialize(kind, scale, ef, n, alpha, rows, cols, seed)
+		if err != nil {
+			return err
+		}
+		numVertices = g.NumVertices()
+		stream = func(emit func(u, v uint32)) error {
+			for _, e := range g.Edges() {
+				emit(e.U, e.V)
+			}
+			return nil
+		}
+	}
+
+	files := make([]*os.File, count)
+	writers := make([]*graph.ShardWriter, count)
+	for i := range writers {
+		f, err := os.Create(filepath.Join(dir, shardFileName(i, count)))
+		if err != nil {
+			return err
+		}
+		files[i] = f
+		sw, err := graph.NewShardWriter(f, graph.ShardInfo{
+			NumVertices: numVertices, Index: uint32(i), Count: uint32(count),
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		writers[i] = sw
+	}
+	var emitErr error
+	err := stream(func(u, v uint32) {
+		if emitErr != nil || u == v {
+			return
+		}
+		k := graph.PackEdge(u, v)
+		emitErr = writers[graph.ShardRoute(k, uint32(count))].AppendPacked(k)
+	})
+	if err == nil {
+		err = emitErr
+	}
+	var total uint64
+	for i, sw := range writers {
+		if cerr := sw.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := files[i].Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		total += sw.NumWritten()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gengraph: %s |V|=%d raw-edges=%d -> %d shards in %s\n",
+		kind, numVertices, total, count, dir)
+	return nil
 }
 
 func fatal(err error) {

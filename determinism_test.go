@@ -12,22 +12,17 @@ import (
 	"github.com/distributedne/dne/internal/partition"
 )
 
+// ownersChecksum is partition.Checksum — the shared currency that dnepart
+// -checksum and the multi-process dneworker print, so the golden values
+// below are directly comparable with CLI output.
+func ownersChecksum(owner []int32) uint64 { return partition.Checksum(owner) }
+
 // The checksums below were produced by the map/comparator-sort
 // implementations that predate internal/dsa (the hash-map boundaries, the
 // sort.Slice CSR build, the per-machine subgraph scans). The dense rewrite
 // is required to reproduce every one of them bit for bit: same
 // partition.Spec (seed) ⇒ same Partitioning, for every registered method,
 // across the graph core and both expansion partitioner families.
-
-func ownersChecksum(owner []int32) uint64 {
-	h := fnv.New64a()
-	var buf [4]byte
-	for _, o := range owner {
-		buf[0], buf[1], buf[2], buf[3] = byte(o), byte(o>>8), byte(o>>16), byte(o>>24)
-		h.Write(buf[:])
-	}
-	return h.Sum64()
-}
 
 func graphChecksum(g *graph.Graph) uint64 {
 	h := fnv.New64a()

@@ -1,7 +1,9 @@
-// Multiprocess: run Distributed NE across real OS processes. This example
-// builds cmd/dneworker, launches one worker per machine, and lets them
-// partition the same deterministic RMAT graph over the TCP transport —
-// the closest local analogue of the paper's multi-machine deployment.
+// Multiprocess: run Distributed NE across real OS processes with per-rank
+// edge shards as the unit of input. This example builds cmd/gengraph and
+// cmd/dneworker, writes the input as shard files, launches one worker per
+// machine, and lets them shuffle + partition over the TCP transport — the
+// closest local analogue of the paper's multi-machine deployment. No worker
+// process ever holds the full graph.
 //
 // Run from the repository root:
 //
@@ -24,27 +26,41 @@ func main() {
 		scale = "11"
 		ef    = "8"
 	)
-	bin := filepath.Join(os.TempDir(), "dneworker-example")
-	build := exec.Command("go", "build", "-o", bin, "./cmd/dneworker")
-	build.Stdout, build.Stderr = os.Stdout, os.Stderr
-	if err := build.Run(); err != nil {
-		log.Fatalf("building dneworker: %v", err)
+	tmp, err := os.MkdirTemp("", "dne-multiprocess")
+	if err != nil {
+		log.Fatal(err)
 	}
-	defer os.Remove(bin)
+	defer os.RemoveAll(tmp)
+	workerBin := filepath.Join(tmp, "dneworker")
+	genBin := filepath.Join(tmp, "gengraph")
+	for _, b := range [][2]string{{workerBin, "./cmd/dneworker"}, {genBin, "./cmd/gengraph"}} {
+		build := exec.Command("go", "build", "-o", b[0], b[1])
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			log.Fatalf("building %s: %v", b[1], err)
+		}
+	}
 
-	fmt.Printf("launching %d worker processes (router at %s)...\n", size, addr)
+	shardDir := filepath.Join(tmp, "shards")
+	gen := exec.Command(genBin, "-kind", "rmat", "-scale", scale, "-ef", ef,
+		"-shards", fmt.Sprint(2*size), "-shard-dir", shardDir)
+	gen.Stdout, gen.Stderr = os.Stdout, os.Stderr
+	if err := gen.Run(); err != nil {
+		log.Fatalf("writing shards: %v", err)
+	}
+
+	fmt.Printf("launching %d worker processes (router at %s, shards in %s)...\n", size, addr, shardDir)
 	var wg sync.WaitGroup
 	errs := make([]error, size)
 	for rank := 0; rank < size; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			cmd := exec.Command(bin,
+			cmd := exec.Command(workerBin,
 				"-rank", fmt.Sprint(rank),
 				"-size", fmt.Sprint(size),
 				"-addr", addr,
-				"-rmat", scale,
-				"-ef", ef,
+				"-shard-dir", shardDir,
 			)
 			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 			errs[rank] = cmd.Run()

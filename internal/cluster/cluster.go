@@ -29,6 +29,11 @@ const (
 	tagBarrier Tag = iota
 	tagReduce
 	tagBcast
+	// tagCollCount / tagCollData frame the chunked large-payload collectives
+	// (AllToAllU64, ScattervU64): counts travel separately from data so a
+	// receiver never misreads an early data chunk as another sender's count.
+	tagCollCount
+	tagCollData
 	// TagUser is the first tag available to algorithms.
 	TagUser
 )
@@ -236,9 +241,28 @@ func (m *mailbox) put(msg Message) {
 	m.cond.Broadcast()
 }
 
+// ConnLostError is the panic value raised by a blocked Recv when the
+// transport dies underneath it (peer crash, router teardown, context
+// cancellation). It panics rather than returns so the Comm contract stays
+// value-based, but callers that own a whole machine loop can recover it and
+// surface a normal error (dne does).
+type ConnLostError struct {
+	Tag Tag
+	Err error
+}
+
+// Error implements error.
+func (e *ConnLostError) Error() string {
+	return fmt.Sprintf("cluster: recv tag %d: connection lost: %v", e.Tag, e.Err)
+}
+
+// Unwrap exposes the transport error (e.g. context.Canceled).
+func (e *ConnLostError) Unwrap() error { return e.Err }
+
 // take removes and returns the first message with the given tag, blocking
-// until one arrives. If the transport has died (fail), take panics instead
-// of blocking forever — matching Send's panic-on-dead-connection contract.
+// until one arrives. If the transport has died (fail), take panics with a
+// *ConnLostError instead of blocking forever — matching Send's
+// panic-on-dead-connection contract.
 func (m *mailbox) take(tag Tag) Message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -250,16 +274,20 @@ func (m *mailbox) take(tag Tag) Message {
 			}
 		}
 		if m.err != nil {
-			panic(fmt.Sprintf("cluster: recv tag %d: connection lost: %v", tag, m.err))
+			panic(&ConnLostError{Tag: tag, Err: m.err})
 		}
 		m.cond.Wait()
 	}
 }
 
-// fail marks the transport dead and wakes every blocked take.
+// fail marks the transport dead and wakes every blocked take. The first
+// failure wins: the root cause (say, a cancelled context) must not be
+// overwritten by the cascade it triggers (the closed-connection read error).
 func (m *mailbox) fail(err error) {
 	m.mu.Lock()
-	m.err = err
+	if m.err == nil {
+		m.err = err
+	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }

@@ -1,0 +1,119 @@
+package cluster
+
+import "fmt"
+
+// Large-payload collectives. The edge shuffle of the sharded data plane
+// moves O(|E|/P) packed edges per rank per exchange — far beyond the scalar
+// vectors the core collectives carry — so these stream their bodies in
+// bounded chunks. Like every collective here they are built from
+// point-to-point messages (bytes and message counts are accounted by Send)
+// and behave identically on the in-process and gob-TCP transports. All
+// machines must call the same collective in the same order.
+
+// Uint64SliceBody carries a vector of packed uint64 words (edge keys,
+// offsets). It is the payload type of the chunked collectives.
+type Uint64SliceBody []uint64
+
+// WireSize implements Body.
+func (b Uint64SliceBody) WireSize() int { return 8 * len(b) }
+
+// maxCollChunkWords bounds one data message of a chunked collective
+// (256 KiB of payload): large exchanges stream in bounded frames instead of
+// materializing one message per destination, so per-message buffers stay
+// flat no matter how large the exchange is.
+const maxCollChunkWords = 1 << 15
+
+// collChunks returns how many data messages a vector of n words travels in.
+func collChunks(n int64) int {
+	return int((n + maxCollChunkWords - 1) / maxCollChunkWords)
+}
+
+// AllToAllU64 performs a personalized exchange of uint64 vectors: out[q] is
+// this machine's vector for machine q; the result's element [q] is the
+// vector machine q sent here. out must have length Size(). Counts are
+// exchanged first, then each vector streams in chunks of at most
+// maxCollChunkWords; per-sender FIFO order plus the (From, Seq) sort in
+// RecvN reassembles every vector exactly as sent. The returned slices are
+// freshly allocated; out is not retained.
+func AllToAllU64(c Comm, out [][]uint64) [][]uint64 {
+	size := c.Size()
+	if len(out) != size {
+		panic(fmt.Sprintf("cluster: AllToAllU64 out length %d must equal Size() %d", len(out), size))
+	}
+	rank := c.Rank()
+	// The self-destined vector is copied locally: even transports that make
+	// self-sends free still pay serialization for them, and a real
+	// all-to-all never puts a rank's own data on the wire.
+	for q := 0; q < size; q++ {
+		if q != rank {
+			c.Send(q, tagCollCount, Int64Body(len(out[q])))
+		}
+	}
+	counts := make([]int64, size)
+	counts[rank] = int64(len(out[rank]))
+	for _, m := range c.RecvN(tagCollCount, size-1) {
+		counts[m.From] = int64(m.Body.(Int64Body))
+	}
+	for q := 0; q < size; q++ {
+		if q == rank {
+			continue
+		}
+		for v := out[q]; len(v) > 0; {
+			n := len(v)
+			if n > maxCollChunkWords {
+				n = maxCollChunkWords
+			}
+			c.Send(q, tagCollData, Uint64SliceBody(v[:n]))
+			v = v[n:]
+		}
+	}
+	in := make([][]uint64, size)
+	totalMsgs := 0
+	for q := 0; q < size; q++ {
+		in[q] = make([]uint64, 0, counts[q])
+		if q != rank {
+			totalMsgs += collChunks(counts[q])
+		}
+	}
+	in[rank] = append(in[rank], out[rank]...)
+	for _, m := range c.RecvN(tagCollData, totalMsgs) {
+		in[m.From] = append(in[m.From], m.Body.(Uint64SliceBody)...)
+	}
+	return in
+}
+
+// ScattervU64 distributes root's per-rank vectors: machine q receives
+// parts[q]. Only root reads parts (it must have length Size() there); the
+// bodies stream in bounded chunks like AllToAllU64. Every machine returns a
+// freshly allocated copy of its part.
+func ScattervU64(c Comm, root int, parts [][]uint64) []uint64 {
+	size := c.Size()
+	if c.Rank() == root {
+		if len(parts) != size {
+			panic(fmt.Sprintf("cluster: ScattervU64 parts length %d must equal Size() %d", len(parts), size))
+		}
+		for q := 0; q < size; q++ {
+			if q == root {
+				continue
+			}
+			c.Send(q, tagCollCount, Int64Body(len(parts[q])))
+			for v := parts[q]; len(v) > 0; {
+				n := len(v)
+				if n > maxCollChunkWords {
+					n = maxCollChunkWords
+				}
+				c.Send(q, tagCollData, Uint64SliceBody(v[:n]))
+				v = v[n:]
+			}
+		}
+		out := make([]uint64, len(parts[root]))
+		copy(out, parts[root])
+		return out
+	}
+	want := int64(c.Recv(tagCollCount).Body.(Int64Body))
+	out := make([]uint64, 0, want)
+	for int64(len(out)) < want {
+		out = append(out, c.Recv(tagCollData).Body.(Uint64SliceBody)...)
+	}
+	return out
+}

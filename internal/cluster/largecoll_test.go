@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"slices"
+	"sync"
+	"testing"
+)
+
+// vectorFor builds a deterministic test vector from sender r to receiver q,
+// sized so some exchanges cross the chunk boundary and others are empty.
+func vectorFor(r, q, scale int) []uint64 {
+	n := (r*7 + q*3) % 5 * scale
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = uint64(r)<<40 | uint64(q)<<20 | uint64(i)
+	}
+	return v
+}
+
+func TestAllToAllU64InProcess(t *testing.T) {
+	for _, scale := range []int{1, 17, maxCollChunkWords/2 + 11} {
+		const size = 4
+		c := New(size)
+		err := c.Run(func(comm Comm) error {
+			out := make([][]uint64, size)
+			for q := 0; q < size; q++ {
+				out[q] = vectorFor(comm.Rank(), q, scale)
+			}
+			in := AllToAllU64(comm, out)
+			for r := 0; r < size; r++ {
+				want := vectorFor(r, comm.Rank(), scale)
+				if !slices.Equal(in[r], want) {
+					t.Errorf("scale %d rank %d: from %d got %d words, want %d",
+						scale, comm.Rank(), r, len(in[r]), len(want))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllToAllU64ChunksLargeVectors(t *testing.T) {
+	// A vector much larger than one chunk must arrive intact, and the
+	// traffic must be split into multiple accounted messages.
+	const size = 2
+	n := 3*maxCollChunkWords + 5
+	c := New(size)
+	err := c.Run(func(comm Comm) error {
+		out := make([][]uint64, size)
+		for q := 0; q < size; q++ {
+			out[q] = make([]uint64, n)
+			for i := range out[q] {
+				out[q][i] = uint64(comm.Rank()*1_000_000 + i)
+			}
+		}
+		in := AllToAllU64(comm, out)
+		other := 1 - comm.Rank()
+		if len(in[other]) != n {
+			t.Errorf("rank %d: got %d words, want %d", comm.Rank(), len(in[other]), n)
+			return nil
+		}
+		for i, v := range in[other] {
+			if v != uint64(other*1_000_000+i) {
+				t.Errorf("rank %d: word %d = %d", comm.Rank(), i, v)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each rank sends 1 count + 4 data chunks to the other rank (self
+	// traffic is free): 10 remote messages total.
+	if got := c.TotalMessages(); got != 10 {
+		t.Errorf("TotalMessages = %d, want 10 (chunking not applied?)", got)
+	}
+	wantBytes := int64(2) * (8 + int64(n)*8 + 5*headerBytes)
+	if got := c.TotalBytes(); got != wantBytes {
+		t.Errorf("TotalBytes = %d, want %d", got, wantBytes)
+	}
+}
+
+func TestAllToAllU64BackToBack(t *testing.T) {
+	// Two exchanges in a row must not bleed into each other (count frames
+	// and data frames travel under different tags).
+	const size = 3
+	c := New(size)
+	err := c.Run(func(comm Comm) error {
+		for round := 0; round < 3; round++ {
+			out := make([][]uint64, size)
+			for q := 0; q < size; q++ {
+				out[q] = []uint64{uint64(round), uint64(comm.Rank()), uint64(q)}
+			}
+			in := AllToAllU64(comm, out)
+			for r := 0; r < size; r++ {
+				want := []uint64{uint64(round), uint64(r), uint64(comm.Rank())}
+				if !slices.Equal(in[r], want) {
+					t.Errorf("round %d rank %d from %d: got %v want %v",
+						round, comm.Rank(), r, in[r], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScattervU64InProcess(t *testing.T) {
+	const size = 4
+	const root = 2
+	for _, scale := range []int{3, maxCollChunkWords + 9} {
+		c := New(size)
+		var mu sync.Mutex
+		got := make([][]uint64, size)
+		err := c.Run(func(comm Comm) error {
+			var parts [][]uint64
+			if comm.Rank() == root {
+				parts = make([][]uint64, size)
+				for q := 0; q < size; q++ {
+					parts[q] = vectorFor(root, q, scale)
+				}
+			}
+			out := ScattervU64(comm, root, parts)
+			mu.Lock()
+			got[comm.Rank()] = out
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < size; q++ {
+			if !slices.Equal(got[q], vectorFor(root, q, scale)) {
+				t.Errorf("scale %d rank %d: wrong part (%d words)", scale, q, len(got[q]))
+			}
+		}
+	}
+}
+
+func TestAllToAllU64SingleMachine(t *testing.T) {
+	c := New(1)
+	err := c.Run(func(comm Comm) error {
+		in := AllToAllU64(comm, [][]uint64{{1, 2, 3}})
+		if !slices.Equal(in[0], []uint64{1, 2, 3}) {
+			t.Errorf("self exchange = %v", in[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalBytes() != 0 {
+		t.Errorf("self exchange cost %d bytes, want 0", c.TotalBytes())
+	}
+}

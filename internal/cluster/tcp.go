@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -47,6 +48,7 @@ type TCPNode struct {
 	box        *mailbox
 	stats      *Stats
 	seq        uint64
+	stopWatch  func() bool // releases the context watchdog, if any
 }
 
 var _ Comm = (*TCPNode)(nil)
@@ -60,8 +62,9 @@ func StartRouter(addr string, size int) (string, func() error, error) {
 		return "", nil, fmt.Errorf("cluster: router listen: %w", err)
 	}
 	type peer struct {
-		enc *gob.Encoder
-		mu  sync.Mutex
+		enc  *gob.Encoder
+		mu   sync.Mutex
+		conn net.Conn
 	}
 	peers := make([]*peer, size)
 	done := make(chan error, size+1)
@@ -70,10 +73,27 @@ func StartRouter(addr string, size int) (string, func() error, error) {
 	// them.
 	fatal := make(chan error, 1)
 
+	// closeAll tears the whole mesh down once any worker connection dies
+	// mid-run. Closing every connection makes every surviving worker's read
+	// loop fail, which fails its mailbox and wakes any blocked Recv — a dead
+	// peer must crash the run loudly, not leave the other ranks waiting
+	// forever for frames that will never arrive.
+	var closeOnce sync.Once
+	closeAll := func() {
+		closeOnce.Do(func() {
+			for _, p := range peers {
+				if p != nil {
+					p.conn.Close()
+				}
+			}
+		})
+	}
+
 	forward := func(dec *gob.Decoder, rank int) {
 		for {
 			var f frame
 			if err := dec.Decode(&f); err != nil {
+				closeAll()
 				done <- fmt.Errorf("cluster: router: decode from %d: %w", rank, err)
 				return
 			}
@@ -86,6 +106,7 @@ func StartRouter(addr string, size int) (string, func() error, error) {
 			err := p.enc.Encode(f)
 			p.mu.Unlock()
 			if err != nil {
+				closeAll()
 				done <- fmt.Errorf("cluster: router: forward to %d: %w", f.To, err)
 				return
 			}
@@ -115,7 +136,7 @@ func StartRouter(addr string, size int) (string, func() error, error) {
 				fatal <- fmt.Errorf("cluster: router: invalid or duplicate rank %d", hello.From)
 				return
 			}
-			peers[hello.From] = &peer{enc: gob.NewEncoder(conn)}
+			peers[hello.From] = &peer{enc: gob.NewEncoder(conn), conn: conn}
 			decs = append(decs, dec)
 			ranks = append(ranks, hello.From)
 		}
@@ -144,7 +165,17 @@ func StartRouter(addr string, size int) (string, func() error, error) {
 
 // DialTCP connects a machine to the router.
 func DialTCP(addr string, rank, size int) (*TCPNode, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTCPContext(context.Background(), addr, rank, size)
+}
+
+// DialTCPContext is DialTCP bound to a context: when ctx is cancelled or
+// its deadline passes, the node's connection is closed and every blocked
+// Recv is woken with the context error (via the mailbox's failure path), so
+// a dead or wedged peer can never hang this process past its deadline. The
+// dial itself also honors ctx.
+func DialTCPContext(ctx context.Context, addr string, rank, size int) (*TCPNode, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial router: %w", err)
 	}
@@ -155,12 +186,26 @@ func DialTCP(addr string, rank, size int) (*TCPNode, error) {
 		box:   newMailbox(),
 		stats: &Stats{},
 	}
+	if ctx.Done() != nil {
+		n.stopWatch = context.AfterFunc(ctx, func() {
+			n.box.fail(ctx.Err())
+			n.conn.Close()
+		})
+	}
 	if err := n.enc.Encode(frame{From: rank, Hello: true}); err != nil {
+		n.release()
 		conn.Close()
 		return nil, fmt.Errorf("cluster: hello: %w", err)
 	}
 	go n.readLoop()
 	return n, nil
+}
+
+// release detaches the context watchdog.
+func (n *TCPNode) release() {
+	if n.stopWatch != nil {
+		n.stopWatch()
+	}
 }
 
 func (n *TCPNode) readLoop() {
@@ -256,6 +301,7 @@ func (n *TCPNode) Barrier() {
 
 // Close says goodbye to the router and closes the connection.
 func (n *TCPNode) Close() error {
+	n.release()
 	n.encMu.Lock()
 	err := n.enc.Encode(frame{From: n.rank, Bye: true})
 	n.encMu.Unlock()
@@ -263,5 +309,12 @@ func (n *TCPNode) Close() error {
 		n.conn.Close()
 		return err
 	}
+	return n.conn.Close()
+}
+
+// Abort closes the connection without a goodbye, as a crashed process
+// would. Tests use it to simulate a rank dying mid-superstep.
+func (n *TCPNode) Abort() error {
+	n.release()
 	return n.conn.Close()
 }

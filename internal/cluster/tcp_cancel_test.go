@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recvOrConnLost runs fn and converts a *ConnLostError panic into an error;
+// any other panic is re-raised.
+func recvOrConnLost(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cl, ok := r.(*ConnLostError); ok {
+				err = cl
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestTCPRecvHonorsContextCancellation(t *testing.T) {
+	addr, wait, err := StartRouter("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	node, err := DialTCPContext(ctx, addr, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		got <- recvOrConnLost(func() { node.Recv(TagUser) })
+	}()
+	// Nothing will ever arrive; the cancel must wake the blocked Recv.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatal("Recv returned a message out of nowhere")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Recv failed with %v, want context.Canceled in the chain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked 5s after cancellation")
+	}
+	_ = wait // router sees an abrupt close; its error is irrelevant here
+}
+
+func TestTCPRecvHonorsContextDeadline(t *testing.T) {
+	addr, _, err := StartRouter("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	node, err := DialTCPContext(ctx, addr, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	recvErr := recvOrConnLost(func() { node.Recv(TagUser) })
+	if recvErr == nil {
+		t.Fatal("Recv returned a message out of nowhere")
+	}
+	if !errors.Is(recvErr, context.DeadlineExceeded) {
+		t.Fatalf("Recv failed with %v, want DeadlineExceeded in the chain", recvErr)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("deadline honored only after %v", waited)
+	}
+}
+
+// TestTCPDeadRankUnblocksSurvivors kills one rank mid-superstep — an abrupt
+// connection close with no goodbye, as a crashed process would — and
+// requires every surviving rank's blocked Recv to fail promptly instead of
+// waiting forever: the router tears the mesh down, which fails every
+// worker's mailbox.
+func TestTCPDeadRankUnblocksSurvivors(t *testing.T) {
+	const size = 3
+	const victim = 2
+	addr, wait, err := StartRouter("127.0.0.1:0", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]error, size)
+	var wg sync.WaitGroup
+	for rank := 0; rank < size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			node, err := DialTCP(addr, rank, size)
+			if err != nil {
+				results[rank] = err
+				return
+			}
+			results[rank] = recvOrConnLost(func() {
+				// Superstep 1 completes normally on all ranks.
+				for q := 0; q < size; q++ {
+					node.Send(q, TagUser, Int64Body(1))
+				}
+				node.RecvN(TagUser, size)
+				// Superstep 2: the victim dies before sending; the others
+				// send and then block in RecvN on messages that will never
+				// arrive.
+				if rank == victim {
+					node.Abort()
+					return
+				}
+				for q := 0; q < size; q++ {
+					node.Send(q, TagUser, Int64Body(2))
+				}
+				node.RecvN(TagUser, size)
+			})
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivors still blocked 10s after a rank died")
+	}
+	for rank, err := range results {
+		if rank == victim {
+			if err != nil {
+				t.Errorf("victim failed before dying: %v", err)
+			}
+			continue
+		}
+		var cl *ConnLostError
+		if !errors.As(err, &cl) {
+			t.Errorf("rank %d: got %v, want ConnLostError", rank, err)
+		}
+	}
+	if err := wait(); err == nil {
+		t.Error("router wait() reported success despite a dead rank")
+	}
+}

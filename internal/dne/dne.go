@@ -121,9 +121,27 @@ func Partition(g *graph.Graph, numParts int, cfg Config) (*Result, error) {
 	return PartitionCtx(context.Background(), g, numParts, cfg)
 }
 
+// validate checks the algorithm parameters.
+func (cfg Config) validate() error {
+	if cfg.Alpha < 1.0 {
+		return fmt.Errorf("dne: alpha must be >= 1.0, got %g", cfg.Alpha)
+	}
+	if !cfg.SingleExpansion && (cfg.Lambda <= 0 || cfg.Lambda > 1) {
+		return fmt.Errorf("dne: lambda must be in (0,1], got %g", cfg.Lambda)
+	}
+	return nil
+}
+
 // PartitionCtx is Partition with cancellation: the superstep loop checks
 // ctx once per iteration (collectively, so all machines abort together) and
 // returns ctx's error.
+//
+// It is a thin adapter onto the sharded data plane: the in-memory graph is
+// split into |P| synthetic shards (contiguous stripes of the canonical edge
+// list) and every machine runs the same shuffle → subgraph → superstep
+// pipeline a true multi-process run uses, so the in-process simulation
+// exercises the exact distributed code path. The seeded partitioning is
+// bit-identical to the pre-shard driver (same subgraphs, same protocol).
 func PartitionCtx(ctx context.Context, g *graph.Graph, numParts int, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -131,11 +149,8 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, numParts int, cfg Config)
 	if numParts <= 0 {
 		return nil, fmt.Errorf("dne: numParts must be positive, got %d", numParts)
 	}
-	if cfg.Alpha < 1.0 {
-		return nil, fmt.Errorf("dne: alpha must be >= 1.0, got %g", cfg.Alpha)
-	}
-	if !cfg.SingleExpansion && (cfg.Lambda <= 0 || cfg.Lambda > 1) {
-		return nil, fmt.Errorf("dne: lambda must be in (0,1], got %g", cfg.Lambda)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if g.NumEdges() == 0 {
 		return nil, errors.New("dne: graph has no edges")
@@ -145,24 +160,27 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, numParts int, cfg Config)
 	results := make([]machineResult, numParts)
 	p := partition.New(numParts, g.NumEdges())
 
-	// Single-pass grid-bucketed extraction: the driver splits the canonical
-	// edge indices by owning machine once (O(|E|), chunk-parallel) instead
-	// of every machine scanning every edge (O(|P|·|E|)). It is part of the
-	// measured partitioning time, as the per-machine scans it replaced were.
 	start := time.Now()
-	buckets := edgeBuckets(g, newGrid(numParts), numParts)
-	for r := range buckets {
-		if buckets[r] == nil {
-			buckets[r] = []int64{}
-		}
-	}
+	shards := graph.ShardsOf(g, numParts)
+	var rootKeys []uint64
+	var rootOwners []int32
 	err := c.Run(func(comm cluster.Comm) error {
-		return runMachine(ctx, comm, g, cfg, &results[comm.Rank()], p.Owner, buckets[comm.Rank()])
+		keys, owners, err := runShardMachine(ctx, comm, shards[comm.Rank()], cfg, &results[comm.Rank()])
+		if comm.Rank() == 0 {
+			rootKeys, rootOwners = keys, owners
+		}
+		return err
 	})
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
+	// The merged keys are the canonical edge list in ascending order, so the
+	// merged owners line up 1:1 with g's edge indices.
+	if int64(len(rootKeys)) != g.NumEdges() {
+		return nil, fmt.Errorf("dne: collected %d edges, graph has %d", len(rootKeys), g.NumEdges())
+	}
+	copy(p.Owner, rootOwners)
 
 	res := &Result{Partitioning: p, Elapsed: elapsed}
 	for _, mr := range results {

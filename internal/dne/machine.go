@@ -83,6 +83,23 @@ type machineResult struct {
 	selections int64 // all selection deliveries processed here
 }
 
+// machineInput bundles what one machine's expansion + allocation process
+// needs. The subgraph is built by the caller (from a distributed shuffle,
+// from precomputed buckets, or by scanning a whole graph), so the superstep
+// loop itself never touches global edge arrays.
+type machineInput struct {
+	sg          *subGraph
+	numVertices uint32 // global |V| (vertex ids are global everywhere)
+	totalEdges  int64  // global deduplicated |E|
+	// residentBytes is input memory held for the entire run (the whole-graph
+	// path charges the full graph here; the shard path charges nothing — its
+	// shard is released after the shuffle).
+	residentBytes int64
+	// inputPeakBytes is the transient peak of the input phase (shard +
+	// shuffle buffers); the reported peak is the max of the two phases.
+	inputPeakBytes int64
+}
+
 // runMachine executes one machine's combined expansion + allocation process
 // (§3.3: one expansion process and one allocation process per machine; this
 // machine's expansion process computes partition `rank`).
@@ -92,27 +109,21 @@ type machineResult struct {
 // machines abort together at the end of the superstep in which any flag was
 // seen. Deciding on received flags (identical on every machine) rather than
 // on the racy local ctx keeps the lock-step protocol deadlock-free.
-// bucket, when non-nil, is this rank's precomputed share of the canonical
-// edge indices (from edgeBuckets); a nil bucket makes the machine extract
-// its own share by scanning the graph, which is what the multi-process
-// transport does.
-func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Config, res *machineResult, ownerOut []int32, bucket []int64) error {
+//
+// Result collection is the caller's job (collectOwnersByIndex or
+// collectOwnersByKey), after this returns.
+func runMachine(ctx context.Context, comm cluster.Comm, cfg Config, in machineInput, res *machineResult) error {
 	p := comm.Size()
 	rank := comm.Rank()
 	gd := newGrid(p)
-	var sg *subGraph
-	if bucket != nil {
-		sg = buildSubGraphFrom(g, p, bucket)
-	} else {
-		sg = buildSubGraph(g, gd, rank, p)
-	}
+	sg := in.sg
 	if cfg.ParallelAllocation {
 		// Superstep tags for conflict accounting; iter starts at 1, so the
 		// zero value never aliases a live superstep.
 		sg.claimIter = make([]int32, len(sg.edges))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(rank)+1)*0x9e3779b9))
-	bnd := dsa.NewBoundary(int(g.NumVertices()))
+	bnd := dsa.NewBoundary(int(in.numVertices))
 
 	// replicaProcs resolves a vertex's replica machine set: the grid
 	// row ∪ column by default, or all machines under the BroadcastReplicas
@@ -128,7 +139,7 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 		return gd.vertexProcs(v, buf)
 	}
 
-	totalE := g.NumEdges()
+	totalE := in.totalEdges
 	capEdges := int64(cfg.Alpha * float64(totalE) / float64(p))
 	if capEdges < 1 {
 		capEdges = 1
@@ -158,7 +169,7 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 	// accumulator) — O(1) lookups and zero per-superstep allocation, paid
 	// for with O(|P|·|V|) total footprint in the in-process simulation. The
 	// Fig-9 memory accounting below charges all of it honestly.
-	n := g.NumVertices()
+	n := in.numVertices
 	seenBP := newVPSet(n, p)         // ⟨v,p⟩ pairs already in the boundary update
 	seenV := dsa.NewEpochSet(int(n)) // vertices already two-hop-processed
 	mergedSet := dsa.NewEpochSet(int(n))
@@ -400,31 +411,129 @@ func runMachine(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Conf
 		swept = cluster.AllGatherSum(comm, swept)
 	}
 
-	// Snapshot communication stats before result collection: the gather below
-	// is measurement plumbing, not part of the algorithm's traffic.
+	// Snapshot communication stats before result collection: the gather the
+	// caller performs next is measurement plumbing, not part of the
+	// algorithm's traffic.
 	res.commBytes = comm.Stats().BytesSent.Load()
 	res.commMsgs = comm.Stats().MessagesSent.Load()
 	res.conflicts = atomic.LoadInt64(&sg.conflicts)
 	res.iterations = iter
 	res.swept = swept
 	res.partEdges = int64(len(epEdges))
-	res.memBytes = sg.memoryFootprint() + int64(len(epEdges))*8 + bnd.MemoryFootprint() +
-		seenBP.memoryFootprint() + seenV.MemoryFootprint() +
+	// Peak memory is the max over the run's two phases: the input phase
+	// (shard + shuffle buffers, transient) and the expansion phase (subgraph
+	// + boundary + scratch slabs + the partition's own edges, plus whatever
+	// input stays resident — the whole graph on the legacy path, nothing on
+	// the shard path).
+	expansion := in.residentBytes + sg.memoryFootprint() + int64(len(epEdges))*8 +
+		bnd.MemoryFootprint() + seenBP.memoryFootprint() + seenV.MemoryFootprint() +
 		mergedSet.MemoryFootprint() + int64(len(mergedVal))*4
+	res.memBytes = max(expansion, in.inputPeakBytes)
+	return nil
+}
 
-	// Result collection: every machine (including the master, via a free
-	// self-send) ships its (global edge index, owner) pairs to rank 0, which
-	// writes them into the driver-provided output slice.
+// collectOwnersByIndex ships every machine's (global edge index, owner)
+// pairs to rank 0, which writes them into ownerOut (ignored elsewhere).
+// Usable only for subgraphs built with global indices (the whole-graph
+// path).
+func collectOwnersByIndex(comm cluster.Comm, sg *subGraph, ownerOut []int32) {
 	comm.Send(0, tagResult, resultBody{Idx: sg.globalIdx, Owner: sg.owner})
-	if rank == 0 {
-		for _, m := range comm.RecvN(tagResult, p) {
-			body := m.Body.(resultBody)
-			for i, gi := range body.Idx {
-				ownerOut[gi] = body.Owner[i]
-			}
+	if comm.Rank() != 0 {
+		return
+	}
+	for _, m := range comm.RecvN(tagResult, comm.Size()) {
+		body := m.Body.(resultBody)
+		for i, gi := range body.Idx {
+			ownerOut[gi] = body.Owner[i]
 		}
 	}
-	return nil
+}
+
+// collectOwnersByKey ships every machine's (packed edge, owner) pairs to
+// rank 0 and merges the sorted runs there. No global edge indices are
+// involved, so it works when no rank ever saw the whole graph. At rank 0 it
+// returns the complete edge set in ascending canonical order with each
+// edge's owner; other ranks return nils.
+func collectOwnersByKey(comm cluster.Comm, sg *subGraph) ([]uint64, []int32) {
+	keys := make([]uint64, len(sg.edges))
+	for i, e := range sg.edges {
+		keys[i] = graph.PackEdge(e.U, e.V)
+	}
+	comm.Send(0, tagResult, shardResultBody{Keys: keys, Owner: sg.owner})
+	if comm.Rank() != 0 {
+		return nil, nil
+	}
+	p := comm.Size()
+	runs := make([][]uint64, 0, p)
+	owners := make([][]int32, 0, p)
+	total := 0
+	for _, m := range comm.RecvN(tagResult, p) {
+		body := m.Body.(shardResultBody)
+		runs = append(runs, body.Keys)
+		owners = append(owners, body.Owner)
+		total += len(body.Keys)
+	}
+	// K-way merge of the per-machine runs (each already ascending; the 2D
+	// hash makes them disjoint, so no tie-breaking is needed). A binary
+	// min-heap over the run heads keeps the merge O(|E| log P) instead of
+	// scanning all P cursors per element.
+	outKeys := make([]uint64, 0, total)
+	outOwners := make([]int32, 0, total)
+	cur := make([]int, len(runs))
+	type head struct {
+		key uint64
+		run int
+	}
+	heap := make([]head, 0, len(runs))
+	push := func(h head) {
+		heap = append(heap, h)
+		for i := len(heap) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if heap[parent].key <= heap[i].key {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	pop := func() head {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < last && heap[l].key < heap[smallest].key {
+				smallest = l
+			}
+			if r < last && heap[r].key < heap[smallest].key {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+		return top
+	}
+	for r := range runs {
+		if len(runs[r]) > 0 {
+			push(head{key: runs[r][0], run: r})
+		}
+	}
+	for len(heap) > 0 {
+		h := pop()
+		r := h.run
+		outKeys = append(outKeys, h.key)
+		outOwners = append(outOwners, owners[r][cur[r]])
+		cur[r]++
+		if cur[r] < len(runs[r]) {
+			push(head{key: runs[r][cur[r]], run: r})
+		}
+	}
+	return outKeys, outOwners
 }
 
 func sum(xs []int64) int64 {

@@ -2,8 +2,6 @@ package dne
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"github.com/distributedne/dne/internal/bitset"
@@ -68,81 +66,10 @@ type subGraph struct {
 	claimIter []int32
 }
 
-// bucketMinChunk is the smallest per-worker edge chunk worth a goroutine in
-// the grid-bucketed extraction.
-const bucketMinChunk = 1 << 16
-
-// edgeBuckets partitions the canonical edge indices of g by owning machine
-// in a single pass (instead of every machine scanning every edge). Chunk
-// workers bucket their contiguous edge ranges independently; concatenating
-// the chunk buckets in chunk order preserves ascending global index within
-// each bucket, which is the order the per-machine scan produced.
-func edgeBuckets(g *graph.Graph, gd grid, p int) [][]int64 {
-	w := runtime.GOMAXPROCS(0)
-	if maxW := len(g.Edges()) / bucketMinChunk; w > maxW {
-		w = maxW
-	}
-	if w < 1 {
-		w = 1
-	}
-	return edgeBucketsWorkers(g, gd, p, w)
-}
-
-// edgeBucketsWorkers is edgeBuckets with an explicit worker count.
-func edgeBucketsWorkers(g *graph.Graph, gd grid, p, w int) [][]int64 {
-	edges := g.Edges()
-	m := len(edges)
-	if w == 1 {
-		buckets := make([][]int64, p)
-		for i, e := range edges {
-			r := gd.edgeOwner(e.U, e.V)
-			buckets[r] = append(buckets[r], int64(i))
-		}
-		return buckets
-	}
-	chunk := (m + w - 1) / w
-	shards := make([][][]int64, w) // shards[wi][rank]
-	var wg sync.WaitGroup
-	for wi := 0; wi < w; wi++ {
-		lo, hi := wi*chunk, min((wi+1)*chunk, m)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(wi, lo, hi int) {
-			defer wg.Done()
-			local := make([][]int64, p)
-			for i := lo; i < hi; i++ {
-				e := edges[i]
-				r := gd.edgeOwner(e.U, e.V)
-				local[r] = append(local[r], int64(i))
-			}
-			shards[wi] = local
-		}(wi, lo, hi)
-	}
-	wg.Wait()
-	buckets := make([][]int64, p)
-	for r := 0; r < p; r++ {
-		total := 0
-		for wi := 0; wi < w; wi++ {
-			if shards[wi] != nil {
-				total += len(shards[wi][r])
-			}
-		}
-		b := make([]int64, 0, total)
-		for wi := 0; wi < w; wi++ {
-			if shards[wi] != nil {
-				b = append(b, shards[wi][r]...)
-			}
-		}
-		buckets[r] = b
-	}
-	return buckets
-}
-
-// buildSubGraph extracts rank's 2D-hash share of g with a single scan. Used
-// by the multi-process path where each rank extracts only its own share; the
-// in-process driver precomputes all shares at once with edgeBuckets.
+// buildSubGraph extracts rank's 2D-hash share of g with a single scan: the
+// legacy whole-graph path (PartitionOver), where every rank holds g and
+// pulls out its own share. The shard data plane builds the identical
+// subgraph from shuffled edges instead (buildSubGraphPacked).
 func buildSubGraph(g *graph.Graph, gd grid, rank, numParts int) *subGraph {
 	var bucket []int64
 	for i, e := range g.Edges() {
@@ -156,16 +83,38 @@ func buildSubGraph(g *graph.Graph, gd grid, rank, numParts int) *subGraph {
 // buildSubGraphFrom materializes the subgraph over the given canonical edge
 // indices (ascending).
 func buildSubGraphFrom(g *graph.Graph, numParts int, bucket []int64) *subGraph {
-	sg := &subGraph{numParts: numParts, globalIdx: bucket}
-	sg.edges = make([]graph.Edge, len(bucket))
+	edges := make([]graph.Edge, len(bucket))
 	for i, gi := range bucket {
-		sg.edges[i] = g.Edge(gi)
+		edges[i] = g.Edge(gi)
 	}
+	return buildSubGraphCore(g.NumVertices(), numParts, edges, bucket)
+}
+
+// buildSubGraphPacked materializes the subgraph from sorted, deduplicated
+// packed edge keys — the form the distributed shuffle delivers. No global
+// edge array is consulted and no global edge indices exist; result
+// collection keys by the packed edges themselves. Because ascending packed
+// order IS ascending canonical-index order, the resulting subgraph is
+// field-for-field identical to the bucket-driven build (minus globalIdx).
+func buildSubGraphPacked(numVertices uint32, numParts int, packed []uint64) *subGraph {
+	edges := make([]graph.Edge, len(packed))
+	for i, k := range packed {
+		edges[i] = graph.UnpackEdge(k)
+	}
+	return buildSubGraphCore(numVertices, numParts, edges, nil)
+}
+
+// buildSubGraphCore builds the subgraph over local canonical edges
+// (ascending canonical order). globalIdx, when non-nil, records each local
+// edge's global canonical index for index-keyed result collection.
+func buildSubGraphCore(numVertices uint32, numParts int, edges []graph.Edge, globalIdx []int64) *subGraph {
+	sg := &subGraph{numParts: numParts, globalIdx: globalIdx}
+	sg.edges = edges
 
 	// Distinct local vertices, ascending, and the dense global→local map:
 	// mark endpoints in lid, then one scan over the id space assigns local
 	// ids in ascending global order.
-	nGlobal := int(g.NumVertices())
+	nGlobal := int(numVertices)
 	sg.lid = make([]int32, nGlobal)
 	for i := range sg.lid {
 		sg.lid[i] = -1

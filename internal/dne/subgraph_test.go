@@ -8,40 +8,43 @@ import (
 	"github.com/distributedne/dne/internal/graph"
 )
 
-// TestEdgeBucketsMatchesScan checks the single-pass grid-bucketed
-// extraction — sequential and chunk-parallel — against the per-rank scan,
-// for several machine counts (square and non-square grids).
-func TestEdgeBucketsMatchesScan(t *testing.T) {
-	g := gen.RMAT(11, 8, 5)
-	for _, p := range []int{1, 3, 8, 17} {
-		gd := newGrid(p)
-		want := make([][]int64, p)
-		for i, e := range g.Edges() {
-			r := gd.edgeOwner(e.U, e.V)
-			want[r] = append(want[r], int64(i))
-		}
-		for _, w := range []int{1, 2, 5} {
-			got := edgeBucketsWorkers(g, gd, p, w)
-			for r := 0; r < p; r++ {
-				if !slices.Equal(got[r], want[r]) {
-					t.Fatalf("p=%d w=%d rank %d: bucket mismatch (%d vs %d edges)",
-						p, w, r, len(got[r]), len(want[r]))
-				}
-			}
-		}
+// gridBuckets splits g's canonical edge indices by owning machine with the
+// reference per-rank scan, for the differential tests below.
+func gridBuckets(g *graph.Graph, gd grid, p int) [][]int64 {
+	buckets := make([][]int64, p)
+	for i, e := range g.Edges() {
+		r := gd.edgeOwner(e.U, e.V)
+		buckets[r] = append(buckets[r], int64(i))
 	}
+	return buckets
 }
 
-// TestBuildSubGraphFromEquivalence checks that the bucket-driven build and
-// the self-extracting build produce identical subgraphs, field for field.
-func TestBuildSubGraphFromEquivalence(t *testing.T) {
+// TestBuildSubGraphEquivalence checks that the three subgraph builds — the
+// self-extracting scan, the bucket-driven build, and the packed build the
+// shuffle uses — produce identical subgraphs, field for field.
+func TestBuildSubGraphEquivalence(t *testing.T) {
 	g := gen.RMAT(11, 8, 9)
 	const p = 6
 	gd := newGrid(p)
-	buckets := edgeBuckets(g, gd, p)
+	buckets := gridBuckets(g, gd, p)
 	for rank := 0; rank < p; rank++ {
 		a := buildSubGraph(g, gd, rank, p)
 		b := buildSubGraphFrom(g, p, buckets[rank])
+		packed := make([]uint64, len(buckets[rank]))
+		for i, gi := range buckets[rank] {
+			e := g.Edge(gi)
+			packed[i] = graph.PackEdge(e.U, e.V)
+		}
+		c := buildSubGraphPacked(g.NumVertices(), p, packed)
+		if !slices.Equal(a.verts, c.verts) || !slices.Equal(a.lid, c.lid) ||
+			!slices.Equal(a.off, c.off) || !slices.Equal(a.target, c.target) ||
+			!slices.Equal(a.eIdx, c.eIdx) || !slices.Equal(a.edges, c.edges) ||
+			!slices.Equal(a.drest, c.drest) || !slices.Equal(a.aliveLen, c.aliveLen) {
+			t.Fatalf("rank %d: packed build differs from scan build", rank)
+		}
+		if c.globalIdx != nil {
+			t.Fatalf("rank %d: packed build must not carry global indices", rank)
+		}
 		if !slices.Equal(a.verts, b.verts) {
 			t.Fatalf("rank %d: verts differ", rank)
 		}
@@ -91,18 +94,27 @@ func TestSubGraphLocalIDDense(t *testing.T) {
 	}
 }
 
-// BenchmarkBuildSubGraph measures the driver path: one grid-bucketed pass
-// over the edges plus per-machine CSR materialization, for all 16 machines.
-func BenchmarkBuildSubGraph(b *testing.B) {
+// BenchmarkBuildSubGraphPacked measures the shard data plane's build: the
+// packed-edge subgraph materialization for all 16 machines (the shuffle's
+// routing/exchange is benchmarked separately by BenchmarkPartitionShards).
+func BenchmarkBuildSubGraphPacked(b *testing.B) {
 	g := gen.RMAT(14, 16, 21)
 	const p = 16
 	gd := newGrid(p)
+	buckets := gridBuckets(g, gd, p)
+	packed := make([][]uint64, p)
+	for rank := 0; rank < p; rank++ {
+		packed[rank] = make([]uint64, len(buckets[rank]))
+		for i, gi := range buckets[rank] {
+			e := g.Edge(gi)
+			packed[rank][i] = graph.PackEdge(e.U, e.V)
+		}
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buckets := edgeBuckets(g, gd, p)
 		for rank := 0; rank < p; rank++ {
-			sg := buildSubGraphFrom(g, p, buckets[rank])
+			sg := buildSubGraphPacked(g.NumVertices(), p, packed[rank])
 			if len(sg.edges) == 0 {
 				b.Fatal("empty subgraph")
 			}
@@ -110,9 +122,8 @@ func BenchmarkBuildSubGraph(b *testing.B) {
 	}
 }
 
-// BenchmarkBuildSubGraphScan is the self-extracting fallback the
-// multi-process transport uses (and the closest surviving relative of the
-// old per-machine scan), for the same total work.
+// BenchmarkBuildSubGraphScan is the whole-graph path's self-extracting
+// build (every rank scans all of g), for the same total work.
 func BenchmarkBuildSubGraphScan(b *testing.B) {
 	g := gen.RMAT(14, 16, 21)
 	const p = 16

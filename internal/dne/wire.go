@@ -2,9 +2,12 @@ package dne
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
 	"github.com/distributedne/dne/internal/cluster"
 	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
 )
 
 // init registers every DNE message body with the gob-based TCP transport so
@@ -16,18 +19,40 @@ func init() {
 	cluster.RegisterBody(boundaryBody{})
 	cluster.RegisterBody(edgesBody{})
 	cluster.RegisterBody(resultBody{})
+	cluster.RegisterBody(shardResultBody{})
 	cluster.RegisterBody(sweepBody{})
 	cluster.RegisterBody(cluster.Int64Body(0))
 	cluster.RegisterBody(cluster.Int64SliceBody(nil))
+	cluster.RegisterBody(cluster.Uint64SliceBody(nil))
+}
+
+// recoverConnLost converts a dead-transport panic (a peer crashed, the
+// router tore the mesh down, or the dial context fired) into a returned
+// error, so a multi-process run fails with a diagnosable message instead of
+// a goroutine panic. Any other panic is re-raised.
+func recoverConnLost(err *error) {
+	if r := recover(); r != nil {
+		if cl, ok := r.(*cluster.ConnLostError); ok {
+			*err = fmt.Errorf("dne: %w", cl)
+			return
+		}
+		panic(r)
+	}
 }
 
 // PartitionOver runs this machine's share of Distributed NE over an
-// arbitrary communicator (in-process or TCP). Every rank must call it with
-// the same graph, configuration and partition count (= comm.Size()). The
-// returned slice is non-nil only at rank 0 and holds the owner of every
-// canonical edge of g. Cancelling ctx aborts the run at the next superstep
-// boundary, collectively across all ranks.
-func PartitionOver(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Config) ([]int32, *MachineStats, error) {
+// arbitrary communicator (in-process or TCP) with every rank holding the
+// complete graph. Every rank must call it with the same graph,
+// configuration and partition count (= comm.Size()). The returned slice is
+// non-nil only at rank 0 and holds the owner of every canonical edge of g.
+// Cancelling ctx aborts the run at the next superstep boundary,
+// collectively across all ranks.
+//
+// This is the legacy whole-graph path: per-rank peak memory is O(|E|)
+// because each rank stores g. PartitionShards is the scalable entry point —
+// each rank feeds in only its own edge shard.
+func PartitionOver(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg Config) (_ []int32, _ *MachineStats, err error) {
+	defer recoverConnLost(&err)
 	var res machineResult
 	var owner []int32
 	if comm.Rank() == 0 {
@@ -36,17 +61,122 @@ func PartitionOver(ctx context.Context, comm cluster.Comm, g *graph.Graph, cfg C
 			owner[i] = -1
 		}
 	}
-	if err := runMachine(ctx, comm, g, cfg, &res, owner, nil); err != nil {
+	sg := buildSubGraph(g, newGrid(comm.Size()), comm.Rank(), comm.Size())
+	in := machineInput{
+		sg:          sg,
+		numVertices: g.NumVertices(),
+		totalEdges:  g.NumEdges(),
+		// The whole graph stays resident for the entire run on this path.
+		residentBytes: g.MemoryFootprint(),
+	}
+	if err := runMachine(ctx, comm, cfg, in, &res); err != nil {
 		return nil, nil, err
 	}
-	return owner, &MachineStats{
-		Iterations: res.iterations,
-		SweptEdges: res.swept,
-		MemBytes:   res.memBytes,
-		PartEdges:  res.partEdges,
-		CommBytes:  res.commBytes,
-		CommMsgs:   res.commMsgs,
-	}, nil
+	collectOwnersByIndex(comm, sg, owner)
+	return owner, res.stats(), nil
+}
+
+// ShardResult is the assembled outcome of a shard-based run, available at
+// rank 0 only: the complete deduplicated edge set in ascending canonical
+// order (packed keys) and each edge's owning partition.
+type ShardResult struct {
+	NumParts int
+	Keys     []uint64 // packed canonical edges, ascending
+	Owner    []int32  // owner[i] is the partition of Keys[i]
+}
+
+// NumEdges returns the global deduplicated edge count.
+func (r *ShardResult) NumEdges() int64 { return int64(len(r.Keys)) }
+
+// EdgeCounts returns per-partition edge counts.
+func (r *ShardResult) EdgeCounts() []int64 {
+	counts := make([]int64, r.NumParts)
+	for _, o := range r.Owner {
+		counts[o]++
+	}
+	return counts
+}
+
+// EdgeBalance returns max |Eq| / avg |Eq| (the paper's balance metric).
+func (r *ShardResult) EdgeBalance() float64 {
+	if len(r.Keys) == 0 {
+		return 0
+	}
+	var maxC int64
+	for _, c := range r.EdgeCounts() {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return float64(maxC) * float64(r.NumParts) / float64(len(r.Keys))
+}
+
+// Checksum returns the FNV-64a checksum of the owner sequence in canonical
+// edge order — directly comparable with partition.Checksum of an in-process
+// run over the same graph, seed and partition count.
+func (r *ShardResult) Checksum() uint64 { return partition.Checksum(r.Owner) }
+
+// PartitionShards runs Distributed NE with a per-rank edge shard as the
+// unit of input: no rank ever holds the full graph during partitioning.
+// Every rank calls it with its own shard (an arbitrary, possibly duplicated
+// slice of the raw edge stream — shard files from cmd/gengraph, or a stripe
+// from graph.ShardsOf); the ranks' shards together must cover the graph.
+// The shard is consumed: its edge slice is released after the shuffle so
+// the rank's peak memory stays O(|E|/P + boundary) through the superstep
+// loop. Result collection is the one deliberate exception: rank 0 assembles
+// the final (edge, owner) sequence — 12 bytes per global edge, well under
+// the graph+CSR it never builds — after the algorithm (and its reported
+// peak-memory stat) has finished.
+//
+// The result is non-nil at rank 0 only. The seeded partitioning is
+// bit-identical to the in-process whole-graph run with the same seed,
+// graph and partition count.
+func PartitionShards(ctx context.Context, comm cluster.Comm, shard *graph.Shard, cfg Config) (_ *ShardResult, _ *MachineStats, err error) {
+	defer recoverConnLost(&err)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	var res machineResult
+	keys, owners, err := runShardMachine(ctx, comm, shard, cfg, &res)
+	if err != nil {
+		return nil, nil, err
+	}
+	if comm.Rank() != 0 {
+		return nil, res.stats(), nil
+	}
+	return &ShardResult{NumParts: comm.Size(), Keys: keys, Owner: owners}, res.stats(), nil
+}
+
+// runShardMachine is the per-rank body of the shard data plane: shuffle the
+// local shard to grid owners, build the subgraph from received edges only,
+// run the superstep loop, and collect (key, owner) runs at rank 0.
+func runShardMachine(ctx context.Context, comm cluster.Comm, shard *graph.Shard, cfg Config, res *machineResult) ([]uint64, []int32, error) {
+	p := comm.Size()
+	gd := newGrid(p)
+	shardBytes := shard.Bytes()
+	local, shuffleBytes := shuffleShard(comm, gd, shard.Packed)
+	// The shard has served its purpose; release it so the expansion phase
+	// runs on the subgraph alone.
+	shard.Packed = nil
+	totalE := cluster.AllGatherSum(comm, int64(len(local)))
+	if totalE == 0 {
+		return nil, nil, errors.New("dne: shards hold no edges")
+	}
+	sg := buildSubGraphPacked(shard.NumVertices, p, local)
+	in := machineInput{
+		sg:             sg,
+		numVertices:    shard.NumVertices,
+		totalEdges:     totalE,
+		inputPeakBytes: shardBytes + shuffleBytes,
+	}
+	if err := runMachine(ctx, comm, cfg, in, res); err != nil {
+		return nil, nil, err
+	}
+	keys, owners := collectOwnersByKey(comm, sg)
+	return keys, owners, nil
 }
 
 // MachineStats is the public view of one machine's execution metrics.
@@ -57,4 +187,15 @@ type MachineStats struct {
 	PartEdges  int64
 	CommBytes  int64
 	CommMsgs   int64
+}
+
+func (r *machineResult) stats() *MachineStats {
+	return &MachineStats{
+		Iterations: r.iterations,
+		SweptEdges: r.swept,
+		MemBytes:   r.memBytes,
+		PartEdges:  r.partEdges,
+		CommBytes:  r.commBytes,
+		CommMsgs:   r.commMsgs,
+	}
 }

@@ -35,8 +35,25 @@ func RMAT(scale int, edgeFactor int, seed int64) *graph.Graph {
 func RMATWith(p RMATParams, scale int, edgeFactor int, seed int64) *graph.Graph {
 	n := uint32(1) << scale
 	m := int64(edgeFactor) << scale
-	rng := rand.New(rand.NewSource(seed))
 	edges := make([]graph.Edge, 0, m)
+	StreamRMATWith(p, scale, edgeFactor, seed, func(u, v uint32) {
+		edges = append(edges, graph.Edge{U: u, V: v})
+	})
+	return graph.FromEdges(n, edges)
+}
+
+// StreamRMAT is RMAT as a stream: the identical raw edge sequence, emitted
+// one sample at a time instead of materialized, so a caller (cmd/gengraph's
+// shard writer) runs in O(1) memory regardless of scale. FromEdges over the
+// emitted samples reproduces RMAT(scale, edgeFactor, seed) exactly.
+func StreamRMAT(scale int, edgeFactor int, seed int64, emit func(u, v uint32)) {
+	StreamRMATWith(Graph500, scale, edgeFactor, seed, emit)
+}
+
+// StreamRMATWith is StreamRMAT with explicit quadrant parameters.
+func StreamRMATWith(p RMATParams, scale int, edgeFactor int, seed int64, emit func(u, v uint32)) {
+	m := int64(edgeFactor) << scale
+	rng := rand.New(rand.NewSource(seed))
 	ab := p.A + p.B
 	cNorm := p.C / (p.C + p.D)
 	for i := int64(0); i < m; i++ {
@@ -57,9 +74,8 @@ func RMATWith(p RMATParams, scale int, edgeFactor int, seed int64) *graph.Graph 
 				}
 			}
 		}
-		edges = append(edges, graph.Edge{U: u, V: v})
+		emit(u, v)
 	}
-	return graph.FromEdges(n, edges)
 }
 
 // PowerLaw generates a Chung–Lu style graph whose degree sequence follows a
@@ -129,15 +145,19 @@ func sampleZipf(rng *rand.Rand, alpha float64, maxDeg int) int {
 
 // ER generates an Erdős–Rényi G(n, m) graph with m edge samples.
 func ER(n uint32, m int64, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
 	edges := make([]graph.Edge, 0, m)
-	for i := int64(0); i < m; i++ {
-		edges = append(edges, graph.Edge{
-			U: uint32(rng.Int63n(int64(n))),
-			V: uint32(rng.Int63n(int64(n))),
-		})
-	}
+	StreamER(n, m, seed, func(u, v uint32) {
+		edges = append(edges, graph.Edge{U: u, V: v})
+	})
 	return graph.FromEdges(n, edges)
+}
+
+// StreamER is ER as a stream (same raw sample sequence, O(1) memory).
+func StreamER(n uint32, m int64, seed int64, emit func(u, v uint32)) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := int64(0); i < m; i++ {
+		emit(uint32(rng.Int63n(int64(n))), uint32(rng.Int63n(int64(n))))
+	}
 }
 
 // Road generates a road-network-like graph: a rows×cols lattice where a

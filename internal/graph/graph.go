@@ -83,13 +83,42 @@ func FromEdges(numVertices uint32, raw []Edge) *Graph {
 		}
 		keys = append(keys, uint64(c.U)<<32|uint64(c.V))
 	}
+	return fromKeys(numVertices, maxV, keys)
+}
+
+// FromPacked builds a graph from packed edge keys (PackEdge format). Keys
+// may be non-canonical, duplicated or self loops; the slice is canonicalized
+// and sorted in place. numVertices may be 0, in which case it is inferred.
+// The result is identical to FromEdges over the unpacked edges.
+func FromPacked(numVertices uint32, keys []uint64) *Graph {
+	kept := keys[:0]
+	maxV := uint32(0)
+	for _, k := range keys {
+		u, v := Vertex(k>>32), Vertex(k)
+		if u == v {
+			continue // self loop
+		}
+		if u > v {
+			u, v = v, u
+			k = uint64(u)<<32 | uint64(v)
+		}
+		if v >= maxV {
+			maxV = v + 1
+		}
+		kept = append(kept, k)
+	}
+	return fromKeys(numVertices, maxV, kept)
+}
+
+// fromKeys finishes construction from canonical packed keys: sorting the
+// keys ascending is exactly the (U, V) lexicographic order of the canonical
+// edges.
+func fromKeys(numVertices, maxV uint32, keys []uint64) *Graph {
 	if numVertices == 0 {
 		numVertices = maxV
 	} else if maxV > numVertices {
 		panic(fmt.Sprintf("graph: edge endpoint %d exceeds numVertices %d", maxV-1, numVertices))
 	}
-	// Sorting the packed keys ascending is exactly the (U, V) lexicographic
-	// order of the canonical edges.
 	dsa.SortU64(keys)
 	edges := make([]Edge, 0, len(keys))
 	for i, k := range keys {

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"slices"
+	"testing"
+)
+
+func testEdges() []Edge {
+	return []Edge{
+		{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}, {4, 5}, {0, 5}, {2, 5},
+		{3, 1}, // duplicate of {1,3} after canon
+	}
+}
+
+func TestShardWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewShardWriter(&buf, ShardInfo{NumVertices: 6, Index: 2, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{}
+	for _, e := range testEdges() {
+		if err := sw.Append(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, PackEdge(e.U, e.V))
+	}
+	if err := sw.Append(3, 3); err != nil { // self loop: dropped
+		t.Fatal(err)
+	}
+	if sw.NumWritten() != uint64(len(want)) {
+		t.Fatalf("NumWritten = %d, want %d", sw.NumWritten(), len(want))
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := ReadShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVertices != 6 {
+		t.Fatalf("NumVertices = %d", s.NumVertices)
+	}
+	if !slices.Equal(s.Packed, want) {
+		t.Fatalf("packed edges differ: got %v want %v", s.Packed, want)
+	}
+}
+
+func TestShardRoundTripAcrossChunkBoundaries(t *testing.T) {
+	// More edges than one chunk, not a multiple of the chunk size: the
+	// partial last chunk and the terminator must both round-trip.
+	const n = shardChunkEdges*2 + 137
+	var buf bytes.Buffer
+	sw, err := NewShardWriter(&buf, ShardInfo{NumVertices: 1 << 20, Index: 0, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		u := Vertex(i % 1000)
+		v := Vertex(1000 + i%7000)
+		if err := sw.Append(u, v); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, PackEdge(u, v))
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sr, err := NewShardReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	chunks := 0
+	for {
+		chunk, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunk) == 0 || len(chunk) > maxShardChunkEdges {
+			t.Fatalf("chunk size %d out of bounds", len(chunk))
+		}
+		got = append(got, chunk...)
+		chunks++
+	}
+	if chunks != 3 {
+		t.Fatalf("chunks = %d, want 3", chunks)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("streamed edges differ (%d vs %d)", len(got), len(want))
+	}
+	// EOF must be sticky.
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v", err)
+	}
+}
+
+func TestShardsOfCoversGraphExactly(t *testing.T) {
+	g := FromEdges(0, testEdges())
+	for _, p := range []int{1, 2, 3, 5, 16} {
+		shards := ShardsOf(g, p)
+		if len(shards) != p {
+			t.Fatalf("p=%d: got %d shards", p, len(shards))
+		}
+		var all []uint64
+		for _, s := range shards {
+			if s.NumVertices != g.NumVertices() {
+				t.Fatalf("p=%d: shard |V| %d != %d", p, s.NumVertices, g.NumVertices())
+			}
+			all = append(all, s.Packed...)
+		}
+		if int64(len(all)) != g.NumEdges() {
+			t.Fatalf("p=%d: shards hold %d edges, graph has %d", p, len(all), g.NumEdges())
+		}
+		for i, e := range g.Edges() {
+			if all[i] != PackEdge(e.U, e.V) {
+				t.Fatalf("p=%d: edge %d mismatch", p, i)
+			}
+		}
+	}
+}
+
+func TestFromPackedMatchesFromEdges(t *testing.T) {
+	raw := testEdges()
+	raw = append(raw, Edge{2, 2}, Edge{5, 1}) // self loop + non-canonical
+	packed := make([]uint64, len(raw))
+	for i, e := range raw {
+		packed[i] = uint64(e.U)<<32 | uint64(e.V) // deliberately unc canonicalized
+	}
+	a := FromEdges(0, raw)
+	b := FromPacked(0, packed)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: %v vs %v", a, b)
+	}
+	if !slices.Equal(a.Edges(), b.Edges()) {
+		t.Fatal("edge lists differ")
+	}
+	for v := Vertex(0); v < a.NumVertices(); v++ {
+		if !slices.Equal(a.Neighbors(v), b.Neighbors(v)) {
+			t.Fatalf("neighbors of %d differ", v)
+		}
+	}
+}
+
+func TestShardSortDedup(t *testing.T) {
+	s := &Shard{NumVertices: 10, Packed: []uint64{
+		PackEdge(3, 4), PackEdge(0, 1), PackEdge(3, 4), PackEdge(0, 1), PackEdge(2, 9),
+	}}
+	s.SortDedup()
+	want := []uint64{PackEdge(0, 1), PackEdge(2, 9), PackEdge(3, 4)}
+	if !slices.Equal(s.Packed, want) {
+		t.Fatalf("got %v want %v", s.Packed, want)
+	}
+}
+
+func TestShardLocalCSRMatchesGlobalCSR(t *testing.T) {
+	g := FromEdges(0, testEdges())
+	shards := ShardsOf(g, 3)
+	for si, s := range shards {
+		c := s.CSR()
+		// No array sized by the global vertex count.
+		if len(c.Verts) > 2*len(s.Packed) {
+			t.Fatalf("shard %d: %d local verts for %d edges", si, len(c.Verts), len(s.Packed))
+		}
+		// Every local adjacency must be a subset of the global adjacency,
+		// and local degrees must sum to 2·|local E|.
+		var degSum int64
+		for lv, v := range c.Verts {
+			if got := c.LocalID(v); got != lv {
+				t.Fatalf("LocalID(%d) = %d, want %d", v, got, lv)
+			}
+			degSum += c.Degree(lv)
+			global := g.Neighbors(v)
+			for _, nb := range c.Neighbors(lv) {
+				if !slices.Contains(global, nb) {
+					t.Fatalf("shard %d: local edge (%d,%d) not in graph", si, v, nb)
+				}
+			}
+		}
+		if degSum != 2*int64(len(s.Packed)) {
+			t.Fatalf("shard %d: degree sum %d != 2·%d", si, degSum, len(s.Packed))
+		}
+		if c.LocalID(g.NumVertices()+100) != -1 {
+			t.Fatal("LocalID of absent vertex should be -1")
+		}
+	}
+}
+
+func TestWriteShardReadShard(t *testing.T) {
+	s := &Shard{NumVertices: 100, Packed: []uint64{PackEdge(1, 2), PackEdge(5, 99)}}
+	var buf bytes.Buffer
+	if err := WriteShard(&buf, s, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewShardReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := sr.Info(); info.Index != 1 || info.Count != 3 || info.NumVertices != 100 {
+		t.Fatalf("info = %+v", info)
+	}
+	got, err := ReadShard(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got.Packed, s.Packed) {
+		t.Fatalf("round trip lost edges: %v", got.Packed)
+	}
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+)
+
+// ReadShardDir loads the EShard files in dir (*.esh) whose shard index
+// satisfies keep (nil keeps all), merged into one Shard. Every file's
+// header is validated for mutual consistency — same vertex count, same
+// declared shard count, each index present exactly once, and the file set
+// complete — so a run cannot silently start from a partial or mixed-up
+// shard directory. Only kept files are read past their header.
+func ReadShardDir(dir string, keep func(index, count uint32) bool) (*Shard, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.esh"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("graph: no *.esh shard files in %s", dir)
+	}
+	slices.Sort(paths)
+	merged := &Shard{}
+	seen := make(map[uint32]string)
+	var count uint32
+	for _, path := range paths {
+		info, packed, err := readShardFile(path, keep)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if prev, dup := seen[info.Index]; dup {
+			return nil, fmt.Errorf("graph: shard index %d in both %s and %s", info.Index, prev, path)
+		}
+		seen[info.Index] = path
+		if len(seen) == 1 {
+			merged.NumVertices = info.NumVertices
+			count = info.Count
+		} else if info.NumVertices != merged.NumVertices || info.Count != count {
+			return nil, fmt.Errorf("graph: %s header (|V|=%d, %d shards) inconsistent with %s (|V|=%d, %d shards)",
+				path, info.NumVertices, info.Count, paths[0], merged.NumVertices, count)
+		}
+		merged.Packed = append(merged.Packed, packed...)
+	}
+	if uint32(len(paths)) != count {
+		return nil, fmt.Errorf("graph: %s holds %d shard files but headers declare %d shards",
+			dir, len(paths), count)
+	}
+	return merged, nil
+}
+
+// readShardFile returns the header info of one shard file, plus its packed
+// edges when keep accepts the shard's index.
+func readShardFile(path string, keep func(index, count uint32) bool) (ShardInfo, []uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ShardInfo{}, nil, err
+	}
+	defer f.Close()
+	sr, err := NewShardReader(f)
+	if err != nil {
+		return ShardInfo{}, nil, err
+	}
+	info := sr.Info()
+	if keep != nil && !keep(info.Index, info.Count) {
+		return info, nil, nil
+	}
+	var packed []uint64
+	for {
+		chunk, err := sr.Next()
+		if err == io.EOF {
+			return info, packed, nil
+		}
+		if err != nil {
+			return ShardInfo{}, nil, err
+		}
+		packed = append(packed, chunk...)
+	}
+}

@@ -1,0 +1,19 @@
+package partition
+
+import "hash/fnv"
+
+// Checksum returns the FNV-64a hash of an owner sequence (little-endian
+// int32 per edge, in canonical edge order). It is the repository's common
+// currency for comparing partitionings across processes and transports: the
+// golden determinism tests, dnepart -checksum and the multi-process
+// dneworker all print this value, so a 4-process shard run can be asserted
+// identical to the in-process run by comparing two numbers.
+func Checksum(owner []int32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, o := range owner {
+		buf[0], buf[1], buf[2], buf[3] = byte(o), byte(o>>8), byte(o>>16), byte(o>>24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
