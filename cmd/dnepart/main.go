@@ -5,18 +5,28 @@
 //
 //	dnepart -in graph.txt -parts 16 [-method dne] [-out owners.txt]
 //	dnepart -shard-dir shards/ -parts 4 -method dne -checksum
+//	dnepart -stream -shard-dir shards/ -parts 16 -method hdrf -checksum
 //	dnepart -rmat 16 -ef 16 -parts 16 -method dne -params lambda=0.05,alpha=1.2
 //	dnepart -list-methods
 //
 // The input is a whitespace edge list ("u v" per line, '#' comments), a
-// directory of EShard files written by gengraph -shards (-shard-dir), or a
-// synthetic RMAT graph (-rmat). -checksum prints the partitioning checksum,
-// directly comparable with the RESULT line of a multi-process dneworker run
-// over the same graph/seed/parts. The output file (optional) has one
-// "u v partition" line per edge; -save writes the compact binary
-// partitioning (partition.ReadBinary loads it back). Methods and their
-// parameters come from the method registry; -list-methods prints the
-// generated table.
+// directory of EShard files written by gengraph -shards (-shard-dir), a
+// DNE1 binary edge list (-bin, graph.WriteBinary's format), or a synthetic
+// RMAT graph (-rmat). -checksum prints the partitioning checksum, directly
+// comparable with the RESULT line of a multi-process dneworker run over the
+// same graph/seed/parts.
+//
+// -stream partitions without materializing the input: the shard dir,
+// binary file or generator becomes a graph.Source consumed by the method's
+// streaming core (stream-capable methods run in dense-state + chunk
+// memory; the rest materialize transparently and say so in the stats). For
+// canonical shard sets (gengraph -canonical) the streamed partitioning is
+// bit-identical to the in-memory run — same checksum.
+//
+// The output file (optional) has one "u v partition" line per edge; -save
+// writes the compact binary partitioning (partition.ReadBinary loads it
+// back). Methods and their parameters come from the method registry;
+// -list-methods prints the generated table.
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 func main() {
 	var (
 		in       = flag.String("in", "", "input edge-list file")
+		bin      = flag.String("bin", "", "input DNE1 binary edge list (graph.WriteBinary) instead of -in")
 		shardDir = flag.String("shard-dir", "", "input directory of EShard files (gengraph -shards) instead of -in")
 		out      = flag.String("out", "", "output assignment file (u v part)")
 		save     = flag.String("save", "", "output binary partitioning file")
@@ -50,6 +61,7 @@ func main() {
 		params   = flag.String("params", "", "per-method params as k=v[,k=v...], e.g. alpha=1.2,lambda=0.05")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		checksum = flag.Bool("checksum", false, "print the partitioning checksum (comparable with dneworker's RESULT line)")
+		stream   = flag.Bool("stream", false, "partition from the input as an edge source, without materializing a graph")
 		list     = flag.Bool("list-methods", false, "print the registered methods and their parameters")
 	)
 	flag.Parse()
@@ -59,19 +71,9 @@ func main() {
 		return
 	}
 
-	g, err := loadGraph(*in, *shardDir, *rmat, *ef, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("graph: |V|=%d |E|=%d avg-degree=%.2f max-degree=%d\n",
-		g.NumVertices(), g.NumEdges(), g.AvgDegree(), g.MaxDegree())
-
 	spec := partition.NewSpec(*parts, *seed)
+	var err error
 	spec.Params, err = parseParams(*params)
-	if err != nil {
-		fatal(err)
-	}
-	pr, spec, err := methods.New(*method, spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,26 +86,71 @@ func main() {
 		defer cancel()
 	}
 
-	res, err := pr.Partition(ctx, g, spec)
-	if err != nil {
-		fatal(err)
+	var res *partition.Result
+	var g *graph.Graph // nil on the stream path
+	var numEdges int64
+	methodName := *method
+	if *stream {
+		if *out != "" {
+			fatal(fmt.Errorf("-out needs the materialized graph; drop it or drop -stream"))
+		}
+		src, err := loadSource(*bin, *shardDir, *rmat, *ef, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		info := src.Info()
+		ec := "?" // unknown until a pass (generator/binary sources)
+		if info.NumEdges > 0 {
+			ec = fmt.Sprint(info.NumEdges)
+		}
+		fmt.Printf("source: %s |V|=%d |E|=%s\n", info.Name, info.NumVertices, ec)
+		res, err = methods.PartitionSource(ctx, methodName, src, spec)
+		if err != nil {
+			fatal(err)
+		}
+		numEdges = int64(len(res.Partitioning.Owner))
+		if mb, ok := res.Stats.Extra["materialized_graph_bytes"]; ok {
+			fmt.Printf("note: %s cannot stream; source materialized (%.1f MB)\n",
+				methodName, mb/(1<<20))
+		}
+	} else {
+		g, err = loadGraph(*in, *bin, *shardDir, *rmat, *ef, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: |V|=%d |E|=%d avg-degree=%.2f max-degree=%d\n",
+			g.NumVertices(), g.NumEdges(), g.AvgDegree(), g.MaxDegree())
+		numEdges = g.NumEdges()
+		var pr partition.Partitioner
+		pr, spec, err = methods.New(methodName, spec)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = pr.Partition(ctx, g, spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Partitioning.Validate(g); err != nil {
+			fatal(err)
+		}
 	}
 	pt := res.Partitioning
-	if err := pt.Validate(g); err != nil {
-		fatal(err)
-	}
 	q := res.Quality
 	st := res.Stats
-	fmt.Printf("method: %s  partitions: %d  elapsed: %v\n", pr.Name(), *parts, st.Wall)
+	fmt.Printf("method: %s  partitions: %d  elapsed: %v\n", st.Method, *parts, st.Wall)
 	for _, ph := range st.Phases {
 		fmt.Printf("  phase %-10s %v\n", ph.Name, ph.Elapsed)
 	}
 	fmt.Printf("replication factor: %.4f\n", q.ReplicationFactor)
 	fmt.Printf("edge balance: %.4f  vertex balance: %.4f  vertex cuts: %d\n",
 		q.EdgeBalance, q.VertexBalance, q.VertexCuts)
+	if st.PeakMemBytes > 0 {
+		fmt.Printf("peak accounted memory: %.1f MB (%.1f B/edge)\n",
+			float64(st.PeakMemBytes)/(1<<20), st.MemScore(numEdges))
+	}
 	if st.Iterations > 0 {
-		fmt.Printf("iterations: %d  comm: %.1f MB  mem score: %.1f B/edge\n",
-			st.Iterations, float64(st.CommBytes)/(1<<20), st.MemScore(g.NumEdges()))
+		fmt.Printf("iterations: %d  comm: %.1f MB\n",
+			st.Iterations, float64(st.CommBytes)/(1<<20))
 	}
 	if *checksum {
 		fmt.Printf("partitioning checksum: %#x\n", partition.Checksum(pt.Owner))
@@ -161,7 +208,11 @@ func parseParams(s string) (map[string]any, error) {
 // descriptors.
 func printMethods(w *os.File) {
 	for _, d := range methods.Descriptors() {
-		fmt.Fprintf(w, "%-10s %s\n", d.Name, d.Summary)
+		cap := ""
+		if d.Streams {
+			cap = " [streams]"
+		}
+		fmt.Fprintf(w, "%-10s %s%s\n", d.Name, d.Summary, cap)
 		if len(d.Aliases) > 0 {
 			fmt.Fprintf(w, "%-10s aliases: %s\n", "", strings.Join(d.Aliases, ", "))
 		}
@@ -171,7 +222,7 @@ func printMethods(w *os.File) {
 	}
 }
 
-func loadGraph(in, shardDir string, rmat, ef int, seed int64) (*graph.Graph, error) {
+func loadGraph(in, bin, shardDir string, rmat, ef int, seed int64) (*graph.Graph, error) {
 	if rmat > 0 {
 		return gen.RMAT(rmat, ef, seed), nil
 	}
@@ -182,8 +233,15 @@ func loadGraph(in, shardDir string, rmat, ef int, seed int64) (*graph.Graph, err
 		}
 		return graph.FromPacked(shard.NumVertices, shard.Packed), nil
 	}
+	if bin != "" {
+		src, err := graph.BinarySource(bin)
+		if err != nil {
+			return nil, err
+		}
+		return graph.FromSource(src, nil)
+	}
 	if in == "" {
-		return nil, fmt.Errorf("either -in, -shard-dir or -rmat is required")
+		return nil, fmt.Errorf("either -in, -bin, -shard-dir or -rmat is required")
 	}
 	f, err := os.Open(in)
 	if err != nil {
@@ -191,6 +249,20 @@ func loadGraph(in, shardDir string, rmat, ef int, seed int64) (*graph.Graph, err
 	}
 	defer f.Close()
 	return graph.ReadEdgeList(f)
+}
+
+// loadSource builds the -stream input: a shard directory, a binary edge
+// list, or the RMAT generator itself (nothing is ever materialized here).
+func loadSource(bin, shardDir string, rmat, ef int, seed int64) (graph.Source, error) {
+	switch {
+	case shardDir != "":
+		return graph.DirSource(shardDir)
+	case bin != "":
+		return graph.BinarySource(bin)
+	case rmat > 0:
+		return gen.RMATSource(rmat, ef, seed), nil
+	}
+	return nil, fmt.Errorf("-stream needs -shard-dir, -bin or -rmat")
 }
 
 func writeAssignment(path string, g *graph.Graph, pt *partition.Partitioning) error {

@@ -17,6 +17,15 @@
 // generated and written in fixed-size chunks without ever materializing the
 // edge slice, so memory stays flat no matter the scale; the remaining kinds
 // materialize first (their generators are small) and then shard.
+//
+// -canonical changes the shard layout to canonical stripes: the graph is
+// materialized, deduplicated and sorted (exactly FromEdges), and shard i
+// holds the i-th contiguous stripe of the canonical edge list. Reading the
+// set back in shard-index order (graph.DirSource, dnepart -stream) then
+// replays the canonical list, so a streamed partitioning of the directory
+// is bit-identical — same checksum — to an in-memory run on the same
+// graph. The price is the generator-side materialization; the consumers
+// still stream.
 package main
 
 import (
@@ -42,13 +51,24 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		shards   = flag.Int("shards", 0, "write this many EShard files instead of a text edge list")
 		shardDir = flag.String("shard-dir", "", "directory for -shards output (created if missing)")
+		canon    = flag.Bool("canonical", false, "shard as canonical stripes (dedup+sorted; dnepart -stream output matches in-memory runs)")
 	)
 	flag.Parse()
 
+	if *canon && *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "gengraph: -canonical requires -shards/-shard-dir")
+		os.Exit(2)
+	}
 	if *shards > 0 {
 		if *shardDir == "" {
 			fmt.Fprintln(os.Stderr, "gengraph: -shards requires -shard-dir")
 			os.Exit(2)
+		}
+		if *canon {
+			if err := writeCanonicalShards(*kind, *scale, *ef, *n, *alpha, *rows, *cols, *seed, *shards, *shardDir); err != nil {
+				fatal(err)
+			}
+			return
 		}
 		if err := writeShards(*kind, *scale, *ef, *n, *alpha, *rows, *cols, *seed, *shards, *shardDir); err != nil {
 			fatal(err)
@@ -86,11 +106,6 @@ func materialize(kind string, scale, ef, n int, alpha float64, rows, cols int, s
 		return gen.Star(uint32(n)), nil
 	}
 	return nil, fmt.Errorf("unknown kind %q", kind)
-}
-
-// ShardFileName returns the canonical file name of shard i of n.
-func shardFileName(i, n int) string {
-	return fmt.Sprintf("shard-%04d-of-%04d.esh", i, n)
 }
 
 // writeShards streams the generated edges across count shard files. rmat
@@ -132,7 +147,7 @@ func writeShards(kind string, scale, ef, n int, alpha float64, rows, cols int, s
 	files := make([]*os.File, count)
 	writers := make([]*graph.ShardWriter, count)
 	for i := range writers {
-		f, err := os.Create(filepath.Join(dir, shardFileName(i, count)))
+		f, err := os.Create(filepath.Join(dir, graph.ShardFileName(i, count)))
 		if err != nil {
 			return err
 		}
@@ -172,6 +187,21 @@ func writeShards(kind string, scale, ef, n int, alpha float64, rows, cols int, s
 	}
 	fmt.Printf("gengraph: %s |V|=%d raw-edges=%d -> %d shards in %s\n",
 		kind, numVertices, total, count, dir)
+	return nil
+}
+
+// writeCanonicalShards materializes the graph and stripes its canonical
+// edge list across count shard files (graph.WriteCanonicalShards).
+func writeCanonicalShards(kind string, scale, ef, n int, alpha float64, rows, cols int, seed int64, count int, dir string) error {
+	g, err := materialize(kind, scale, ef, n, alpha, rows, cols, seed)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteCanonicalShards(dir, g, count); err != nil {
+		return err
+	}
+	fmt.Printf("gengraph: %s |V|=%d |E|=%d -> %d canonical shard stripes in %s\n",
+		kind, g.NumVertices(), g.NumEdges(), count, dir)
 	return nil
 }
 

@@ -8,13 +8,23 @@
 //
 //	graphstat -kind rmat -scale 16 -ef 16
 //	graphstat -in graph.txt
+//	graphstat -shard-dir shards/               # EShard set, no conversion
 //	graphstat -kind road -rows 200 -cols 220   # non-skewed contrast
+//
+// -shard-dir inspects a directory of EShard files in place: the set is
+// validated exactly like every shard consumer (ReadShardDir's checks), and
+// the degree statistics come from one streaming pass — the edge list is
+// never materialized, so a shard set bigger than memory still inspects
+// fine. Degrees count the raw stream: a hash-routed set written by plain
+// gengraph -shards counts duplicate samples per occurrence, a canonical
+// set (gengraph -canonical) matches the materialized graph exactly.
 //
 // Output includes the Table-1 theoretical replication-factor bounds
 // evaluated at the fitted α when 2 < α < 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,39 +32,31 @@ import (
 	"github.com/distributedne/dne/internal/bound"
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/partition"
 	"github.com/distributedne/dne/internal/powerlaw"
 )
 
 func main() {
 	var (
-		in    = flag.String("in", "", "edge-list file (overrides -kind)")
-		kind  = flag.String("kind", "rmat", "rmat | powerlaw | er | road | star")
-		scale = flag.Int("scale", 14, "rmat: 2^scale vertices")
-		ef    = flag.Int("ef", 16, "rmat/er: edge factor")
-		n     = flag.Int("n", 1<<16, "powerlaw/er/star: vertices")
-		alpha = flag.Float64("alpha", 2.4, "powerlaw scaling parameter")
-		rows  = flag.Int("rows", 200, "road: rows")
-		cols  = flag.Int("cols", 220, "road: cols")
-		seed  = flag.Int64("seed", 42, "random seed")
-		parts = flag.Int("p", 256, "partition count for the bound table")
-		ccdf  = flag.Bool("ccdf", false, "also dump the degree CCDF (value<TAB>ccdf)")
+		in       = flag.String("in", "", "edge-list file (overrides -kind)")
+		shardDir = flag.String("shard-dir", "", "EShard directory to inspect in place (overrides -kind)")
+		kind     = flag.String("kind", "rmat", "rmat | powerlaw | er | road | star")
+		scale    = flag.Int("scale", 14, "rmat: 2^scale vertices")
+		ef       = flag.Int("ef", 16, "rmat/er: edge factor")
+		n        = flag.Int("n", 1<<16, "powerlaw/er/star: vertices")
+		alpha    = flag.Float64("alpha", 2.4, "powerlaw scaling parameter")
+		rows     = flag.Int("rows", 200, "road: rows")
+		cols     = flag.Int("cols", 220, "road: cols")
+		seed     = flag.Int64("seed", 42, "random seed")
+		parts    = flag.Int("p", 256, "partition count for the bound table")
+		ccdf     = flag.Bool("ccdf", false, "also dump the degree CCDF (value<TAB>ccdf)")
 	)
 	flag.Parse()
 
-	g, err := load(*in, *kind, *scale, *ef, *n, *alpha, *rows, *cols, *seed)
+	degs, err := loadDegrees(*shardDir, *in, *kind, *scale, *ef, *n, *alpha, *rows, *cols, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphstat:", err)
 		os.Exit(1)
-	}
-
-	fmt.Printf("graph: |V|=%d |E|=%d avg-degree=%.2f max-degree=%d\n",
-		g.NumVertices(), g.NumEdges(), g.AvgDegree(), g.MaxDegree())
-
-	degs := make([]int64, 0, g.NumVertices())
-	for v := uint32(0); v < g.NumVertices(); v++ {
-		if d := g.Degree(v); d > 0 {
-			degs = append(degs, d)
-		}
 	}
 	h := powerlaw.NewHistogram(degs)
 	s := h.Summary()
@@ -89,6 +91,54 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// loadDegrees produces the non-zero degree sequence: from a streaming pass
+// over a shard directory (nothing materialized), or from a materialized
+// graph for the other inputs.
+func loadDegrees(shardDir, in, kind string, scale, ef, n int, alpha float64, rows, cols int, seed int64) ([]int64, error) {
+	if shardDir != "" {
+		src, err := graph.DirSource(shardDir)
+		if err != nil {
+			return nil, err
+		}
+		info := src.Info()
+		deg, err := partition.Degrees(context.Background(), src, info.NumVertices)
+		if err != nil {
+			return nil, err
+		}
+		degs := make([]int64, 0, len(deg))
+		var maxDeg int64
+		for _, d := range deg {
+			if d > 0 {
+				degs = append(degs, int64(d))
+				if int64(d) > maxDeg {
+					maxDeg = int64(d)
+				}
+			}
+		}
+		avg := 0.0
+		if info.NumVertices > 0 {
+			avg = 2 * float64(info.NumEdges) / float64(info.NumVertices)
+		}
+		fmt.Printf("shard set: %s (validated, streamed)\n", info.Name)
+		fmt.Printf("graph: |V|=%d |E|=%d avg-degree=%.2f max-degree=%d\n",
+			info.NumVertices, info.NumEdges, avg, maxDeg)
+		return degs, nil
+	}
+	g, err := load(in, kind, scale, ef, n, alpha, rows, cols, seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("graph: |V|=%d |E|=%d avg-degree=%.2f max-degree=%d\n",
+		g.NumVertices(), g.NumEdges(), g.AvgDegree(), g.MaxDegree())
+	degs := make([]int64, 0, g.NumVertices())
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > 0 {
+			degs = append(degs, d)
+		}
+	}
+	return degs, nil
 }
 
 func load(in, kind string, scale, ef, n int, alpha float64, rows, cols int, seed int64) (*graph.Graph, error) {

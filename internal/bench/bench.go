@@ -27,6 +27,9 @@ type Run struct {
 	// iteration counts, communication volume).
 	Stats    partition.Stats
 	MemBytes int64 // analytic (Stats.PeakMemBytes) or sampled heap peak
+	// Checksum is partition.Checksum of the owner array — the shared
+	// currency for asserting two runs produced the identical partitioning.
+	Checksum uint64
 	Err      error
 }
 
@@ -71,6 +74,7 @@ func Execute(ctx context.Context, p partition.Partitioner, g *graph.Graph, spec 
 		run.MemBytes += g.MemoryFootprint()
 	}
 	run.Quality = res.Quality
+	run.Checksum = partition.Checksum(res.Partitioning.Owner)
 	return run
 }
 

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"context"
+
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/methods"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// ExecuteSource runs the named registry method on an edge source —
+// stream-capable methods consume it directly, the rest are transparently
+// materialized by the registry — and collects the same Run shape as
+// Execute. Memory is always the analytic PeakMemBytes: the stream path
+// accounts its dense state and buffers, and the materializing fallback is
+// floored at the resident graph, so the two input paths are comparable on
+// one scale.
+func ExecuteSource(ctx context.Context, name string, src graph.Source, spec partition.Spec) Run {
+	run := Run{Partitioner: name, Graph: src.Info().Name, NumParts: spec.NumParts}
+	res, err := methods.PartitionSource(ctx, name, src, spec)
+	if err != nil {
+		run.Err = err
+		return run
+	}
+	run.Stats = res.Stats
+	run.Elapsed = res.Stats.Wall
+	if pt := res.Stats.PartitionTime(); pt > 0 {
+		run.Elapsed = pt
+	}
+	run.MemBytes = res.Stats.PeakMemBytes
+	run.Quality = res.Quality
+	run.Checksum = partition.Checksum(res.Partitioning.Owner)
+	return run
+}

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	_ "github.com/distributedne/dne/internal/hashpart"
+	"github.com/distributedne/dne/internal/methods"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// TestNewFromSourceMatchesNew: an engine built from a source-partitioned
+// stream behaves identically to one built from the materialized graph —
+// same replica layout, same degree sums per partition.
+func TestNewFromSourceMatchesNew(t *testing.T) {
+	g := gen.RMAT(9, 8, 3)
+	src := graph.SourceOf(g)
+	res, err := methods.PartitionSource(context.Background(), "dbh", src, partition.NewSpec(4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSrc, err := NewFromSource(src, res.Partitioning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New(g, res.Partitioning)
+	if fromSrc.NumParts() != ref.NumParts() {
+		t.Fatalf("parts %d != %d", fromSrc.NumParts(), ref.NumParts())
+	}
+	a, b := fromSrc.WCC(), ref.WCC()
+	if len(a) != len(b) {
+		t.Fatalf("WCC lengths differ: %d vs %d", len(a), len(b))
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("WCC label of vertex %d differs: %d vs %d", v, a[v], b[v])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/distributedne/dne/internal/bench"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/methods"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// ExtStream is the source-API counterpart of the §7.5 memory trade-off:
+// every stream-capable method partitions the seeded RMAT twice — from the
+// in-memory graph and from canonical shard stripes on disk — and the table
+// reports both accounted peaks plus the checksum agreement. The stream
+// column must be a small fraction of the materialized baseline (the dense
+// per-vertex state instead of the resident CSR) while the partitionings
+// stay bit-identical.
+func ExtStream(o Options) error {
+	scale := 13 + o.Shift
+	if o.Quick {
+		scale = 11
+	}
+	g := gen.RMAT(scale, 16, o.Seed)
+	dir, err := os.MkdirTemp("", "dne-stream-exp-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	const shards = 4
+	if err := graph.WriteCanonicalShards(dir, g, shards); err != nil {
+		return err
+	}
+	src, err := graph.DirSource(dir)
+	if err != nil {
+		return err
+	}
+	const parts = 16
+	fmt.Fprintf(o.out(), "Source-based input: RMAT scale-%d (|E|=%d), %d shard stripes, %d partitions\n",
+		scale, g.NumEdges(), shards, parts)
+	t := &bench.Table{Header: []string{"method", "RF", "mem(graph)MB", "mem(stream)MB", "ratio", "t(stream)", "identical"}}
+	for _, name := range methods.StreamNames() {
+		spec := partition.NewSpec(parts, o.Seed)
+		pr, resolved, err := methods.New(name, spec)
+		if err != nil {
+			return err
+		}
+		memRun := bench.Execute(o.ctx(), pr, g, resolved)
+		if memRun.Err != nil {
+			return fmt.Errorf("%s in-memory: %w", name, memRun.Err)
+		}
+		srcRun := bench.ExecuteSource(o.ctx(), name, src, spec)
+		if srcRun.Err != nil {
+			return fmt.Errorf("%s source: %w", name, srcRun.Err)
+		}
+		identical := "no"
+		if memRun.Checksum == srcRun.Checksum && memRun.Quality == srcRun.Quality {
+			identical = "yes"
+		}
+		ratio := 0.0
+		if memRun.MemBytes > 0 {
+			ratio = float64(srcRun.MemBytes) / float64(memRun.MemBytes)
+		}
+		t.Add(name, srcRun.Quality.ReplicationFactor,
+			float64(memRun.MemBytes)/(1<<20), float64(srcRun.MemBytes)/(1<<20),
+			ratio, srcRun.Elapsed, identical)
+	}
+	t.Print(o.out())
+	return nil
+}

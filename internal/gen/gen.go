@@ -53,29 +53,51 @@ func StreamRMAT(scale int, edgeFactor int, seed int64, emit func(u, v uint32)) {
 // StreamRMATWith is StreamRMAT with explicit quadrant parameters.
 func StreamRMATWith(p RMATParams, scale int, edgeFactor int, seed int64, emit func(u, v uint32)) {
 	m := int64(edgeFactor) << scale
-	rng := rand.New(rand.NewSource(seed))
-	ab := p.A + p.B
-	cNorm := p.C / (p.C + p.D)
+	s := newRMATSampler(p, scale, seed)
 	for i := int64(0); i < m; i++ {
-		var u, v uint32
-		for bit := scale - 1; bit >= 0; bit-- {
-			r := rng.Float64()
-			if r < ab {
-				// top half: u bit stays 0
-				if r >= p.A {
-					v |= 1 << bit
-				}
+		emit(s.sample())
+	}
+}
+
+// rmatSampler draws one RMAT edge sample at a time; both the emit-style
+// streams and the pull-style RMATSource consume it, so the two produce the
+// identical raw sample sequence for the same arguments.
+type rmatSampler struct {
+	rng   *rand.Rand
+	scale int
+	a, ab float64
+	cNorm float64
+}
+
+func newRMATSampler(p RMATParams, scale int, seed int64) *rmatSampler {
+	return &rmatSampler{
+		rng:   rand.New(rand.NewSource(seed)),
+		scale: scale,
+		a:     p.A,
+		ab:    p.A + p.B,
+		cNorm: p.C / (p.C + p.D),
+	}
+}
+
+func (s *rmatSampler) sample() (uint32, uint32) {
+	var u, v uint32
+	for bit := s.scale - 1; bit >= 0; bit-- {
+		r := s.rng.Float64()
+		if r < s.ab {
+			// top half: u bit stays 0
+			if r >= s.a {
+				v |= 1 << bit
+			}
+		} else {
+			u |= 1 << bit
+			if s.rng.Float64() < s.cNorm {
+				// quadrant C: v bit 0
 			} else {
-				u |= 1 << bit
-				if rng.Float64() < cNorm {
-					// quadrant C: v bit 0
-				} else {
-					v |= 1 << bit
-				}
+				v |= 1 << bit
 			}
 		}
-		emit(u, v)
 	}
+	return u, v
 }
 
 // PowerLaw generates a Chung–Lu style graph whose degree sequence follows a

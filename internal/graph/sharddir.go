@@ -5,76 +5,94 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"slices"
 )
 
 // ReadShardDir loads the EShard files in dir (*.esh) whose shard index
-// satisfies keep (nil keeps all), merged into one Shard. Every file's
-// header is validated for mutual consistency — same vertex count, same
-// declared shard count, each index present exactly once, and the file set
-// complete — so a run cannot silently start from a partial or mixed-up
-// shard directory. Only kept files are read past their header.
+// satisfies keep (nil keeps all), merged into one Shard. The file set is
+// validated by scanShardDir (shared with DirSource and graphstat): same
+// vertex count, same declared shard count, each index present exactly once,
+// and the file set complete — so a run cannot silently start from a partial
+// or mixed-up shard directory. The scan reads headers only; kept files
+// alone are read past theirs, merging in shard-index order.
 func ReadShardDir(dir string, keep func(index, count uint32) bool) (*Shard, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, "*.esh"))
+	files, err := scanShardDir(dir, false)
 	if err != nil {
 		return nil, err
 	}
-	if len(paths) == 0 {
-		return nil, fmt.Errorf("graph: no *.esh shard files in %s", dir)
-	}
-	slices.Sort(paths)
-	merged := &Shard{}
-	seen := make(map[uint32]string)
-	var count uint32
-	for _, path := range paths {
-		info, packed, err := readShardFile(path, keep)
+	merged := &Shard{NumVertices: files[0].info.NumVertices}
+	for _, sf := range files {
+		if keep != nil && !keep(sf.info.Index, sf.info.Count) {
+			continue
+		}
+		packed, err := readShardFile(sf.path)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		if prev, dup := seen[info.Index]; dup {
-			return nil, fmt.Errorf("graph: shard index %d in both %s and %s", info.Index, prev, path)
-		}
-		seen[info.Index] = path
-		if len(seen) == 1 {
-			merged.NumVertices = info.NumVertices
-			count = info.Count
-		} else if info.NumVertices != merged.NumVertices || info.Count != count {
-			return nil, fmt.Errorf("graph: %s header (|V|=%d, %d shards) inconsistent with %s (|V|=%d, %d shards)",
-				path, info.NumVertices, info.Count, paths[0], merged.NumVertices, count)
+			return nil, fmt.Errorf("%s: %w", sf.path, err)
 		}
 		merged.Packed = append(merged.Packed, packed...)
-	}
-	if uint32(len(paths)) != count {
-		return nil, fmt.Errorf("graph: %s holds %d shard files but headers declare %d shards",
-			dir, len(paths), count)
 	}
 	return merged, nil
 }
 
-// readShardFile returns the header info of one shard file, plus its packed
-// edges when keep accepts the shard's index.
-func readShardFile(path string, keep func(index, count uint32) bool) (ShardInfo, []uint64, error) {
+// ShardFileName returns the conventional file name of shard i of n
+// (shard-0000-of-0016.esh), shared by every writer and consumer of shard
+// directories.
+func ShardFileName(i, n int) string {
+	return fmt.Sprintf("shard-%04d-of-%04d.esh", i, n)
+}
+
+// WriteCanonicalShards stripes g's canonical edge list across count EShard
+// files in dir (the ShardsOf layout under the conventional names). Read
+// back in shard-index order — DirSource's order — the set replays the
+// canonical list exactly, which is what makes streamed partitionings of
+// the directory bit-identical to in-memory runs. It is the single writer
+// behind gengraph -canonical, the differential tests and the stream
+// experiment.
+func WriteCanonicalShards(dir string, g *Graph, count int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, sh := range ShardsOf(g, count) {
+		f, err := os.Create(filepath.Join(dir, ShardFileName(i, count)))
+		if err != nil {
+			return err
+		}
+		if err := WriteShard(f, sh, uint32(i), uint32(count)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readShardFile streams one shard file's packed edges into memory.
+func readShardFile(path string) ([]uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return ShardInfo{}, nil, err
+		return nil, err
 	}
 	defer f.Close()
 	sr, err := NewShardReader(f)
 	if err != nil {
-		return ShardInfo{}, nil, err
+		return nil, err
 	}
-	info := sr.Info()
-	if keep != nil && !keep(info.Index, info.Count) {
-		return info, nil, nil
+	prealloc := sr.Info().NumEdges
+	if prealloc == unknownEdgeCount {
+		prealloc = 0
 	}
-	var packed []uint64
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	packed := make([]uint64, 0, prealloc)
 	for {
 		chunk, err := sr.Next()
 		if err == io.EOF {
-			return info, packed, nil
+			return packed, nil
 		}
 		if err != nil {
-			return ShardInfo{}, nil, err
+			return nil, err
 		}
 		packed = append(packed, chunk...)
 	}

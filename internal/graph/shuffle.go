@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"io"
+	"math/rand"
+)
+
+// ShuffleBuckets is the bucket count of the streaming shuffle: memory is
+// bounded by the largest bucket (≈ |E|/ShuffleBuckets edges plus positions),
+// at the cost of one underlying pass per bucket. Fixed so that the emitted
+// order is a pure function of (raw sequence, seed), never of the machine.
+const ShuffleBuckets = 16
+
+// Shuffled decorates a source with a deterministic seeded stream shuffle.
+// Replica-greedy streaming partitioners (HDRF, FENNEL, Oblivious, SNE)
+// degenerate on adversarially ordered streams — a sorted canonical edge list
+// hands every edge an endpoint it shares with its predecessor, so greedy
+// replica reuse collapses the whole stream onto one partition. The classic
+// fix is a random arrival order; this decorator produces one without
+// materializing the stream:
+//
+//   - each edge key is hashed (with the seed) into one of ShuffleBuckets
+//     buckets — a pseudo-random 1/B subsample of the stream;
+//   - buckets are emitted in order, each one buffered, Fisher–Yates
+//     shuffled with a per-bucket seeded rng, then streamed out.
+//
+// The emitted order is deterministic for a given (raw edge sequence, seed):
+// two sources replaying the same sequence — an in-memory graph and its
+// canonical shard stripes on disk — shuffle identically, which is what keeps
+// the two partitioning paths bit-identical. Memory is the largest bucket
+// (≈|E|·16B/B); each full pass over the shuffled stream costs B passes over
+// the underlying source. Emitted chunks carry raw-stream positions, so
+// consumers index their output by raw position exactly as if they had
+// walked the stream in order.
+func Shuffled(src Source, seed int64) Source {
+	return &shuffledSource{inner: src, seed: seed}
+}
+
+type shuffledSource struct {
+	inner  Source
+	seed   int64
+	maxBuf int // largest bucket seen by any pass, for analytic accounting
+}
+
+func (s *shuffledSource) Info() SourceInfo {
+	info := s.inner.Info()
+	info.Name = "shuffled:" + info.Name
+	return info
+}
+
+// Unwrap exposes the raw source for order-independent passes.
+func (s *shuffledSource) Unwrap() Source { return s.inner }
+
+// AccountBytes returns the analytic footprint of the largest bucket buffer
+// any pass has held (keys + positions).
+func (s *shuffledSource) AccountBytes() int64 { return int64(s.maxBuf) * 16 }
+
+func (s *shuffledSource) Edges() (EdgeStream, error) {
+	return &shuffledStream{src: s}, nil
+}
+
+// bucketOf routes a key to its shuffle bucket: the seed is mixed in so
+// different seeds produce unrelated bucketings (and therefore unrelated
+// final orders).
+func (s *shuffledSource) bucketOf(k uint64) uint32 {
+	return ShardRoute(k^(uint64(s.seed)*0x9e3779b97f4a7c15+0x632be59bd9b4e019), ShuffleBuckets)
+}
+
+type shuffledStream struct {
+	src    *shuffledSource
+	bucket int
+	keys   []uint64
+	pos    []int64
+	at     int
+}
+
+func (st *shuffledStream) Next() ([]uint64, []int64, error) {
+	for {
+		if st.at < len(st.keys) {
+			n := len(st.keys) - st.at
+			if n > SourceChunkEdges {
+				n = SourceChunkEdges
+			}
+			keys := st.keys[st.at : st.at+n]
+			pos := st.pos[st.at : st.at+n]
+			st.at += n
+			return keys, pos, nil
+		}
+		if st.bucket >= ShuffleBuckets {
+			return nil, nil, io.EOF
+		}
+		if err := st.fill(); err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+// fill buffers and shuffles the next bucket with one pass over the raw
+// source.
+func (st *shuffledStream) fill() error {
+	s := st.src
+	bucket := uint32(st.bucket)
+	st.bucket++
+	st.keys = st.keys[:0]
+	st.pos = st.pos[:0]
+	st.at = 0
+	es, err := s.inner.Edges()
+	if err != nil {
+		return err
+	}
+	defer es.Close()
+	var raw int64
+	for {
+		chunk, cpos, err := es.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for j, k := range chunk {
+			p := raw + int64(j)
+			if cpos != nil {
+				p = cpos[j]
+			}
+			if s.bucketOf(k) == bucket {
+				st.keys = append(st.keys, k)
+				st.pos = append(st.pos, p)
+			}
+		}
+		raw += int64(len(chunk))
+	}
+	// Fisher–Yates with a per-(seed, bucket) rng: in-place, no index array.
+	rng := rand.New(rand.NewSource(s.seed*1000003 + int64(bucket)))
+	for i := len(st.keys) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		st.keys[i], st.keys[j] = st.keys[j], st.keys[i]
+		st.pos[i], st.pos[j] = st.pos[j], st.pos[i]
+	}
+	if len(st.keys) > s.maxBuf {
+		s.maxBuf = len(st.keys)
+	}
+	return nil
+}
+
+func (st *shuffledStream) Close() error {
+	st.keys, st.pos = nil, nil
+	st.at = 0
+	st.bucket = ShuffleBuckets
+	return nil
+}

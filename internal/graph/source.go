@@ -1,0 +1,606 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+)
+
+// Source is the input side of the partitioner API: a re-streamable supply of
+// edges. It is what lets every single-pass method partition a graph larger
+// than any machine's memory — the stream is consumed chunk by chunk, never
+// materialized.
+//
+// The contract every implementation honors:
+//
+//   - Edges opens a fresh pass over the same edge sequence each time it is
+//     called (multi-pass methods count degrees on one pass and assign on the
+//     next). Passes are deterministic: the same source yields the same
+//     sequence every time.
+//   - Chunks hold packed canonical keys (PackEdge: min<<32|max) and never
+//     contain self loops; sources canonicalize and drop self loops exactly
+//     as FromEdges would.
+//   - Hints in SourceInfo are exact when non-zero and 0 when unknown.
+//
+// A source backed by an in-memory Graph (SourceOf) yields the canonical
+// deduplicated edge list in index order, so a partitioning computed from it
+// is indexed exactly like one computed from the graph itself. Shard
+// directories written as canonical stripes (ShardsOf / gengraph -canonical)
+// replay that same sequence from disk in O(chunk) memory, which is what
+// makes the source path bit-identical to the in-memory path. Raw sources
+// (hash-routed shard dirs, generator sample streams) yield a valid stream
+// whose positions index the stream itself, duplicates included.
+type Source interface {
+	// Info returns what the source knows about its stream up front.
+	Info() SourceInfo
+	// Edges opens a fresh pass over the stream.
+	Edges() (EdgeStream, error)
+}
+
+// SourceInfo describes a source's stream. Zero values mean unknown; non-zero
+// values are exact.
+type SourceInfo struct {
+	// Name identifies the origin for logs and stats ("graph", "shard-dir:…").
+	Name string
+	// NumVertices is the global vertex-id space size (max id + 1).
+	NumVertices uint32
+	// NumEdges is the exact number of edges the stream yields, or 0 when the
+	// source cannot know without a pass (generator streams that drop self
+	// loops on the fly).
+	NumEdges int64
+}
+
+// EdgeStream is one pass over a source. The chunks returned by Next are
+// reused by subsequent calls; callers must consume them before calling Next
+// again.
+type EdgeStream interface {
+	// Next returns the next chunk of packed canonical edges, or io.EOF after
+	// the last chunk. pos, when non-nil, is aligned with keys and carries
+	// each edge's position in the source's raw stream; a nil pos means the
+	// chunk is sequential — positions continue from the running edge count.
+	// Order decorators (Shuffled) emit edges out of raw order and use pos to
+	// say where each one came from, so a partitioning's Owner array is
+	// always indexed by raw stream position (canonical edge index, for
+	// canonical sources) no matter the processing order. A stream that
+	// errors is permanently broken.
+	Next() (keys []uint64, pos []int64, err error)
+	// Close releases the pass's resources. It is safe after io.EOF.
+	Close() error
+}
+
+// Unwrapper is implemented by order decorators; consumers running
+// order-independent passes (degree counting, quality measurement) unwrap to
+// scan the raw source directly.
+type Unwrapper interface {
+	Unwrap() Source
+}
+
+// RawSource strips order decorators off src.
+func RawSource(src Source) Source {
+	for {
+		u, ok := src.(Unwrapper)
+		if !ok {
+			return src
+		}
+		src = u.Unwrap()
+	}
+}
+
+// SourceChunkEdges is the chunk granularity of in-process sources (64 KiB of
+// payload), matching the EShard on-disk chunking.
+const SourceChunkEdges = shardChunkEdges
+
+// SourceBufferBytes is the analytic accounting charge for one open stream's
+// chunk buffers (encoded page + decoded chunk at the standard chunk size).
+// Stream partitioners add it per pass they hold open.
+const SourceBufferBytes = int64(SourceChunkEdges * (8 + 8))
+
+// ---------------------------------------------------------------------------
+// Graph-backed source
+
+type graphSource struct{ g *Graph }
+
+// SourceOf adapts an in-memory graph into a Source that yields the canonical
+// edge list in index order. It is the bridge that keeps Partition(ctx, g,
+// spec) a thin wrapper over the stream path: both consume the exact same
+// sequence.
+func SourceOf(g *Graph) Source { return graphSource{g} }
+
+func (s graphSource) Info() SourceInfo {
+	return SourceInfo{Name: "graph", NumVertices: s.g.NumVertices(), NumEdges: s.g.NumEdges()}
+}
+
+func (s graphSource) Edges() (EdgeStream, error) {
+	return &graphStream{edges: s.g.Edges(), buf: make([]uint64, 0, SourceChunkEdges)}, nil
+}
+
+type graphStream struct {
+	edges []Edge
+	pos   int
+	buf   []uint64
+}
+
+func (st *graphStream) Next() ([]uint64, []int64, error) {
+	if st.pos >= len(st.edges) {
+		return nil, nil, io.EOF
+	}
+	n := len(st.edges) - st.pos
+	if n > SourceChunkEdges {
+		n = SourceChunkEdges
+	}
+	buf := st.buf[:n]
+	for i, e := range st.edges[st.pos : st.pos+n] {
+		buf[i] = uint64(e.U)<<32 | uint64(e.V) // already canonical
+	}
+	st.pos += n
+	return buf, nil, nil
+}
+
+func (st *graphStream) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Packed-slice source (shards already in memory, tests)
+
+type packedSource struct {
+	name        string
+	numVertices uint32
+	keys        []uint64
+}
+
+// PackedSource wraps an in-memory packed edge slice (canonical keys, no self
+// loops) as a Source. The slice is not copied; callers must not mutate it
+// while the source is in use.
+func PackedSource(name string, numVertices uint32, keys []uint64) Source {
+	return packedSource{name: name, numVertices: numVertices, keys: keys}
+}
+
+// Source adapts the shard's packed edges into a re-streamable Source.
+func (s *Shard) Source() Source { return PackedSource("shard", s.NumVertices, s.Packed) }
+
+func (s packedSource) Info() SourceInfo {
+	return SourceInfo{Name: s.name, NumVertices: s.numVertices, NumEdges: int64(len(s.keys))}
+}
+
+func (s packedSource) Edges() (EdgeStream, error) {
+	return &packedStream{keys: s.keys}, nil
+}
+
+type packedStream struct {
+	keys []uint64
+	pos  int
+}
+
+func (st *packedStream) Next() ([]uint64, []int64, error) {
+	if st.pos >= len(st.keys) {
+		return nil, nil, io.EOF
+	}
+	n := len(st.keys) - st.pos
+	if n > SourceChunkEdges {
+		n = SourceChunkEdges
+	}
+	chunk := st.keys[st.pos : st.pos+n]
+	st.pos += n
+	return chunk, nil, nil
+}
+
+func (st *packedStream) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Shard-directory source
+
+// DirSource opens a directory of EShard files (*.esh) as a Source. The shard
+// set is validated up front exactly like ReadShardDir — consistent headers,
+// every index present exactly once, file count matching the declared shard
+// count — and each pass streams the files in shard-index order, one
+// O(chunk)-memory ShardReader at a time. For canonical stripe sets
+// (gengraph -canonical, ShardsOf) index order replays the canonical edge
+// list, so partitionings computed from the directory are bit-identical to
+// in-memory ones.
+func DirSource(dir string) (Source, error) {
+	files, err := scanShardDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	src := &dirSource{dir: dir, files: files}
+	for _, f := range files {
+		src.numEdges += int64(f.numEdges)
+	}
+	return src, nil
+}
+
+type shardDirFile struct {
+	path     string
+	info     ShardInfo
+	numEdges uint64 // authoritative count from the footer
+}
+
+// scanShardDir validates a shard directory without streaming edge payloads:
+// every header is read and cross-checked. With exact set, each file's frame
+// structure is additionally walked (seek-based, payloads untouched) to
+// recover its exact edge count — the basis of DirSource's |E| hint;
+// without it only the 28-byte headers are read, which is all ReadShardDir
+// needs. It is the shared validation under ReadShardDir, DirSource and
+// graphstat -shard-dir.
+func scanShardDir(dir string, exact bool) ([]shardDirFile, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.esh"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("graph: no *.esh shard files in %s", dir)
+	}
+	slices.Sort(paths)
+	files := make([]shardDirFile, 0, len(paths))
+	seen := make(map[uint32]string)
+	for _, path := range paths {
+		info, numEdges, err := peekShardFile(path, exact)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if prev, dup := seen[info.Index]; dup {
+			return nil, fmt.Errorf("graph: shard index %d in both %s and %s", info.Index, prev, path)
+		}
+		seen[info.Index] = path
+		if len(files) > 0 {
+			first := files[0]
+			if info.NumVertices != first.info.NumVertices || info.Count != first.info.Count {
+				return nil, fmt.Errorf("graph: %s header (|V|=%d, %d shards) inconsistent with %s (|V|=%d, %d shards)",
+					path, info.NumVertices, info.Count, first.path, first.info.NumVertices, first.info.Count)
+			}
+		}
+		files = append(files, shardDirFile{path: path, info: info, numEdges: numEdges})
+	}
+	if uint32(len(paths)) != files[0].info.Count {
+		return nil, fmt.Errorf("graph: %s holds %d shard files but headers declare %d shards",
+			dir, len(paths), files[0].info.Count)
+	}
+	slices.SortFunc(files, func(a, b shardDirFile) int { return int(a.info.Index) - int(b.info.Index) })
+	return files, nil
+}
+
+// peekShardFile reads one shard file's header and, with exact set,
+// recovers its exact edge count by walking the chunk frames — reading each
+// 4-byte chunk length and seeking past the payload — without ever loading
+// edges. The walk validates the frame structure end to end: bounded chunk
+// lengths, a footer matching the summed counts, and nothing after the
+// terminator, so the count the DirSource hint advertises is exactly what a
+// streaming pass will yield (a hostile tail appended to a valid file
+// cannot skew it).
+func peekShardFile(path string, exact bool) (ShardInfo, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ShardInfo{}, 0, err
+	}
+	defer f.Close()
+	var hdr [28]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return ShardInfo{}, 0, fmt.Errorf("graph: reading shard header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != shardMagic {
+		return ShardInfo{}, 0, fmt.Errorf("graph: bad magic in edge shard")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
+		return ShardInfo{}, 0, fmt.Errorf("graph: unsupported shard version %d", v)
+	}
+	info := ShardInfo{
+		NumVertices: binary.LittleEndian.Uint32(hdr[8:]),
+		Index:       binary.LittleEndian.Uint32(hdr[12:]),
+		Count:       binary.LittleEndian.Uint32(hdr[16:]),
+		NumEdges:    binary.LittleEndian.Uint64(hdr[20:]),
+	}
+	if err := info.validate(); err != nil {
+		return ShardInfo{}, 0, err
+	}
+	if !exact {
+		return info, 0, nil
+	}
+	var total uint64
+	offset := int64(28)
+	for {
+		var cnt [4]byte
+		if _, err := f.ReadAt(cnt[:], offset); err != nil {
+			return ShardInfo{}, 0, fmt.Errorf("graph: reading shard chunk header at edge %d: %w", total, err)
+		}
+		offset += 4
+		n := binary.LittleEndian.Uint32(cnt[:])
+		if n == 0 {
+			break
+		}
+		if n > maxShardChunkEdges {
+			return ShardInfo{}, 0, fmt.Errorf("graph: shard chunk of %d edges exceeds cap %d", n, maxShardChunkEdges)
+		}
+		total += uint64(n)
+		offset += int64(n) * 8
+	}
+	var foot [8]byte
+	if _, err := f.ReadAt(foot[:], offset); err != nil {
+		return ShardInfo{}, 0, fmt.Errorf("graph: reading shard footer: %w", err)
+	}
+	offset += 8
+	if got := binary.LittleEndian.Uint64(foot[:]); got != total {
+		return ShardInfo{}, 0, fmt.Errorf("graph: shard footer declares %d edges, chunks hold %d", got, total)
+	}
+	if info.NumEdges != unknownEdgeCount && info.NumEdges != total {
+		return ShardInfo{}, 0, fmt.Errorf("graph: shard header declares %d edges, chunks hold %d", info.NumEdges, total)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return ShardInfo{}, 0, err
+	}
+	if st.Size() != offset {
+		return ShardInfo{}, 0, fmt.Errorf("graph: %d trailing bytes after shard terminator", st.Size()-offset)
+	}
+	return info, total, nil
+}
+
+type dirSource struct {
+	dir      string
+	files    []shardDirFile
+	numEdges int64
+}
+
+func (s *dirSource) Info() SourceInfo {
+	return SourceInfo{
+		Name:        "shard-dir:" + s.dir,
+		NumVertices: s.files[0].info.NumVertices,
+		NumEdges:    s.numEdges,
+	}
+}
+
+func (s *dirSource) Edges() (EdgeStream, error) {
+	return &dirStream{files: s.files}, nil
+}
+
+type dirStream struct {
+	files []shardDirFile
+	next  int
+	f     *os.File
+	sr    *ShardReader
+}
+
+func (st *dirStream) Next() ([]uint64, []int64, error) {
+	for {
+		if st.sr == nil {
+			if st.next >= len(st.files) {
+				return nil, nil, io.EOF
+			}
+			f, err := os.Open(st.files[st.next].path)
+			if err != nil {
+				return nil, nil, err
+			}
+			sr, err := NewShardReader(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("%s: %w", st.files[st.next].path, err)
+			}
+			st.f, st.sr = f, sr
+			st.next++
+		}
+		chunk, err := st.sr.Next()
+		if err == io.EOF {
+			cerr := st.f.Close()
+			st.f, st.sr = nil, nil
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			continue
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", st.files[st.next-1].path, err)
+		}
+		return chunk, nil, nil
+	}
+}
+
+func (st *dirStream) Close() error {
+	if st.f != nil {
+		err := st.f.Close()
+		st.f, st.sr = nil, nil
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Binary edge-list source (the DNE1 format of WriteBinary/ReadBinary)
+
+// BinarySource opens a DNE1 binary edge list (WriteBinary's format) as a
+// Source. The header is validated on open and re-validated per pass; like
+// ReadBinary, every endpoint is range-checked against the declared vertex
+// count and a stream shorter than the declared edge count errors, so a
+// truncated or hostile file can never yield a silently short or invalid
+// stream. Edges are canonicalized and self loops dropped on the fly, as
+// FromEdges would; for files written by WriteBinary (already canonical and
+// deduplicated) the stream is exactly the graph's canonical edge list.
+func BinarySource(path string) (Source, error) {
+	src := &binarySource{path: path}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	n, m, err := readBinaryHeader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	src.numVertices, src.declared = n, m
+	return src, nil
+}
+
+func readBinaryHeader(r io.Reader) (uint32, uint64, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != binaryMagic {
+		return 0, 0, fmt.Errorf("graph: bad magic in binary edge list")
+	}
+	return binary.LittleEndian.Uint32(hdr[4:]), binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
+type binarySource struct {
+	path        string
+	numVertices uint32
+	declared    uint64
+}
+
+func (s *binarySource) Info() SourceInfo {
+	// The declared edge count bounds the stream, but self loops (legal in
+	// hand-written files, dropped by this source exactly as ReadBinary
+	// drops them) make the post-drop count unknowable from the header —
+	// and hints must be exact or absent. Consumers resolve the true count
+	// with one cheap counting pass (SourceCounts).
+	return SourceInfo{Name: "binary:" + s.path, NumVertices: s.numVertices}
+}
+
+func (s *binarySource) Edges() (EdgeStream, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	n, m, err := readBinaryHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", s.path, err)
+	}
+	if n != s.numVertices || m != s.declared {
+		f.Close()
+		return nil, fmt.Errorf("%s: header changed between passes (|V| %d->%d, |E| %d->%d)",
+			s.path, s.numVertices, n, s.declared, m)
+	}
+	return &binaryStream{
+		f: f, numVertices: n, remaining: m,
+		page: make([]byte, ioPageEdges*8),
+		buf:  make([]uint64, ioPageEdges),
+	}, nil
+}
+
+type binaryStream struct {
+	f           *os.File
+	numVertices uint32
+	remaining   uint64
+	read        uint64
+	page        []byte
+	buf         []uint64
+}
+
+func (st *binaryStream) Next() ([]uint64, []int64, error) {
+	for st.remaining > 0 {
+		chunk := uint64(ioPageEdges)
+		if st.remaining < chunk {
+			chunk = st.remaining
+		}
+		b := st.page[:chunk*8]
+		if _, err := io.ReadFull(st.f, b); err != nil {
+			return nil, nil, fmt.Errorf("graph: reading edge %d of declared %d: %w",
+				st.read, st.read+st.remaining, err)
+		}
+		st.remaining -= chunk
+		buf := st.buf[:0]
+		for i := uint64(0); i < chunk; i++ {
+			u := binary.LittleEndian.Uint32(b[i*8:])
+			v := binary.LittleEndian.Uint32(b[i*8+4:])
+			if u >= st.numVertices || v >= st.numVertices {
+				return nil, nil, fmt.Errorf("graph: edge %d endpoint (%d,%d) out of range [0,%d)",
+					st.read+i, u, v, st.numVertices)
+			}
+			if u == v {
+				continue // self loop, dropped as FromEdges would
+			}
+			buf = append(buf, PackEdge(u, v))
+		}
+		st.read += chunk
+		if len(buf) > 0 {
+			return buf, nil, nil
+		}
+	}
+	return nil, nil, io.EOF
+}
+
+func (st *binaryStream) Close() error { return st.f.Close() }
+
+// ---------------------------------------------------------------------------
+// Materialization and counting
+
+// FromSource drains a source into an in-memory Graph, calling check (when
+// non-nil) after every chunk so a long materialization stays cancellable.
+// It is the transparent-materialization fallback for methods that cannot
+// stream; the result is identical to FromPacked over the full stream
+// (sorted, deduplicated), so for a canonical source it reproduces the
+// original graph exactly.
+func FromSource(src Source, check func(seen int64) error) (*Graph, error) {
+	info := src.Info()
+	prealloc := info.NumEdges
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	keys := make([]uint64, 0, prealloc)
+	st, err := RawSource(src).Edges()
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	for {
+		chunk, _, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, chunk...)
+		if check != nil {
+			if err := check(int64(len(keys))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return FromPacked(info.NumVertices, keys), nil
+}
+
+// SourceCounts returns the source's exact vertex-id space size and edge
+// count, from its hints when both are known and otherwise from one counting
+// pass (checking check(edges-seen) periodically for cancellation). Streaming
+// methods use it to size dense per-vertex state and stream-length state
+// up front; because the counting pass is exact, a method behaves identically
+// whether or not the source carried hints.
+func SourceCounts(src Source, check func(seen int64) error) (numVertices uint32, numEdges int64, err error) {
+	info := src.Info()
+	if info.NumVertices > 0 && info.NumEdges > 0 {
+		return info.NumVertices, info.NumEdges, nil
+	}
+	st, err := RawSource(src).Edges()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer st.Close()
+	var maxV uint32
+	var seen int64
+	for {
+		chunk, _, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, k := range chunk {
+			if v := Vertex(k); v >= maxV {
+				maxV = v + 1
+			}
+		}
+		seen += int64(len(chunk))
+		if check != nil {
+			if err := check(seen); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if info.NumVertices > 0 {
+		maxV = info.NumVertices
+	}
+	return maxV, seen, nil
+}

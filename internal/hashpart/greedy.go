@@ -2,7 +2,6 @@ package hashpart
 
 import (
 	"context"
-	"math/rand"
 
 	"github.com/distributedne/dne/internal/bitset"
 	"github.com/distributedne/dne/internal/graph"
@@ -20,41 +19,45 @@ import (
 //
 // "Oblivious" refers to each machine running the heuristic over its own
 // stream without coordination; we model the single-stream variant, which is
-// the stronger (coordinated) end of PowerGraph's reported range.
+// the stronger (coordinated) end of PowerGraph's reported range. The core
+// is a true single pass with |V|-dense replica state.
 type Oblivious struct {
+	// Seed drives the stream shuffle of the legacy Partition shim; under
+	// the registry the shuffle uses spec.Seed instead.
 	Seed int64
 }
 
 // Name returns the display label.
 func (Oblivious) Name() string { return "Obli." }
 
-// Partition computes the assignment without cancellation support.
+// Partition is the deprecated v1 shim over the shuffled stream core.
 func (o Oblivious) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return o.PartitionCtx(context.Background(), g, numParts)
+	return partition.Legacy(g, numParts, func(ctx context.Context, src graph.Source, n int, st *partition.Stats) (*partition.Partitioning, error) {
+		return o.Stream(ctx, graph.Shuffled(src, o.Seed), n, st)
+	})
 }
 
-// PartitionCtx is the greedy stream loop; it polls ctx every
+// Stream is the greedy streaming core; it polls ctx every
 // partition.CheckEvery edges.
-func (o Oblivious) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	p := partition.New(numParts, g.NumEdges())
-	replicas := make([]bitset.Set, g.NumVertices())
-	for v := range replicas {
-		replicas[v] = bitset.New(numParts)
+func (o Oblivious) Stream(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
+	nv, ne, err := partition.Counts(ctx, src)
+	if err != nil {
+		return nil, err
 	}
+	p := partition.New(numParts, ne)
+	replicas := partition.NewReplicaSets(numParts, nv)
 	sizes := make([]int64, numParts)
 	scratch := bitset.New(numParts)
-	rng := rand.New(rand.NewSource(o.Seed))
-	order := rng.Perm(int(g.NumEdges()))
-	for n, i := range order {
-		if err := checkEdge(ctx, n); err != nil {
-			return nil, err
-		}
-		e := g.Edge(int64(i))
-		q := greedyPlace(replicas[e.U], replicas[e.V], sizes, scratch)
-		p.Owner[i] = q
-		replicas[e.U].Set(int(q))
-		replicas[e.V].Set(int(q))
+	st.PeakMemBytes += replicas.Bytes() + int64(numParts)*8 + graph.SourceBufferBytes
+	err = streamEdges(ctx, src, func(pos int64, u, v graph.Vertex) {
+		q := greedyPlace(replicas.Row(u), replicas.Row(v), sizes, scratch)
+		p.Owner[pos] = q
+		replicas.Set(u, int(q))
+		replicas.Set(v, int(q))
 		sizes[q]++
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -105,7 +108,9 @@ func leastLoaded(sizes []int64) int32 {
 // EuroSys'15): after a hybrid-cut pass, low-degree vertices are migrated for
 // a fixed number of passes to the partition that maximises the Fennel-style
 // objective |N(v) ∩ V(Eq)| − γ·(|Vq| + |Eq|·balance), moving each vertex's
-// whole low-degree edge group at once.
+// whole low-degree edge group at once. The refinement iterates over vertex
+// neighborhoods, so this method stays graph-bound (not stream-capable): the
+// registry materializes sources for it.
 type HybridGinger struct {
 	Seed      uint64
 	Threshold int64
@@ -116,6 +121,8 @@ type HybridGinger struct {
 func (HybridGinger) Name() string { return "H.G." }
 
 // Partition computes the assignment without cancellation support.
+//
+// Deprecated: v1 shim; use PartitionCtx or the registry.
 func (hg HybridGinger) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
 	return hg.PartitionCtx(context.Background(), g, numParts)
 }
@@ -131,8 +138,9 @@ func (hg HybridGinger) PartitionCtx(ctx context.Context, g *graph.Graph, numPart
 	if passes <= 0 {
 		passes = 5
 	}
+	var st partition.Stats
 	hy := Hybrid{Seed: hg.Seed, Threshold: thr}
-	p, err := hy.PartitionCtx(ctx, g, numParts)
+	p, err := hy.Stream(ctx, graph.SourceOf(g), numParts, &st)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +162,7 @@ func (hg HybridGinger) PartitionCtx(ctx context.Context, g *graph.Graph, numPart
 	for pass := 0; pass < passes; pass++ {
 		moved := 0
 		for v := 0; v < n; v++ {
-			if err := checkEdge(ctx, v); err != nil {
+			if err := checkAt(ctx, v); err != nil {
 				return nil, err
 			}
 			if !isGrouped[v] {

@@ -3,7 +3,10 @@
 // (degree-based hashing, Xie et al. NIPS'14), Hybrid (PowerLyra's hybrid-cut)
 // and the greedy/refined variants Oblivious (PowerGraph) and Hybrid-Ginger
 // (PowerLyra). These are fast and scalable but low quality; they anchor the
-// quality comparisons of Fig. 8 and Table 5.
+// quality comparisons of Fig. 8 and Table 5. All but Hybrid-Ginger consume a
+// graph.Source directly: the pure hash rules are stateless per edge, and the
+// degree-aware ones run one counting pass first, so none of them needs the
+// graph in memory.
 package hashpart
 
 import (
@@ -23,12 +26,23 @@ func splitmix64(x uint64) uint64 {
 
 func hashU32(v uint32, salt uint64) uint64 { return splitmix64(uint64(v) ^ salt) }
 
-// checkEdge polls ctx every partition.CheckEvery edges of a hash loop.
-func checkEdge(ctx context.Context, i int) error {
+// checkAt polls ctx every partition.CheckEvery iterations of a loop that
+// does not go through partition.EachEdge (HybridGinger's vertex scans).
+func checkAt(ctx context.Context, i int) error {
 	if i%partition.CheckEvery == 0 {
 		return ctx.Err()
 	}
 	return nil
+}
+
+// streamEdges drives one pass over src, calling place(pos, u, v) with each
+// edge's raw stream position and polling ctx every partition.CheckEvery
+// edges. It is the shared loop under every single-pass hash rule.
+func streamEdges(ctx context.Context, src graph.Source, place func(pos int64, u, v graph.Vertex)) error {
+	return partition.EachEdge(ctx, src, func(pos int64, k uint64) error {
+		place(pos, graph.Vertex(k>>32), graph.Vertex(k))
+		return nil
+	})
 }
 
 // Random is 1D hash partitioning: every edge lands on a uniformly random
@@ -40,21 +54,25 @@ type Random struct {
 // Name returns the display label.
 func (Random) Name() string { return "Rand." }
 
-// Partition computes the assignment without cancellation support.
+// Partition is the deprecated v1 shim over the stream core.
 func (r Random) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return r.PartitionCtx(context.Background(), g, numParts)
+	return partition.Legacy(g, numParts, r.Stream)
 }
 
-// PartitionCtx is the hash loop; it polls ctx every partition.CheckEvery
-// edges.
-func (r Random) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	p := partition.New(numParts, g.NumEdges())
-	for i, e := range g.Edges() {
-		if err := checkEdge(ctx, i); err != nil {
-			return nil, err
-		}
-		h := splitmix64(uint64(e.U)<<32 | uint64(e.V) ^ r.Seed)
-		p.Owner[i] = int32(h % uint64(numParts))
+// Stream is the streaming core: one pass, no state beyond the owner array.
+func (r Random) Stream(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
+	_, ne, err := partition.Counts(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	p := partition.New(numParts, ne)
+	st.PeakMemBytes += graph.SourceBufferBytes
+	err = streamEdges(ctx, src, func(pos int64, u, v graph.Vertex) {
+		h := splitmix64(uint64(u)<<32 | uint64(v) ^ r.Seed)
+		p.Owner[pos] = int32(h % uint64(numParts))
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -69,34 +87,38 @@ type Grid struct {
 // Name returns the display label.
 func (Grid) Name() string { return "2D-R." }
 
-// Partition computes the assignment without cancellation support.
+// Partition is the deprecated v1 shim over the stream core.
 func (gr Grid) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return gr.PartitionCtx(context.Background(), g, numParts)
+	return partition.Legacy(g, numParts, gr.Stream)
 }
 
-// PartitionCtx is the hash loop; it polls ctx every partition.CheckEvery
-// edges.
-func (gr Grid) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+// Stream is the streaming core: one pass, no state beyond the owner array.
+func (gr Grid) Stream(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
 	r := 1
 	for (r+1)*(r+1) <= numParts {
 		r++
 	}
 	c := (numParts + r - 1) / r
-	p := partition.New(numParts, g.NumEdges())
-	for i, e := range g.Edges() {
-		if err := checkEdge(ctx, i); err != nil {
-			return nil, err
-		}
-		gi := int(hashU32(e.U, 0xDEC0DE^gr.Seed) % uint64(r))
-		gj := int(hashU32(e.V, 0xC0FFEE^gr.Seed) % uint64(c))
-		p.Owner[i] = int32((gi*c + gj) % numParts)
+	_, ne, err := partition.Counts(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	p := partition.New(numParts, ne)
+	st.PeakMemBytes += graph.SourceBufferBytes
+	err = streamEdges(ctx, src, func(pos int64, u, v graph.Vertex) {
+		gi := int(hashU32(u, 0xDEC0DE^gr.Seed) % uint64(r))
+		gj := int(hashU32(v, 0xC0FFEE^gr.Seed) % uint64(c))
+		p.Owner[pos] = int32((gi*c + gj) % numParts)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }
 
 // DBH is degree-based hashing (Xie et al., NIPS'14): each edge is hashed by
 // its lower-degree endpoint, so high-degree vertices are cut while low-degree
-// vertices stay whole.
+// vertices stay whole. Degrees come from a counting pass over the source.
 type DBH struct {
 	Seed uint64
 }
@@ -104,24 +126,28 @@ type DBH struct {
 // Name returns the display label.
 func (DBH) Name() string { return "DBH" }
 
-// Partition computes the assignment without cancellation support.
+// Partition is the deprecated v1 shim over the stream core.
 func (d DBH) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return d.PartitionCtx(context.Background(), g, numParts)
+	return partition.Legacy(g, numParts, d.Stream)
 }
 
-// PartitionCtx is the hash loop; it polls ctx every partition.CheckEvery
-// edges.
-func (d DBH) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	p := partition.New(numParts, g.NumEdges())
-	for i, e := range g.Edges() {
-		if err := checkEdge(ctx, i); err != nil {
-			return nil, err
+// Stream is the streaming core: a degree pass, then the hash pass.
+func (d DBH) Stream(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
+	deg, nv, ne, err := partition.DegreesAndCounts(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	p := partition.New(numParts, ne)
+	st.PeakMemBytes += int64(nv)*4 + graph.SourceBufferBytes
+	err = streamEdges(ctx, src, func(pos int64, u, v graph.Vertex) {
+		pivot := u
+		if deg[v] < deg[u] {
+			pivot = v
 		}
-		pivot := e.U
-		if g.Degree(e.V) < g.Degree(e.U) {
-			pivot = e.V
-		}
-		p.Owner[i] = int32(hashU32(pivot, d.Seed) % uint64(numParts))
+		p.Owner[pos] = int32(hashU32(pivot, d.Seed) % uint64(numParts))
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -139,32 +165,36 @@ type Hybrid struct {
 // Name returns the display label.
 func (Hybrid) Name() string { return "Hybrid" }
 
-// Partition computes the assignment without cancellation support.
+// Partition is the deprecated v1 shim over the stream core.
 func (h Hybrid) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return h.PartitionCtx(context.Background(), g, numParts)
+	return partition.Legacy(g, numParts, h.Stream)
 }
 
-// PartitionCtx is the hash loop; it polls ctx every partition.CheckEvery
-// edges.
-func (h Hybrid) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+// Stream is the streaming core: a degree pass, then the hybrid rule pass.
+func (h Hybrid) Stream(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
 	thr := h.Threshold
 	if thr <= 0 {
 		thr = 100
 	}
-	p := partition.New(numParts, g.NumEdges())
-	for i, e := range g.Edges() {
-		if err := checkEdge(ctx, i); err != nil {
-			return nil, err
-		}
-		p.Owner[i] = h.owner(g, e, thr, numParts)
+	deg, nv, ne, err := partition.DegreesAndCounts(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	p := partition.New(numParts, ne)
+	st.PeakMemBytes += int64(nv)*4 + graph.SourceBufferBytes
+	err = streamEdges(ctx, src, func(pos int64, u, v graph.Vertex) {
+		p.Owner[pos] = h.owner(deg, u, v, thr, numParts)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }
 
-func (h Hybrid) owner(g *graph.Graph, e graph.Edge, thr int64, numParts int) int32 {
+func (h Hybrid) owner(deg []uint32, u, v graph.Vertex, thr int64, numParts int) int32 {
 	// Treat the canonical V endpoint as the "destination".
-	if g.Degree(e.V) <= thr {
-		return int32(hashU32(e.V, h.Seed) % uint64(numParts))
+	if int64(deg[v]) <= thr {
+		return int32(hashU32(v, h.Seed) % uint64(numParts))
 	}
-	return int32(hashU32(e.U, h.Seed) % uint64(numParts))
+	return int32(hashU32(u, h.Seed) % uint64(numParts))
 }

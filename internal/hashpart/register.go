@@ -13,9 +13,10 @@ func init() {
 		Name:    "random",
 		Aliases: []string{"rand", "1d"},
 		Summary: "1D hash: every edge lands on a uniformly random partition",
+		Streams: true,
 		Factory: func() partition.Partitioner {
-			return partition.Method{Label: "Rand.", Core: func(ctx context.Context, g *graph.Graph, spec partition.Spec) (*partition.Partitioning, error) {
-				return Random{Seed: uint64(spec.Seed)}.PartitionCtx(ctx, g, spec.NumParts)
+			return partition.StreamMethod{Label: "Rand.", Core: func(ctx context.Context, src graph.Source, spec partition.Spec, st *partition.Stats) (*partition.Partitioning, error) {
+				return Random{Seed: uint64(spec.Seed)}.Stream(ctx, src, spec.NumParts, st)
 			}}
 		},
 	})
@@ -23,33 +24,36 @@ func init() {
 		Name:    "grid",
 		Aliases: []string{"2d", "2d-random"},
 		Summary: "2D hash: edges land on an R×C grid cell, bounding replication by R+C−1",
+		Streams: true,
 		Factory: func() partition.Partitioner {
-			return partition.Method{Label: "2D-R.", Core: func(ctx context.Context, g *graph.Graph, spec partition.Spec) (*partition.Partitioning, error) {
-				return Grid{Seed: uint64(spec.Seed)}.PartitionCtx(ctx, g, spec.NumParts)
+			return partition.StreamMethod{Label: "2D-R.", Core: func(ctx context.Context, src graph.Source, spec partition.Spec, st *partition.Stats) (*partition.Partitioning, error) {
+				return Grid{Seed: uint64(spec.Seed)}.Stream(ctx, src, spec.NumParts, st)
 			}}
 		},
 	})
 	methods.Register(methods.Descriptor{
 		Name:    "dbh",
 		Summary: "degree-based hashing: edges hash by their lower-degree endpoint (Xie et al., NIPS'14)",
+		Streams: true,
 		Factory: func() partition.Partitioner {
-			return partition.Method{Label: "DBH", Core: func(ctx context.Context, g *graph.Graph, spec partition.Spec) (*partition.Partitioning, error) {
-				return DBH{Seed: uint64(spec.Seed)}.PartitionCtx(ctx, g, spec.NumParts)
+			return partition.StreamMethod{Label: "DBH", Core: func(ctx context.Context, src graph.Source, spec partition.Spec, st *partition.Stats) (*partition.Partitioning, error) {
+				return DBH{Seed: uint64(spec.Seed)}.Stream(ctx, src, spec.NumParts, st)
 			}}
 		},
 	})
 	methods.Register(methods.Descriptor{
 		Name:    "hybrid",
 		Summary: "PowerLyra hybrid-cut: low-degree destinations group their edges, high-degree fall back to source hash",
+		Streams: true,
 		Params: []methods.ParamSpec{
 			{Name: "threshold", Kind: methods.Int, Default: 100, Doc: "degree boundary θ between low- and high-degree handling", Min: 1, Max: 1 << 30, HasBounds: true},
 		},
 		Factory: func() partition.Partitioner {
-			return partition.Method{Label: "Hybrid", Core: func(ctx context.Context, g *graph.Graph, spec partition.Spec) (*partition.Partitioning, error) {
+			return partition.StreamMethod{Label: "Hybrid", Core: func(ctx context.Context, src graph.Source, spec partition.Spec, st *partition.Stats) (*partition.Partitioning, error) {
 				return Hybrid{
 					Seed:      uint64(spec.Seed),
 					Threshold: int64(spec.Int("threshold", 100)),
-				}.PartitionCtx(ctx, g, spec.NumParts)
+				}.Stream(ctx, src, spec.NumParts, st)
 			}}
 		},
 	})
@@ -57,9 +61,10 @@ func init() {
 		Name:    "oblivious",
 		Aliases: []string{"obli"},
 		Summary: "PowerGraph greedy streaming placement over endpoint replica sets (Gonzalez et al., OSDI'12)",
+		Streams: true,
 		Factory: func() partition.Partitioner {
-			return partition.Method{Label: "Obli.", Core: func(ctx context.Context, g *graph.Graph, spec partition.Spec) (*partition.Partitioning, error) {
-				return Oblivious{Seed: spec.Seed}.PartitionCtx(ctx, g, spec.NumParts)
+			return partition.StreamMethod{Label: "Obli.", Shuffle: true, Core: func(ctx context.Context, src graph.Source, spec partition.Spec, st *partition.Stats) (*partition.Partitioning, error) {
+				return Oblivious{}.Stream(ctx, src, spec.NumParts, st)
 			}}
 		},
 	})

@@ -222,3 +222,41 @@ func TestQualityClassOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamsBitMatchesInterface enforces the capability contract: a
+// descriptor's Streams bit must agree with whether its factory's
+// partitioner implements partition.StreamPartitioner, and every stream
+// partitioner must honor a cancelled context on the source path too.
+func TestStreamsBitMatchesInterface(t *testing.T) {
+	g := gen.RMAT(9, 8, 3)
+	for _, d := range methods.Descriptors() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			pr := d.Factory()
+			sp, isStream := pr.(partition.StreamPartitioner)
+			if d.Streams != isStream {
+				t.Fatalf("descriptor Streams=%v but %T implements StreamPartitioner=%v", d.Streams, pr, isStream)
+			}
+			if !isStream {
+				return
+			}
+			spec, err := d.ResolveSpec(partition.NewSpec(4, 42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := sp.PartitionStream(ctx, graph.SourceOf(g), spec); !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled source path: want context.Canceled, got %v", err)
+			}
+			res, err := sp.PartitionStream(context.Background(), graph.SourceOf(g), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Partitioning.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -52,6 +52,11 @@ type Descriptor struct {
 	Aliases []string `json:"aliases,omitempty"`
 	// Summary is a one-line description for generated help.
 	Summary string `json:"summary"`
+	// Streams declares that the method partitions straight from an edge
+	// stream: its Factory returns a partition.StreamPartitioner and
+	// PartitionSource dispatches sources to it without materializing. The
+	// registry conformance test enforces the bit ⇔ interface agreement.
+	Streams bool `json:"streams,omitempty"`
 	// Params declares every parameter the method reads from Spec.Params.
 	Params []ParamSpec `json:"params,omitempty"`
 	// Factory returns a fresh partitioner. Per-run configuration travels in

@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"context"
+	"testing"
+
+	"github.com/distributedne/dne/internal/graph"
+)
+
+func streamTestGraph() *graph.Graph {
+	edges := make([]graph.Edge, 0, 3000)
+	for i := uint32(0); i < 1000; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1}, graph.Edge{U: i % 7, V: i + 2})
+	}
+	return graph.FromEdges(0, edges)
+}
+
+// modCore assigns each edge by stream position modulo the partition count —
+// order-independent, so it exercises the StreamRun plumbing in isolation.
+func modCore(ctx context.Context, src graph.Source, spec Spec, st *Stats) (*Partitioning, error) {
+	_, ne, err := Counts(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	p := New(spec.NumParts, ne)
+	err = EachEdge(ctx, src, func(pos int64, k uint64) error {
+		p.Owner[pos] = int32(pos % int64(spec.NumParts))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// TestStreamRunQualityMatchesMeasure: the stream-side quality measurement
+// (no graph, |V|-slab) must equal Partitioning.Measure bit for bit on a
+// canonical source.
+func TestStreamRunQualityMatchesMeasure(t *testing.T) {
+	g := streamTestGraph()
+	m := StreamMethod{Label: "mod", Core: modCore}
+	res, err := m.Partition(context.Background(), g, NewSpec(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partitioning.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Partitioning.Measure(g); res.Quality != want {
+		t.Fatalf("stream quality %+v != Measure %+v", res.Quality, want)
+	}
+	if res.Stats.PeakMemBytes <= g.MemoryFootprint() {
+		t.Fatalf("graph-path peak %d must include the resident graph (%d)",
+			res.Stats.PeakMemBytes, g.MemoryFootprint())
+	}
+}
+
+// TestStreamMethodShuffleKeepsIndexing: with Shuffle set, the core sees a
+// permuted arrival order but the owner array stays indexed by raw stream
+// position, and the measurement still validates.
+func TestStreamMethodShuffleKeepsIndexing(t *testing.T) {
+	g := streamTestGraph()
+	sawOutOfOrder := false
+	core := func(ctx context.Context, src graph.Source, spec Spec, st *Stats) (*Partitioning, error) {
+		_, ne, err := Counts(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		p := New(spec.NumParts, ne)
+		var prev int64 = -1
+		err = EachEdge(ctx, src, func(pos int64, k uint64) error {
+			if pos < prev {
+				sawOutOfOrder = true
+			}
+			prev = pos
+			// The decorated stream must still pair each key with its raw
+			// position: verify against the canonical list.
+			if e := g.Edge(pos); graph.PackEdge(e.U, e.V) != k {
+				t.Fatalf("position %d carries wrong key", pos)
+			}
+			p.Owner[pos] = int32(pos % int64(spec.NumParts))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	m := StreamMethod{Label: "mod", Core: core, Shuffle: true}
+	res, err := m.PartitionStream(context.Background(), graph.SourceOf(g), NewSpec(4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawOutOfOrder {
+		t.Fatal("Shuffle did not permute the arrival order")
+	}
+	if err := res.Partitioning.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Partitioning.Measure(g); res.Quality != want {
+		t.Fatalf("stream quality %+v != Measure %+v", res.Quality, want)
+	}
+}
+
+// TestLegacyAdapter: the one deprecated shim drives a concrete core with
+// the v1 shape and rejects a bad partition count.
+func TestLegacyAdapter(t *testing.T) {
+	g := streamTestGraph()
+	core := func(ctx context.Context, src graph.Source, numParts int, st *Stats) (*Partitioning, error) {
+		return modCore(ctx, src, Spec{NumParts: numParts}, st)
+	}
+	p, err := Legacy(g, 3, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Legacy(g, 0, core); err == nil {
+		t.Fatal("numParts=0 accepted")
+	}
+}

@@ -3,9 +3,7 @@ package streampart
 import (
 	"context"
 	"math"
-	"math/rand"
 
-	"github.com/distributedne/dne/internal/bitset"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/partition"
 )
@@ -21,61 +19,58 @@ import (
 // gain of reusing partitions that already host an endpoint, minus the
 // marginal balance cost c(size_q+1) − c(size_q) of the convex load cost
 // c(x) = ν·x^γ. Gamma defaults to the FENNEL paper's 1.5 and ν is chosen so
-// the cost gradient is O(1) at the balanced load |E|/|P|.
+// the cost gradient is O(1) at the balanced load |E|/|P|. The core is a
+// true single pass over the source with |V|-dense replica state.
 type Fennel struct {
 	// Gamma is the load-cost exponent γ > 1 (default 1.5).
 	Gamma float64
-	// Seed drives the stream order.
+	// Seed drives the stream shuffle of the legacy Partition shim (see
+	// HDRF).
 	Seed int64
 }
 
 // Name returns the display label.
 func (Fennel) Name() string { return "FENNEL" }
 
-// Partition computes the assignment without cancellation support.
+// Partition is the deprecated v1 shim over the shuffled stream core.
 func (f Fennel) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return f.PartitionCtx(context.Background(), g, numParts)
+	return partition.Legacy(g, numParts, shuffled(f.Stream, f.Seed))
 }
 
-// PartitionCtx is the streaming core; it polls ctx every
-// partition.CheckEvery edges.
-func (f Fennel) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+// Stream is the streaming core; it polls ctx every partition.CheckEvery
+// edges.
+func (f Fennel) Stream(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
 	gamma := f.Gamma
 	if gamma == 0 {
 		gamma = 1.5
 	}
-	totalE := g.NumEdges()
-	p := partition.New(numParts, totalE)
-	replicas := make([]bitset.Set, g.NumVertices())
-	for v := range replicas {
-		replicas[v] = bitset.New(numParts)
+	nv, ne, err := partition.Counts(ctx, src)
+	if err != nil {
+		return nil, err
 	}
+	p := partition.New(numParts, ne)
+	replicas := partition.NewReplicaSets(numParts, nv)
 	sizes := make([]int64, numParts)
 	// ν normalizes the marginal cost so that at the balanced load
 	// m = |E|/|P| the gradient γ·ν·m^(γ−1) equals 1 — one replica's worth.
-	mean := float64(totalE) / float64(numParts)
+	mean := float64(ne) / float64(numParts)
 	if mean < 1 {
 		mean = 1
 	}
 	nu := 1 / (gamma * math.Pow(mean, gamma-1))
+	st.PeakMemBytes += replicas.Bytes() + int64(numParts)*8 + graph.SourceBufferBytes
 
-	rng := rand.New(rand.NewSource(f.Seed))
-	order := rng.Perm(int(totalE))
-	for n, i := range order {
-		if n%partition.CheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		e := g.Edge(int64(i))
+	err = partition.EachEdge(ctx, src, func(pos int64, k uint64) error {
+		u, v := graph.Vertex(k>>32), graph.Vertex(k)
+		ru, rv := replicas.Row(u), replicas.Row(v)
 		best := int32(0)
 		bestScore := math.Inf(-1)
 		for q := 0; q < numParts; q++ {
 			var gain float64
-			if replicas[e.U].Has(q) {
+			if ru.Has(q) {
 				gain++
 			}
-			if replicas[e.V].Has(q) {
+			if rv.Has(q) {
 				gain++
 			}
 			// Marginal convex cost of adding one edge to q:
@@ -87,7 +82,11 @@ func (f Fennel) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) 
 				best = int32(q)
 			}
 		}
-		assign(p, replicas, sizes, i, e, best)
+		assign(p, replicas, sizes, pos, u, v, best)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }

@@ -1,17 +1,35 @@
 // Package streampart implements the streaming edge partitioners of Table 4:
 // HDRF (Petroni et al., CIKM'15) and SNE, the streaming variant of neighbor
-// expansion (Zhang et al., KDD'17). Both process the edge stream with bounded
-// state and trade quality for memory, exactly the trade-off §7.5 measures.
+// expansion (Zhang et al., KDD'17). Both consume a graph.Source — an edge
+// stream — with dense state bounded by |V|, never holding the edge set:
+// exactly the O(chunk)-memory design the paper's §7.5 trade-off measures.
+// Both run over a deterministic seeded stream shuffle (graph.Shuffled) —
+// replica-greedy placement needs a randomized arrival order — and index
+// their output by raw stream position, so the in-memory path (a thin
+// adapter over graph.SourceOf) and a canonical shard-dir path produce
+// bit-identical partitionings.
 package streampart
 
 import (
 	"context"
-	"math/rand"
 
 	"github.com/distributedne/dne/internal/bitset"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/partition"
 )
+
+// shuffled is the arrival-order decoration every replica-greedy core in
+// this package runs under (see graph.Shuffled): legacy shims apply it here;
+// the registry applies it via partition.StreamMethod.Shuffle.
+func shuffled(core StreamFuncOf, seed int64) partition.StreamFunc {
+	return func(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
+		return core(ctx, graph.Shuffled(src, seed), numParts, st)
+	}
+}
+
+// StreamFuncOf mirrors partition.StreamFunc for the package's concrete
+// cores.
+type StreamFuncOf = partition.StreamFunc
 
 // HDRF is High-Degree Replicated First streaming partitioning. For each edge
 // (u,v) it scores every partition q as
@@ -20,58 +38,58 @@ import (
 //	C_bal(q) = λ · (maxSize − size_q) / (ε + maxSize − minSize)
 //
 // with θu = δ(u)/(δ(u)+δ(v)) and g(x,q)=1 iff q ∈ A(x), and places the edge
-// on the argmax — replicating the higher-degree endpoint first. We use exact
-// degrees (available offline) rather than streamed partial degrees; this only
-// helps HDRF, keeping the comparison conservative.
+// on the argmax — replicating the higher-degree endpoint first. Degrees come
+// from a dedicated counting pass over the source (exact, "available
+// offline") rather than streamed partial degrees; this only helps HDRF,
+// keeping the comparison conservative.
 type HDRF struct {
 	// Lambda is the balance weight λ (default 1.0).
 	Lambda float64
-	Seed   int64
+	// Seed drives the stream shuffle of the legacy Partition shim; under
+	// the registry the shuffle uses spec.Seed instead.
+	Seed int64
 }
 
 // Name returns the display label.
 func (HDRF) Name() string { return "HDRF" }
 
-// Partition computes the assignment without cancellation support.
+// Partition is the deprecated v1 shim over the shuffled stream core.
 func (h HDRF) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return h.PartitionCtx(context.Background(), g, numParts)
+	return partition.Legacy(g, numParts, shuffled(h.Stream, h.Seed))
 }
 
-// PartitionCtx is the streaming core; it polls ctx every
-// partition.CheckEvery edges.
-func (h HDRF) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+// Stream is the streaming core: one degree-counting pass, then one
+// assignment pass, with dense state (degrees, replica sets, sizes) bounded
+// by |V| and |P|. It polls ctx every partition.CheckEvery edges.
+func (h HDRF) Stream(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
 	lambda := h.Lambda
 	if lambda == 0 {
 		lambda = 1.0
 	}
-	p := partition.New(numParts, g.NumEdges())
-	replicas := make([]bitset.Set, g.NumVertices())
-	for v := range replicas {
-		replicas[v] = bitset.New(numParts)
+	deg, nv, ne, err := partition.DegreesAndCounts(ctx, src)
+	if err != nil {
+		return nil, err
 	}
+	p := partition.New(numParts, ne)
+	replicas := partition.NewReplicaSets(numParts, nv)
 	sizes := make([]int64, numParts)
 	var maxSize, minSize int64
-	rng := rand.New(rand.NewSource(h.Seed))
-	order := rng.Perm(int(g.NumEdges()))
 	const eps = 1.0
-	for n, i := range order {
-		if n%partition.CheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		e := g.Edge(int64(i))
-		du, dv := float64(g.Degree(e.U)), float64(g.Degree(e.V))
+	st.PeakMemBytes += replicas.Bytes() + int64(nv)*4 + int64(numParts)*8 + graph.SourceBufferBytes
+	err = partition.EachEdge(ctx, src, func(pos int64, k uint64) error {
+		u, v := graph.Vertex(k>>32), graph.Vertex(k)
+		du, dv := float64(deg[u]), float64(deg[v])
 		thetaU := du / (du + dv)
 		thetaV := 1 - thetaU
+		ru, rv := replicas.Row(u), replicas.Row(v)
 		best := int32(0)
 		bestScore := -1.0
 		for q := 0; q < numParts; q++ {
 			var rep float64
-			if replicas[e.U].Has(q) {
+			if ru.Has(q) {
 				rep += 2 - thetaU
 			}
-			if replicas[e.V].Has(q) {
+			if rv.Has(q) {
 				rep += 2 - thetaV
 			}
 			bal := lambda * float64(maxSize-sizes[q]) / (eps + float64(maxSize-minSize))
@@ -80,9 +98,9 @@ func (h HDRF) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*
 				best = int32(q)
 			}
 		}
-		p.Owner[i] = best
-		replicas[e.U].Set(int(best))
-		replicas[e.V].Set(int(best))
+		p.Owner[pos] = best
+		ru.Set(int(best))
+		rv.Set(int(best))
 		sizes[best]++
 		maxSize, minSize = sizes[0], sizes[0]
 		for _, s := range sizes[1:] {
@@ -93,6 +111,10 @@ func (h HDRF) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*
 				minSize = s
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -104,50 +126,60 @@ func (h HDRF) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*
 // formulation of Zhang et al. §5 but replaces the in-window min-degree
 // expansion with closure sweeps; as a result its quality tracks HDRF rather
 // than clearly beating it as in the paper's Table 4 (recorded in
-// EXPERIMENTS.md). Window count defaults to the partition count.
+// EXPERIMENTS.md). Window count defaults to the partition count; memory is
+// bounded by one window plus the |V|-dense state, not by |E|.
 type SNE struct {
 	Alpha   float64
 	Windows int
-	Seed    int64
+	// Seed drives the stream shuffle of the legacy Partition shim (see
+	// HDRF).
+	Seed int64
 }
 
 // Name returns the display label.
 func (SNE) Name() string { return "SNE" }
 
-// Partition computes the assignment without cancellation support.
+// Partition is the deprecated v1 shim over the shuffled stream core.
 func (s SNE) Partition(g *graph.Graph, numParts int) (*partition.Partitioning, error) {
-	return s.PartitionCtx(context.Background(), g, numParts)
+	return partition.Legacy(g, numParts, shuffled(s.Stream, s.Seed))
 }
 
-// PartitionCtx is the streaming core; it polls ctx every
-// partition.CheckEvery processed edges (closure sweeps included).
-func (s SNE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*partition.Partitioning, error) {
+// Stream is the streaming core; it polls ctx every partition.CheckEvery
+// processed edges (closure sweeps included).
+func (s SNE) Stream(ctx context.Context, src graph.Source, numParts int, st *partition.Stats) (*partition.Partitioning, error) {
 	alpha := s.Alpha
 	if alpha == 0 {
 		alpha = 1.1
+	}
+	deg, nv, ne, err := partition.DegreesAndCounts(ctx, src)
+	if err != nil {
+		return nil, err
 	}
 	windows := s.Windows
 	if windows <= 0 {
 		windows = numParts
 	}
-	totalE := g.NumEdges()
-	if int64(windows) > totalE {
-		windows = int(totalE)
+	if int64(windows) > ne {
+		windows = int(ne)
 	}
-	p := partition.New(numParts, totalE)
-	capEdges := int64(alpha * float64(totalE) / float64(numParts))
+	p := partition.New(numParts, ne)
+	capEdges := int64(alpha * float64(ne) / float64(numParts))
 	if capEdges < 1 {
 		capEdges = 1
 	}
 	sizes := make([]int64, numParts)
-	replicas := make([]bitset.Set, g.NumVertices())
-	for v := range replicas {
-		replicas[v] = bitset.New(numParts)
-	}
+	replicas := partition.NewReplicaSets(numParts, nv)
 	scratch := bitset.New(numParts)
+	per := 0
+	if windows > 0 {
+		per = (int(ne) + windows - 1) / windows
+	}
+	if per < 1 {
+		per = 1
+	}
+	st.PeakMemBytes += replicas.Bytes() + int64(nv)*4 + int64(numParts)*8 +
+		int64(per)*(8+8) + graph.SourceBufferBytes
 
-	rng := rand.New(rand.NewSource(s.Seed))
-	order := rng.Perm(int(totalE))
 	var processed int
 	checkCtx := func() error {
 		processed++
@@ -156,38 +188,34 @@ func (s SNE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*p
 		}
 		return nil
 	}
-	per := (len(order) + windows - 1) / windows
-	for w := 0; w < windows; w++ {
-		lo := w * per
-		hi := lo + per
-		if hi > len(order) {
-			hi = len(order)
-		}
-		if lo >= hi {
-			break
-		}
-		window := order[lo:hi]
+
+	// processWindow runs the closure sweeps and the expansion step over one
+	// buffered window; poss carries each window edge's raw stream position.
+	processWindow := func(window []uint64, poss []int64) error {
 		// Within the window, repeatedly sweep Condition-(5) edges — both
 		// endpoints already share a partition — into that partition; each
 		// sweep's assignments enable the next, mimicking the closure that
 		// full neighbor expansion reaches.
-		rest := append([]int(nil), window...)
+		rest := make([]int, len(window))
+		for j := range rest {
+			rest[j] = j
+		}
 		for sweep := 0; sweep < 8 && len(rest) > 0; sweep++ {
 			var defer2 []int
 			assignedAny := false
-			for _, i := range rest {
+			for _, j := range rest {
 				if err := checkCtx(); err != nil {
-					return nil, err
+					return err
 				}
-				e := g.Edge(int64(i))
-				if bitset.IntersectInto(scratch, replicas[e.U], replicas[e.V]) {
+				u, v := graph.Vertex(window[j]>>32), graph.Vertex(window[j])
+				if bitset.IntersectInto(scratch, replicas.Row(u), replicas.Row(v)) {
 					if q := leastLoadedIn(scratch, sizes, capEdges); q >= 0 {
-						assign(p, replicas, sizes, i, e, q)
+						assign(p, replicas, sizes, poss[j], u, v, q)
 						assignedAny = true
 						continue
 					}
 				}
-				defer2 = append(defer2, i)
+				defer2 = append(defer2, j)
 			}
 			rest = defer2
 			if !assignedAny {
@@ -198,23 +226,23 @@ func (s SNE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*p
 		// least-loaded partition adjacent to the lower-degree endpoint
 		// (extending that partition's frontier cheaply), else the globally
 		// least-loaded partition.
-		for _, i := range rest {
+		for _, j := range rest {
 			if err := checkCtx(); err != nil {
-				return nil, err
+				return err
 			}
-			e := g.Edge(int64(i))
-			lowDeg := e.U
-			if g.Degree(e.V) < g.Degree(e.U) {
-				lowDeg = e.V
+			u, v := graph.Vertex(window[j]>>32), graph.Vertex(window[j])
+			lowDeg := u
+			if deg[v] < deg[u] {
+				lowDeg = v
 			}
 			q := int32(-1)
-			if !replicas[lowDeg].Empty() {
-				q = leastLoadedIn(replicas[lowDeg], sizes, capEdges)
+			if low := replicas.Row(lowDeg); !low.Empty() {
+				q = leastLoadedIn(low, sizes, capEdges)
 			}
 			if q < 0 {
 				scratch.Reset()
-				scratch.Or(replicas[e.U])
-				scratch.Or(replicas[e.V])
+				scratch.Or(replicas.Row(u))
+				scratch.Or(replicas.Row(v))
 				if !scratch.Empty() {
 					q = leastLoadedIn(scratch, sizes, capEdges)
 				}
@@ -222,16 +250,39 @@ func (s SNE) PartitionCtx(ctx context.Context, g *graph.Graph, numParts int) (*p
 			if q < 0 {
 				q = leastLoaded(sizes)
 			}
-			assign(p, replicas, sizes, i, e, q)
+			assign(p, replicas, sizes, poss[j], u, v, q)
+		}
+		return nil
+	}
+
+	winKeys := make([]uint64, 0, per)
+	winPos := make([]int64, 0, per)
+	err = partition.EachEdge(ctx, src, func(pos int64, k uint64) error {
+		winKeys = append(winKeys, k)
+		winPos = append(winPos, pos)
+		if len(winKeys) == per {
+			if err := processWindow(winKeys, winPos); err != nil {
+				return err
+			}
+			winKeys, winPos = winKeys[:0], winPos[:0]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(winKeys) > 0 {
+		if err := processWindow(winKeys, winPos); err != nil {
+			return nil, err
 		}
 	}
 	return p, nil
 }
 
-func assign(p *partition.Partitioning, replicas []bitset.Set, sizes []int64, i int, e graph.Edge, q int32) {
-	p.Owner[i] = q
-	replicas[e.U].Set(int(q))
-	replicas[e.V].Set(int(q))
+func assign(p *partition.Partitioning, replicas *partition.ReplicaSets, sizes []int64, pos int64, u, v graph.Vertex, q int32) {
+	p.Owner[pos] = q
+	replicas.Set(u, int(q))
+	replicas.Set(v, int(q))
 	sizes[q]++
 }
 
