@@ -90,15 +90,27 @@ func newHandler(maxEdges int64, reqTimeout time.Duration) http.Handler {
 	return h
 }
 
-// newHandlerWithStores is newHandler plus store-registry configuration:
-// maxStores bounds resident stores, and a non-empty storeDir persists every
-// built store as a snapshot and restores them at startup (restore errors
-// are returned, not fatal).
+// newHandlerWithStores is newHandler plus store-registry configuration; the
+// live graph lives in an ephemeral temp directory.
 func newHandlerWithStores(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir string) (http.Handler, []error) {
+	h, _, errs := newHandlerWithLive(maxEdges, reqTimeout, maxStores, storeDir, "")
+	return h, errs
+}
+
+// newHandlerWithLive is the full constructor: maxStores bounds resident
+// stores, a non-empty storeDir persists store snapshots across restarts,
+// and a non-empty liveDir roots the durable live graph (restore errors from
+// either are returned, not fatal). The returned liveService must be closed
+// on shutdown to seal the live logs; until then the on-disk tail is open
+// for appending and a second process cannot adopt the directory.
+func newHandlerWithLive(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir, liveDir string) (http.Handler, *liveService, []error) {
 	mux := http.NewServeMux()
 	registry := newStoreRegistry(maxStores, storeDir)
 	restoreErrs := registry.restore()
 	registry.register(mux, maxEdges, reqTimeout)
+	lsvc := newLiveService(liveDir)
+	restoreErrs = append(restoreErrs, lsvc.restore()...)
+	lsvc.register(mux, maxEdges, reqTimeout)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -136,7 +148,7 @@ func newHandlerWithStores(maxEdges int64, reqTimeout time.Duration, maxStores in
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	return mux, restoreErrs
+	return mux, lsvc, restoreErrs
 }
 
 func servePartition(ctx context.Context, req *Request, maxEdges int64) (*Response, int, error) {

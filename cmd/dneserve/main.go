@@ -14,6 +14,14 @@
 //	DELETE /api/store/{id}       drop a store
 //	POST   /api/query/neighbors  point lookups against a store
 //	POST   /api/query/khop       k-hop BFS fanned out across the shards
+//	POST   /api/live/ingest      append edge insertions/deletions to the
+//	                             live graph, placed incrementally
+//	GET    /api/live/stats       live-graph counters (?checksum=1 digests
+//	                             the full live edge set)
+//	POST   /api/live/compact     fold the overlay into a fresh base, with
+//	                             an optional bounded rebalance first
+//	POST   /api/live/query/neighbors  point lookups against the live epoch
+//	POST   /api/live/query/khop       k-hop BFS against the live epoch
 //
 // A request supplies either explicit edges or a synthetic-generator spec:
 //
@@ -26,9 +34,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
 
@@ -38,11 +51,12 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request partitioning deadline (0 = none)")
 	maxStores := flag.Int("max-stores", defaultMaxStores, "maximum resident query stores")
 	storeDir := flag.String("store-dir", "", "persist store snapshots here and restore them at startup")
+	liveDir := flag.String("live-dir", "", "root the live graph here (logs + placement state) and reopen it at startup")
 	flag.Parse()
 
-	handler, restoreErrs := newHandlerWithStores(*maxEdges, *timeout, *maxStores, *storeDir)
+	handler, lsvc, restoreErrs := newHandlerWithLive(*maxEdges, *timeout, *maxStores, *storeDir, *liveDir)
 	for _, err := range restoreErrs {
-		log.Printf("dneserve: restoring store snapshot: %v", err)
+		log.Printf("dneserve: restore: %v", err)
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -52,6 +66,27 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+
+	// SIGINT/SIGTERM drain the server, then seal the live graph's logs and
+	// checkpoint its placement state, so a restart with the same -live-dir
+	// resumes exactly (the logs replay to the identical graph).
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("dneserve: shutdown: %v", err)
+		}
+	}()
+
 	log.Printf("dneserve: listening on %s (request timeout %v)", *addr, *timeout)
-	log.Fatal(srv.ListenAndServe())
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		lsvc.close()
+		log.Fatal(err)
+	}
+	if err := lsvc.close(); err != nil {
+		log.Fatalf("dneserve: sealing live graph: %v", err)
+	}
 }

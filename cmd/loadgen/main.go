@@ -11,6 +11,15 @@
 //
 // A method with a lower replication factor routes fewer mirror fetches, so
 // its hops/query column is correspondingly lower for the same workload.
+//
+// With -live, loadgen instead drives a mixed ingest+query workload against
+// the live-graph subsystem (internal/live): a seeded churn stream is
+// ingested incrementally, then the same query mix is measured in three
+// phases — steady state, during a compaction, and during a bounded
+// rebalance — reporting per-phase latency percentiles alongside the
+// migration and ingest rates:
+//
+//	loadgen -live -parts 8 -rmat-scale 14 -rmat-ef 8 -delete-ratio 0.15
 package main
 
 import (
@@ -23,8 +32,10 @@ import (
 	"time"
 
 	"github.com/distributedne/dne/internal/bench"
+	"github.com/distributedne/dne/internal/dynpart"
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/live"
 	"github.com/distributedne/dne/internal/methods"
 	_ "github.com/distributedne/dne/internal/methods/all"
 	"github.com/distributedne/dne/internal/partition"
@@ -48,6 +59,12 @@ func main() {
 	k := flag.Int("k", 2, "traversal depth of k-hop queries")
 	workloadSeed := flag.Int64("workload-seed", 7, "query-selection seed (same seed = identical workload)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+
+	liveMode := flag.Bool("live", false, "drive a mixed ingest+query workload against the live-graph subsystem")
+	churnFactor := flag.Float64("churn-factor", 1.2, "live: stream length as a multiple of |E|")
+	deleteRatio := flag.Float64("delete-ratio", 0.1, "live: fraction of stream events that are deletions")
+	ingestBatch := flag.Int("ingest-batch", 4096, "live: events per ingest batch (one epoch per batch)")
+	rebalanceBudget := flag.Int("rebalance-budget", 10000, "live: migration budget of the rebalance phase")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -56,6 +73,22 @@ func main() {
 	g, err := loadGraph(*graphPath, *rmatScale, *rmatEF, *graphSeed)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
+	}
+	if *liveMode {
+		runLive(ctx, g, liveOptions{
+			parts: *parts, seed: *seed,
+			churnFactor: *churnFactor, deleteRatio: *deleteRatio,
+			cfg: bench.LiveConfig{
+				IngestBatch:     *ingestBatch,
+				Queries:         *queries,
+				Workers:         *workers,
+				KHopRatio:       *khopRatio,
+				KHopK:           *k,
+				Seed:            *workloadSeed,
+				RebalanceBudget: *rebalanceBudget,
+			},
+		})
+		return
 	}
 	fmt.Printf("graph: %v, %d shards, %d queries/method (%.0f%% khop k=%d, workers=%d",
 		g, *parts, *queries, *khopRatio*100, *k, *workers)
@@ -117,6 +150,61 @@ func main() {
 
 func ms(d time.Duration) string {
 	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+// liveOptions bundles the live-mode knobs.
+type liveOptions struct {
+	parts       int
+	seed        int64
+	churnFactor float64
+	deleteRatio float64
+	cfg         bench.LiveConfig
+}
+
+// runLive drives the mixed ingest+query workload of -live and prints the
+// per-phase latency table.
+func runLive(ctx context.Context, g *graph.Graph, opt liveOptions) {
+	nEvents := int(opt.churnFactor * float64(g.NumEdges()))
+	events := dynpart.Churn(g, nEvents, opt.deleteRatio, opt.seed)
+	dir, err := os.MkdirTemp("", "loadgen-live-")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	lv, err := live.Open(dir, live.Config{NumParts: opt.parts, Seed: opt.seed})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	defer lv.Close()
+
+	fmt.Printf("live: %v, %d partitions, %d events (%.0f%% deletes), %d queries/phase (%.0f%% khop k=%d, workers=%d)\n",
+		g, opt.parts, len(events), opt.deleteRatio*100, opt.cfg.Queries,
+		opt.cfg.KHopRatio*100, opt.cfg.KHopK, opt.cfg.Workers)
+
+	rep, err := bench.RunLive(ctx, lv, events, opt.cfg)
+	if err != nil {
+		log.Fatalf("loadgen: live workload: %v", err)
+	}
+
+	table := &bench.Table{Header: []string{
+		"phase", "queries", "qps", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)",
+	}}
+	for _, ph := range []bench.LivePhase{rep.Steady, rep.DuringCompaction, rep.DuringRebalance} {
+		table.Add(ph.Phase, ph.Queries, fmt.Sprintf("%.0f", ph.Throughput),
+			ms(ph.LatencyP50), ms(ph.LatencyP95), ms(ph.LatencyP99), ms(ph.LatencyMax))
+	}
+	table.Print(os.Stdout)
+
+	fmt.Printf("ingest: %d applied in %.2fs (%.0f events/s)\n",
+		rep.Applied, rep.IngestElapsed.Seconds(), rep.EventsPerSec)
+	fmt.Printf("compact: %.2fs; rebalance: %.2fs, %d edges moved, %.0f migrated bytes/s\n",
+		rep.CompactElapsed.Seconds(), rep.RebalanceElapsed.Seconds(), rep.Moved, rep.MigrationBytesPerSec)
+	fmt.Printf("final: %d edges, rf %.3f, edge balance %.3f, %d compactions, epoch %d\n",
+		rep.Stats.NumEdges, rep.Stats.ReplicationFactor, rep.Stats.EdgeBalance,
+		rep.Stats.Compactions, rep.Stats.Epoch)
+	if p99s, p99c := rep.Steady.LatencyP99, rep.DuringCompaction.LatencyP99; p99s > 0 {
+		fmt.Printf("tail cost: compaction p99/steady p99 = %.2fx\n", float64(p99c)/float64(p99s))
+	}
 }
 
 func loadGraph(path string, scale, ef int, seed int64) (*graph.Graph, error) {

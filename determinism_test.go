@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"testing"
 
+	"github.com/distributedne/dne/internal/dynpart"
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/methods"
@@ -125,6 +126,54 @@ func TestSeededPartitioningsGolden(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestDynamicSeededStreamGolden pins the dynamic partitioner to its seeded
+// output: a churn stream applied with interleaved bounded rebalancing must
+// be a pure function of (stream, seed). The second case seeds from a
+// maximally skewed static assignment so the migration path — previously a
+// Go map iteration, now sorted canonical order — does real work (thousands
+// of moves) under the checksum.
+func TestDynamicSeededStreamGolden(t *testing.T) {
+	t.Run("churn", func(t *testing.T) {
+		g := gen.RMAT(10, 8, 7)
+		d, err := dynpart.New(8, dynpart.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := dynpart.Churn(g, 20000, 0.2, 7)
+		for i := 0; i < len(events); i += 1000 {
+			end := min(i+1000, len(events))
+			d.Apply(events[i:end])
+			d.Rebalance(256)
+		}
+		if got := d.Checksum(); got != 0xf39bcedd789c988e {
+			t.Fatalf("seeded churn checksum %#x changed", got)
+		}
+	})
+	t.Run("rebalance", func(t *testing.T) {
+		g := gen.RMAT(10, 8, 7)
+		p := partition.New(8, g.NumEdges())
+		for i := range p.Owner {
+			p.Owner[i] = 0
+		}
+		d, err := dynpart.FromStatic(g, p, dynpart.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := d.Rebalance(4000)
+		d.Apply(dynpart.Churn(g, 10000, 0.3, 7))
+		moved += d.Rebalance(4000)
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if moved == 0 {
+			t.Fatal("rebalance moved nothing; the migration path is not exercised")
+		}
+		if got := d.Checksum(); got != 0xabb74040e0b9b326 {
+			t.Fatalf("seeded rebalance checksum %#x changed (moved %d)", got, moved)
+		}
+	})
 }
 
 // writeCanonicalShards writes g as count canonical EShard stripes into a

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/distributedne/dne/internal/dynpart"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/live"
+)
+
+// LiveConfig describes one mixed ingest+query workload against a live
+// graph: an event stream is ingested in batches, then an identical query
+// mix is measured in three phases — steady state, during a compaction, and
+// during a bounded rebalance — so the tail-latency cost of background
+// maintenance is observable directly.
+type LiveConfig struct {
+	// IngestBatch is the events per Apply call (default 4096). One epoch is
+	// published per batch, so this is also the visibility granularity.
+	IngestBatch int
+	// Queries is the steady-phase query count (default 2000).
+	Queries int
+	// Workers is the number of concurrent query clients (default 4).
+	Workers int
+	// KHopRatio in [0,1] is the fraction of queries that are KHop
+	// traversals; the rest are Neighbors lookups.
+	KHopRatio float64
+	// KHopK is the traversal depth of KHop queries (default 2).
+	KHopK int
+	// Seed drives vertex and query-kind selection.
+	Seed int64
+	// OverlayFraction is the tail fraction of the stream held back and
+	// applied right before the compaction phase, so the compactor has a
+	// real overlay to fold (default 0.25).
+	OverlayFraction float64
+	// RebalanceBudget is the migration budget of the rebalance phase
+	// (default 10000 edges).
+	RebalanceBudget int
+	// SkewDeleteFraction empties partitions 0..P/2-1 by this fraction right
+	// before the rebalance phase (a correlated departure wave), so the
+	// remaining partitions exceed the balance cap and the rebalancer has
+	// real migrations to perform (default 0.5; negative disables).
+	SkewDeleteFraction float64
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 4096
+	}
+	if c.Queries <= 0 {
+		c.Queries = 2000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.KHopK <= 0 {
+		c.KHopK = 2
+	}
+	if c.OverlayFraction <= 0 || c.OverlayFraction >= 1 {
+		c.OverlayFraction = 0.25
+	}
+	if c.RebalanceBudget <= 0 {
+		c.RebalanceBudget = 10000
+	}
+	if c.SkewDeleteFraction == 0 {
+		c.SkewDeleteFraction = 0.5
+	}
+	return c
+}
+
+// LivePhase is the measured query latency of one workload phase.
+type LivePhase struct {
+	Phase      string        `json:"phase"`
+	Queries    int64         `json:"queries"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"qps"`
+	LatencyP50 time.Duration `json:"p50_ns"`
+	LatencyP95 time.Duration `json:"p95_ns"`
+	LatencyP99 time.Duration `json:"p99_ns"`
+	LatencyMax time.Duration `json:"max_ns"`
+}
+
+// LiveReport is the outcome of one live workload run.
+type LiveReport struct {
+	Events        int           `json:"events"`
+	Applied       int           `json:"applied"`
+	IngestElapsed time.Duration `json:"ingest_elapsed_ns"`
+	EventsPerSec  float64       `json:"events_per_sec"`
+	// SkewDeletes is the size of the departure wave injected before the
+	// rebalance phase (see LiveConfig.SkewDeleteFraction).
+	SkewDeletes int `json:"skew_deletes"`
+
+	Steady           LivePhase `json:"steady"`
+	DuringCompaction LivePhase `json:"during_compaction"`
+	DuringRebalance  LivePhase `json:"during_rebalance"`
+
+	CompactElapsed   time.Duration `json:"compact_elapsed_ns"`
+	RebalanceElapsed time.Duration `json:"rebalance_elapsed_ns"`
+
+	Moved                int64   `json:"moved"`
+	MigratedBytes        int64   `json:"migrated_bytes"`
+	MigrationBytesPerSec float64 `json:"migration_bytes_per_sec"`
+
+	Stats live.Stats `json:"stats"`
+}
+
+// RunLive ingests events into lv and measures cfg's query mix in three
+// phases. Queries pin the published epoch per call and never take the
+// writer lock, so the compaction and rebalance phases measure exactly the
+// epoch-pinning promise: maintenance may only cost cache misses, never
+// blocking.
+func RunLive(ctx context.Context, lv *live.Live, events []dynpart.Event, cfg LiveConfig) (*LiveReport, error) {
+	cfg = cfg.withDefaults()
+	if len(events) == 0 {
+		return nil, fmt.Errorf("bench: empty live event stream")
+	}
+	rep := &LiveReport{Events: len(events)}
+
+	// Ingest the head of the stream; the tail becomes the compaction
+	// phase's overlay debt.
+	head := int(float64(len(events)) * (1 - cfg.OverlayFraction))
+	ingestStart := time.Now()
+	n, err := applyBatches(lv, events[:head], cfg.IngestBatch)
+	if err != nil {
+		return nil, err
+	}
+	rep.Applied += n
+	rep.IngestElapsed = time.Since(ingestStart)
+	if s := rep.IngestElapsed.Seconds(); s > 0 {
+		rep.EventsPerSec = float64(head) / s
+	}
+
+	// Steady state: no maintenance in flight.
+	rep.Steady, err = runLivePhase(ctx, lv, "steady", cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Apply the held-back tail so the overlay is non-trivial, then measure
+	// queries racing the compactor.
+	if n, err = applyBatches(lv, events[head:], cfg.IngestBatch); err != nil {
+		return nil, err
+	}
+	rep.Applied += n
+	var maintErr error
+	rep.DuringCompaction, err = runLivePhase(ctx, lv, "during-compaction", cfg, func() {
+		start := time.Now()
+		maintErr = lv.Compact()
+		rep.CompactElapsed = time.Since(start)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if maintErr != nil {
+		return nil, fmt.Errorf("bench: compaction under load: %w", maintErr)
+	}
+
+	// A correlated departure wave (deterministic: the low prefix of each
+	// low partition's sorted live edge list) unbalances the graph so the
+	// rebalance phase performs real migrations — pure greedy insert streams
+	// self-balance and would give the rebalancer nothing to do.
+	if f := cfg.SkewDeleteFraction; f > 0 {
+		ep := lv.Epoch()
+		var wave []dynpart.Event
+		for s := 0; s < ep.NumShards()/2; s++ {
+			packed := ep.ShardEdgesPacked(s)
+			for _, k := range packed[:int(f*float64(len(packed)))] {
+				wave = append(wave, dynpart.Event{Op: dynpart.Remove, Edge: graph.UnpackEdge(k)})
+			}
+		}
+		rep.SkewDeletes = len(wave)
+		if _, err := applyBatches(lv, wave, cfg.IngestBatch); err != nil {
+			return nil, err
+		}
+	}
+
+	// Queries racing the rebalancer.
+	statsBefore := lv.Stats()
+	rep.DuringRebalance, err = runLivePhase(ctx, lv, "during-rebalance", cfg, func() {
+		start := time.Now()
+		_, maintErr = lv.Rebalance(cfg.RebalanceBudget)
+		rep.RebalanceElapsed = time.Since(start)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if maintErr != nil {
+		return nil, fmt.Errorf("bench: rebalance under load: %w", maintErr)
+	}
+
+	rep.Stats = lv.Stats()
+	rep.Moved = rep.Stats.Moved - statsBefore.Moved
+	rep.MigratedBytes = rep.Stats.MigratedBytes - statsBefore.MigratedBytes
+	if s := rep.RebalanceElapsed.Seconds(); s > 0 {
+		rep.MigrationBytesPerSec = float64(rep.MigratedBytes) / s
+	}
+	return rep, nil
+}
+
+// applyBatches feeds events to lv in batches and returns how many changed
+// state.
+func applyBatches(lv *live.Live, events []dynpart.Event, batch int) (int, error) {
+	applied := 0
+	for off := 0; off < len(events); off += batch {
+		end := min(off+batch, len(events))
+		n, err := lv.Apply(events[off:end])
+		if err != nil {
+			return applied, err
+		}
+		applied += n
+	}
+	return applied, nil
+}
+
+// runLivePhase measures one phase of the query mix. With maintenance nil it
+// issues exactly cfg.Queries queries (closed loop); otherwise the workers
+// run while maintenance executes on the calling goroutine, and the phase
+// reports every query that completed inside that window (at least
+// cfg.Queries/4, so a fast maintenance pass still yields a sample).
+func runLivePhase(ctx context.Context, lv *live.Live, name string, cfg LiveConfig, maintenance func()) (LivePhase, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numV := lv.Epoch().NumVertices()
+	if numV == 0 {
+		return LivePhase{}, fmt.Errorf("bench: live graph is empty")
+	}
+	type query struct {
+		v    graph.Vertex
+		khop bool
+	}
+	// Pre-generate a fixed pool so every phase issues the same mix.
+	pool := make([]query, cfg.Queries)
+	for i := range pool {
+		pool[i] = query{
+			v:    graph.Vertex(rng.Intn(int(numV))),
+			khop: rng.Float64() < cfg.KHopRatio,
+		}
+	}
+
+	var next atomic.Int64
+	var stop atomic.Bool
+	var firstErr atomic.Value
+	minQueries := int64(cfg.Queries)
+	if maintenance != nil {
+		minQueries = int64(cfg.Queries) / 4
+	}
+	latCh := make(chan []time.Duration, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []time.Duration
+			defer func() { latCh <- lats }()
+			for {
+				i := next.Add(1) - 1
+				// Duration-bound phases cycle the pool until stopped;
+				// count-bound phases end with it.
+				if maintenance == nil && i >= int64(cfg.Queries) {
+					return
+				}
+				if (stop.Load() && i >= minQueries) || firstErr.Load() != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				q := pool[i%int64(cfg.Queries)]
+				ep := lv.Epoch()
+				qStart := time.Now()
+				var err error
+				if q.khop {
+					_, err = ep.KHop(ctx, q.v, cfg.KHopK)
+				} else {
+					_, err = ep.Neighbors(q.v)
+				}
+				lats = append(lats, time.Since(qStart))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	if maintenance != nil {
+		maintenance()
+		stop.Store(true)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(latCh)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return LivePhase{}, err
+	}
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ph := LivePhase{Phase: name, Queries: int64(len(all)), Elapsed: elapsed}
+	if len(all) == 0 {
+		return ph, nil
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		ph.Throughput = float64(len(all)) / s
+	}
+	ph.LatencyP50 = percentile(all, 0.50)
+	ph.LatencyP95 = percentile(all, 0.95)
+	ph.LatencyP99 = percentile(all, 0.99)
+	ph.LatencyMax = all[len(all)-1]
+	return ph, nil
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/distributedne/dne/internal/dynpart"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/live"
+)
+
+func TestRunLivePhases(t *testing.T) {
+	g := gen.RMAT(10, 8, 3)
+	edges := g.Edges()
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	events := make([]dynpart.Event, len(edges))
+	for i, e := range edges {
+		events[i] = dynpart.Event{Op: dynpart.Add, Edge: e}
+	}
+
+	lv, err := live.Open(t.TempDir(), live.Config{NumParts: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+
+	rep, err := RunLive(context.Background(), lv, events, LiveConfig{
+		Queries: 400, Workers: 4, KHopRatio: 0.3, KHopK: 2, Seed: 11,
+		RebalanceBudget: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied == 0 || rep.Applied > len(events) {
+		t.Fatalf("applied %d of %d events", rep.Applied, len(events))
+	}
+	if rep.SkewDeletes == 0 {
+		t.Fatal("no departure wave injected before the rebalance phase")
+	}
+	if want := int64(rep.Applied - rep.SkewDeletes); rep.Stats.NumEdges != want {
+		t.Fatalf("stats hold %d edges, want %d (applied %d minus %d wave deletes)",
+			rep.Stats.NumEdges, want, rep.Applied, rep.SkewDeletes)
+	}
+	if rep.Stats.Moved == 0 || rep.MigratedBytes == 0 {
+		t.Fatalf("rebalance phase migrated nothing: moved %d, bytes %d", rep.Stats.Moved, rep.MigratedBytes)
+	}
+	for _, ph := range []LivePhase{rep.Steady, rep.DuringCompaction, rep.DuringRebalance} {
+		if ph.Queries == 0 {
+			t.Fatalf("phase %q measured no queries", ph.Phase)
+		}
+		if ph.LatencyP99 < ph.LatencyP50 {
+			t.Fatalf("phase %q: p99 %v < p50 %v", ph.Phase, ph.LatencyP99, ph.LatencyP50)
+		}
+	}
+	if rep.Steady.Queries != 400 {
+		t.Fatalf("steady phase ran %d queries, want 400", rep.Steady.Queries)
+	}
+	if rep.Stats.Compactions == 0 {
+		t.Fatal("compaction phase did not compact")
+	}
+	if rep.CompactElapsed <= 0 {
+		t.Fatal("no compaction wall time recorded")
+	}
+}

@@ -17,8 +17,10 @@
 package dynpart
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/partition"
@@ -273,6 +275,10 @@ func (d *Partitioner) dropIncidence(v graph.Vertex, q int32) {
 // of edges moved. Leopard performs the analogous bounded re-examination on
 // every update; batching it keeps the per-update cost O(score) and lets
 // callers amortise.
+//
+// The pass is deterministic: overloaded partitions are visited in id order
+// and each partition's edges in canonical (sorted packed) order, so a
+// rebalanced partitioner stays a pure function of its update history.
 func (d *Partitioner) Rebalance(budget int) int {
 	cap := d.capEdges(0)
 	moved := 0
@@ -280,12 +286,18 @@ func (d *Partitioner) Rebalance(budget int) int {
 		if d.sizes[q] <= cap {
 			continue
 		}
-		// Collect this partition's edges lazily (owner map scan); fine for
-		// the batch setting.
+		keys := make([]uint64, 0, d.sizes[q])
 		for e, o := range d.owner {
-			if o != q || d.sizes[q] <= cap || moved >= budget {
-				continue
+			if o == q {
+				keys = append(keys, graph.PackEdge(e.U, e.V))
 			}
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			if d.sizes[q] <= cap || moved >= budget {
+				break
+			}
+			e := graph.UnpackEdge(k)
 			target := d.bestTarget(e, q)
 			if target < 0 {
 				continue
@@ -369,13 +381,42 @@ func (d *Partitioner) Snapshot(g *graph.Graph) (*partition.Partitioning, error) 
 	return pt, nil
 }
 
-// Edges returns the live edge set in unspecified order.
+// Edges returns the live edge set in canonical (sorted packed) order, so
+// downstream consumers — snapshot graphs, checksums — are deterministic.
 func (d *Partitioner) Edges() []graph.Edge {
-	out := make([]graph.Edge, 0, len(d.owner))
+	keys := make([]uint64, 0, len(d.owner))
 	for e := range d.owner {
-		out = append(out, e)
+		keys = append(keys, graph.PackEdge(e.U, e.V))
+	}
+	slices.Sort(keys)
+	out := make([]graph.Edge, len(keys))
+	for i, k := range keys {
+		out[i] = graph.UnpackEdge(k)
 	}
 	return out
+}
+
+// Checksum returns an FNV-64a digest of the full live state — every
+// canonical edge with its owner, in sorted order — the currency for
+// bit-identity assertions on seeded runs.
+func (d *Partitioner) Checksum() uint64 {
+	keys := make([]uint64, 0, len(d.owner))
+	for e := range d.owner {
+		keys = append(keys, graph.PackEdge(e.U, e.V))
+	}
+	slices.Sort(keys)
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	var b [12]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(b[:8], k)
+		binary.LittleEndian.PutUint32(b[8:], uint32(d.owner[graph.UnpackEdge(k)]))
+		for _, x := range b {
+			h ^= uint64(x)
+			h *= prime64
+		}
+	}
+	return h
 }
 
 // CheckInvariants verifies internal consistency (sizes match the owner map,

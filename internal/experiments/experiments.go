@@ -577,6 +577,7 @@ var All = []struct {
 	{"table6", "road networks (non-skewed)", Table6},
 	{"perf", "tracked perf snapshot of the expansion partitioners (BENCH_dne.json)", Perf},
 	{"stream", "source-based input: stream vs materialized memory, bit-identity", ExtStream},
+	{"live", "live graph: phased query mix, RF drift, migration rate (BENCH_live.json)", ExtLive},
 	{"extdyn", "§8 extension: dynamic-graph incremental maintenance", ExtDynamic},
 	{"exthyper", "§8 extension: hypergraph partitioning", ExtHyper},
 	{"extpl", "§6 premise: power-law fits of the stand-ins", ExtPowerLaw},

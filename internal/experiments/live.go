@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/distributedne/dne/internal/bench"
+	"github.com/distributedne/dne/internal/dynpart"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/live"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// LivePhaseRecord is one phase's latency measurement in the live snapshot.
+type LivePhaseRecord struct {
+	Phase   string  `json:"phase"`
+	Queries int64   `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+}
+
+// LiveSnapshot is the BENCH_live.json document: the live-graph subsystem
+// driven by a seeded ~1M-edge RMAT churn stream, reporting the quality and
+// tail-latency contracts the subsystem declares — RF drift vs batch
+// re-partitioning the same final graph, migration throughput of the
+// bounded rebalancer, and query percentiles while compaction and
+// rebalancing run underneath the readers.
+type LiveSnapshot struct {
+	Graph    string `json:"graph"`
+	Vertices uint32 `json:"vertices"`
+	Parts    int    `json:"parts"`
+	Seed     int64  `json:"seed"`
+
+	Events           int     `json:"events"`
+	Applied          int     `json:"applied"`
+	FinalEdges       int64   `json:"final_edges"`
+	IngestEventsSec  float64 `json:"ingest_events_per_sec"`
+	Compactions      int64   `json:"compactions"`
+	CompactMS        float64 `json:"compact_ms"`
+	RebalanceMS      float64 `json:"rebalance_ms"`
+	Moved            int64   `json:"moved"`
+	MigratedBytes    int64   `json:"migrated_bytes"`
+	MigrationBytesPS float64 `json:"migration_bytes_per_sec"`
+
+	LiveRF  float64 `json:"live_rf"`
+	BatchRF float64 `json:"batch_rf"`
+	RFDrift float64 `json:"rf_drift"`
+
+	Phases []LivePhaseRecord `json:"phases"`
+	// CompactP99OverSteady is the acceptance headline: queries served while
+	// the compactor runs must hold p99 within 2x of steady state.
+	CompactP99OverSteady float64 `json:"compact_p99_over_steady"`
+
+	Checksum string `json:"checksum"`
+}
+
+// ExtLive runs the live-graph benchmark: ingest a seeded churn stream
+// incrementally, measure the query mix in steady/compaction/rebalance
+// phases, then batch re-partition the identical final graph with HDRF to
+// price the incremental placement. When o.JSONPath is set the snapshot is
+// written there (the checked-in baseline is regenerated with
+// `go run ./cmd/expbench -exp live -json BENCH_live.json`).
+func ExtLive(o Options) error {
+	scale := 16 + o.Shift
+	parts := 8
+	queries := 4000
+	if o.Quick {
+		scale = 11 + o.Shift
+		queries = 400
+	}
+	const edgeFactor = 16
+	g := gen.RMAT(scale, edgeFactor, o.Seed)
+	events := dynpart.Churn(g, int(1.2*float64(g.NumEdges())), 0.1, o.Seed)
+
+	dir, err := os.MkdirTemp("", "expbench-live-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	lv, err := live.Open(dir, live.Config{NumParts: parts, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	defer lv.Close()
+
+	fmt.Fprintf(o.out(), "Live graph — churn ingest + phased query mix (RMAT s%d e%d, |E|=%d, %d partitions)\n\n",
+		scale, edgeFactor, g.NumEdges(), parts)
+	rep, err := bench.RunLive(o.ctx(), lv, events, bench.LiveConfig{
+		Queries:         queries,
+		Workers:         8,
+		KHopRatio:       0.3,
+		KHopK:           2,
+		Seed:            o.Seed,
+		RebalanceBudget: 20000,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Price the incremental placement: batch re-partition the identical
+	// final live graph with HDRF (the streaming quality reference) and
+	// compare covered-vertex replication factors.
+	ep := lv.Epoch()
+	var finalEdges []graph.Edge
+	for s := 0; s < ep.NumShards(); s++ {
+		for _, k := range ep.ShardEdgesPacked(s) {
+			finalEdges = append(finalEdges, graph.UnpackEdge(k))
+		}
+	}
+	fg := graph.FromEdges(0, finalEdges)
+	res, err := method("hdrf").Partition(o.ctx(), fg, partition.NewSpec(parts, o.Seed))
+	if err != nil {
+		return fmt.Errorf("live: batch hdrf reference: %w", err)
+	}
+	covered := res.Quality.Replicas - res.Quality.VertexCuts
+	batchRF := float64(res.Quality.Replicas) / float64(covered)
+	liveRF := rep.Stats.ReplicationFactor
+
+	snap := LiveSnapshot{
+		Graph:            fmt.Sprintf("rmat-s%d-e%d", scale, edgeFactor),
+		Vertices:         g.NumVertices(),
+		Parts:            parts,
+		Seed:             o.Seed,
+		Events:           rep.Events,
+		Applied:          rep.Applied,
+		FinalEdges:       rep.Stats.NumEdges,
+		IngestEventsSec:  rep.EventsPerSec,
+		Compactions:      rep.Stats.Compactions,
+		CompactMS:        durMS(rep.CompactElapsed),
+		RebalanceMS:      durMS(rep.RebalanceElapsed),
+		Moved:            rep.Stats.Moved,
+		MigratedBytes:    rep.Stats.MigratedBytes,
+		MigrationBytesPS: rep.MigrationBytesPerSec,
+		LiveRF:           liveRF,
+		BatchRF:          batchRF,
+		RFDrift:          liveRF / batchRF,
+		Checksum:         fmt.Sprintf("%#x", lv.Checksum()),
+	}
+	for _, ph := range []bench.LivePhase{rep.Steady, rep.DuringCompaction, rep.DuringRebalance} {
+		snap.Phases = append(snap.Phases, LivePhaseRecord{
+			Phase:   ph.Phase,
+			Queries: ph.Queries,
+			QPS:     ph.Throughput,
+			P50MS:   durMS(ph.LatencyP50),
+			P95MS:   durMS(ph.LatencyP95),
+			P99MS:   durMS(ph.LatencyP99),
+		})
+	}
+	if p99s := rep.Steady.LatencyP99; p99s > 0 {
+		snap.CompactP99OverSteady = float64(rep.DuringCompaction.LatencyP99) / float64(p99s)
+	}
+
+	tbl := &bench.Table{Header: []string{"phase", "queries", "qps", "p50(ms)", "p95(ms)", "p99(ms)"}}
+	for _, ph := range snap.Phases {
+		tbl.Add(ph.Phase, ph.Queries, fmt.Sprintf("%.0f", ph.QPS),
+			fmt.Sprintf("%.3f", ph.P50MS), fmt.Sprintf("%.3f", ph.P95MS), fmt.Sprintf("%.3f", ph.P99MS))
+	}
+	tbl.Print(o.out())
+	fmt.Fprintf(o.out(), "\ningest: %d/%d applied, %.0f events/s; final %d edges, checksum %s\n",
+		snap.Applied, snap.Events, snap.IngestEventsSec, snap.FinalEdges, snap.Checksum)
+	fmt.Fprintf(o.out(), "rf: live %.3f vs batch hdrf %.3f (drift %.3fx)\n", snap.LiveRF, snap.BatchRF, snap.RFDrift)
+	fmt.Fprintf(o.out(), "maintenance: %d compactions (%.0f ms), rebalance %.0f ms moved %d edges (%.0f bytes/s)\n",
+		snap.Compactions, snap.CompactMS, snap.RebalanceMS, snap.Moved, snap.MigrationBytesPS)
+	fmt.Fprintf(o.out(), "tail cost: compaction p99 / steady p99 = %.2fx\n", snap.CompactP99OverSteady)
+
+	if o.JSONPath != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(o.JSONPath, buf, 0o644); err != nil {
+			return fmt.Errorf("live: write snapshot: %w", err)
+		}
+		fmt.Fprintf(o.out(), "wrote %s\n", o.JSONPath)
+	}
+	return nil
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 	"slices"
 	"sort"
 
@@ -104,6 +105,8 @@ type ShardWriter struct {
 	inBuf int // edges currently buffered
 	total uint64
 	err   error
+	info  ShardInfo
+	f     *os.File // owned file (CreateShardFile / OpenShardAppend); closed by Close
 }
 
 // NewShardWriter writes the EShard header for info and returns a writer.
@@ -113,7 +116,7 @@ func NewShardWriter(w io.Writer, info ShardInfo) (*ShardWriter, error) {
 	if err := info.validate(); err != nil {
 		return nil, err
 	}
-	sw := &ShardWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, shardChunkEdges*8)}
+	sw := &ShardWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, shardChunkEdges*8), info: info}
 	var hdr [28]byte
 	binary.LittleEndian.PutUint32(hdr[0:], shardMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], shardVersion)
@@ -169,23 +172,109 @@ func (sw *ShardWriter) flushChunk() error {
 	return nil
 }
 
-// NumWritten returns the number of edges appended so far.
+// NumWritten returns the number of edges appended so far (for a reopened
+// writer, the edges already in the file included).
 func (sw *ShardWriter) NumWritten() uint64 { return sw.total }
 
-// Close flushes the final chunk and writes the terminator and footer. The
-// writer is unusable afterwards.
+// Info returns the shard placement the writer was created or reopened with.
+func (sw *ShardWriter) Info() ShardInfo { return sw.info }
+
+// Close flushes the final chunk and writes the terminator and footer. For
+// writers that own their file (CreateShardFile, OpenShardAppend) the file is
+// also closed. The writer is unusable afterwards.
 func (sw *ShardWriter) Close() error {
 	if err := sw.flushChunk(); err != nil {
+		sw.closeFile()
 		return err
 	}
 	var tail [12]byte // zero chunk count + uint64 footer
 	binary.LittleEndian.PutUint64(tail[4:], sw.total)
 	if _, err := sw.bw.Write(tail[:]); err != nil {
 		sw.err = err
+		sw.closeFile()
 		return err
 	}
 	sw.err = fmt.Errorf("graph: shard writer closed")
-	return sw.bw.Flush()
+	if err := sw.bw.Flush(); err != nil {
+		sw.closeFile()
+		return err
+	}
+	return sw.closeFile()
+}
+
+func (sw *ShardWriter) closeFile() error {
+	if sw.f == nil {
+		return nil
+	}
+	f := sw.f
+	sw.f = nil
+	return f.Close()
+}
+
+// CreateShardFile creates (or truncates) path and returns a writer that owns
+// the file: Close writes the terminator and footer and closes it.
+func CreateShardFile(path string, info ShardInfo) (*ShardWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := NewShardWriter(f, info)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sw.f = f
+	return sw, nil
+}
+
+// OpenShardAppend reopens an existing EShard file for appending: the frame
+// structure is validated end to end exactly as a reader would (bounded chunk
+// lengths, footer matching the summed chunk counts, nothing after the
+// terminator — a truncated or tampered file errors instead of being extended),
+// the 12-byte terminator+footer tail is cut off, and subsequent Appends
+// continue the chunk sequence where the file left off. Close rewrites the
+// terminator and footer with the new total. The header's declared edge count
+// is rewritten to the streaming-unknown sentinel up front, so even a crash
+// between open and close leaves a file whose header never contradicts its
+// contents (readers detect the missing terminator instead).
+func OpenShardAppend(path string) (*ShardWriter, error) {
+	info, total, err := peekShardFile(path, true)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Header count -> unknown sentinel: the authoritative count lives in the
+	// footer from now on.
+	var sentinel [8]byte
+	binary.LittleEndian.PutUint64(sentinel[:], unknownEdgeCount)
+	if _, err := f.WriteAt(sentinel[:], 20); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("graph: rewriting shard header count: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(st.Size() - 12); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("graph: truncating shard tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	info.NumEdges = unknownEdgeCount
+	return &ShardWriter{
+		bw:    bufio.NewWriter(f),
+		buf:   make([]byte, 0, shardChunkEdges*8),
+		total: total,
+		info:  info,
+		f:     f,
+	}, nil
 }
 
 // ShardReader streams an EShard file chunk by chunk. The header is treated

@@ -1,0 +1,83 @@
+package live
+
+import (
+	"context"
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/methods"
+	_ "github.com/distributedne/dne/internal/methods/all"
+	"github.com/distributedne/dne/internal/partition"
+)
+
+// rfDriftBound is the declared quality contract of incremental placement:
+// on a seeded RMAT arrival stream the live replication factor stays within
+// this factor of batch HDRF re-partitioning the same prefix. Measured
+// headroom is ~1.07–1.08× across seeds and prefixes; the bound leaves
+// slack for generator drift without ever letting incremental quality decay
+// to "just re-partition everything" territory.
+const rfDriftBound = 1.25
+
+// batchCoveredRF is replicas per covered vertex — comparable with the live
+// metric, which only ever sees vertices that have an edge (batch Quality
+// divides by total |V|, isolated vertices included).
+func batchCoveredRF(q partition.Quality) float64 {
+	covered := q.Replicas - q.VertexCuts
+	return float64(q.Replicas) / float64(covered)
+}
+
+// TestLiveRFDriftWithinBound is the quality property test (the
+// TestStreamingMemoryBudget pattern applied to quality): at several
+// prefixes of seeded RMAT arrival streams, incremental live placement must
+// hold its replication factor within rfDriftBound of a full batch HDRF
+// re-partition of the same prefix.
+func TestLiveRFDriftWithinBound(t *testing.T) {
+	seeds := []int64{3, 7, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		g := gen.RMAT(13, 8, seed)
+		events := arrivalStream(g, seed)
+		l, err := Open(t.TempDir(), Config{NumParts: 8, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := 0
+		for _, frac := range []float64{0.25, 0.5, 1.0} {
+			n := int(float64(len(events)) * frac)
+			for applied < n {
+				b := min(applied+4096, n)
+				if _, err := l.Apply(events[applied:b]); err != nil {
+					t.Fatal(err)
+				}
+				applied = b
+			}
+			liveRF := l.State().ReplicationFactor()
+
+			prefix := make([]graph.Edge, n)
+			for i := range prefix {
+				prefix[i] = events[i].Edge
+			}
+			pg := graph.FromEdges(0, prefix)
+			pr, spec, err := methods.New("hdrf", partition.Spec{NumParts: 8, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pr.Partition(context.Background(), pg, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchRF := batchCoveredRF(res.Quality)
+			ratio := liveRF / batchRF
+			t.Logf("seed %d prefix %.0f%%: live RF %.3f, batch HDRF RF %.3f, drift %.3fx",
+				seed, frac*100, liveRF, batchRF, ratio)
+			if ratio > rfDriftBound {
+				t.Fatalf("seed %d prefix %.0f%%: live RF %.3f drifts %.3fx past batch HDRF %.3f (bound %.2fx)",
+					seed, frac*100, liveRF, ratio, batchRF, rfDriftBound)
+			}
+		}
+		l.Close()
+	}
+}

@@ -1,0 +1,609 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"github.com/distributedne/dne/internal/dynpart"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/store"
+)
+
+// logNumVertices is the vertex bound declared by the per-partition logs:
+// the live vertex universe grows with the stream, so logs are unbounded.
+const logNumVertices = ^uint32(0)
+
+// defaultMinOverlay is the smallest auto-compaction threshold: the overlay
+// may always grow to this many mutations before a compaction triggers.
+const defaultMinOverlay = 1 << 16
+
+// Live is the dynamic-graph subsystem rooted in one directory:
+//
+//	state.dls       placement state (DLS1), written on checkpoints
+//	part-NNNN.esh   per-partition append-only insertion log (EShard)
+//	dead-NNNN.esh   per-partition append-only tombstone log (EShard)
+//
+// Mutations (Apply, Rebalance, Compact) serialize on one mutex; queries
+// never take it — they pin the current Epoch with one atomic load and run
+// against that immutable snapshot, so readers never block and never
+// observe a partial batch.
+type Live struct {
+	dir string
+
+	mu      sync.Mutex
+	st      *State
+	base    *store.Store
+	pending *store.Delta // writer-side overlay vs base (shares maps with view)
+	view    *store.Epoch // writer-side view (base, pending); mu-guarded
+	adds    []*graph.ShardWriter
+	dead    []*graph.ShardWriter
+	seq     uint64
+	ncomp   int64 // compactions performed
+	closed  bool
+
+	epoch atomic.Pointer[store.Epoch] // published snapshot; readers load and go
+}
+
+// MaxOverlay returns the overlay mutation count that triggers an automatic
+// compaction at the end of an Apply batch: an eighth of the base (so
+// compaction work amortizes geometrically), floored at defaultMinOverlay.
+func (l *Live) maxOverlay() int64 {
+	return max(defaultMinOverlay, l.base.NumEdges()/8)
+}
+
+// Open opens (or creates) a live graph in dir. If placement state was
+// saved, cfg must agree with it on NumParts (zero NumParts adopts the
+// saved config); without a state file the logs alone rebuild the state, so
+// a crash between checkpoints loses no durable mutation.
+func Open(dir string, cfg Config) (*Live, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var st *State
+	statePath := filepath.Join(dir, "state.dls")
+	if f, err := os.Open(statePath); err == nil {
+		st, err = func() (*State, error) { defer f.Close(); return ReadState(f) }()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.NumParts != 0 && cfg.NumParts != st.cfg.NumParts {
+			return nil, fmt.Errorf("live: state holds %d partitions, config asks %d", st.cfg.NumParts, cfg.NumParts)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	} else {
+		if cfg.NumParts == 0 {
+			// No checkpoint and no requested count: the logs themselves
+			// carry it (each log's shard header declares Count).
+			if n, err := countLogs(dir); err != nil {
+				return nil, err
+			} else if n > 0 {
+				cfg.NumParts = n
+			}
+		}
+		if st, err = NewState(cfg); err != nil {
+			return nil, err
+		}
+	}
+	numParts := st.cfg.NumParts
+
+	// Replay the logs: per partition, live edges are insertions minus
+	// tombstones (counts alternate 1/0 per edge — an edge is tombstoned
+	// only while live, re-inserted only while dead).
+	packed := make([][]uint64, numParts)
+	var maxV graph.Vertex
+	for q := 0; q < numParts; q++ {
+		counts := make(map[uint64]int64)
+		if err := replayLog(logPath(dir, "part", q), func(k uint64) { counts[k]++ }); err != nil {
+			return nil, err
+		}
+		if err := replayLog(logPath(dir, "dead", q), func(k uint64) { counts[k]-- }); err != nil {
+			return nil, err
+		}
+		for k, c := range counts {
+			if c == 1 {
+				packed[q] = append(packed[q], k)
+			} else if c != 0 {
+				return nil, fmt.Errorf("live: partition %d log count %d for edge %#x (want 0 or 1)", q, c, k)
+			}
+		}
+		slices.Sort(packed[q])
+		if n := len(packed[q]); n > 0 {
+			if v := graph.Vertex(packed[q][n-1]); v >= maxV {
+				maxV = v + 1
+			}
+		}
+	}
+
+	if st.events == 0 && st.numEdges == 0 {
+		// No saved state (or a fresh directory): rebuild the slabs from the
+		// replayed live edge set. Placement history (events, moved) is
+		// unknowable from logs alone and restarts at zero.
+		for q, ks := range packed {
+			for _, k := range ks {
+				e := graph.UnpackEdge(k)
+				st.grow(max(e.U, e.V))
+				st.addIncidence(e.U, int32(q))
+				st.addIncidence(e.V, int32(q))
+				st.sizes[q]++
+				st.numEdges++
+			}
+		}
+	} else {
+		// Saved state must agree with the logs exactly; a divergence means
+		// the directory mixes runs (or a log was truncated behind the
+		// checkpoint) and resuming would corrupt placement.
+		var total int64
+		for q := range packed {
+			n := int64(len(packed[q]))
+			if st.sizes[q] != n {
+				return nil, fmt.Errorf("live: state says partition %d holds %d edges, logs replay %d", q, st.sizes[q], n)
+			}
+			total += n
+		}
+		if st.numEdges != total {
+			return nil, fmt.Errorf("live: state holds %d edges, logs replay %d", st.numEdges, total)
+		}
+	}
+	if n := uint32(len(st.deg)); n > uint32(maxV) {
+		maxV = graph.Vertex(n)
+	}
+	if maxV == 0 {
+		maxV = 1 // BuildFromShards wants a nonempty universe even when idle
+	}
+
+	base, err := store.BuildFromShards(uint32(maxV), packed)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{
+		dir:     dir,
+		st:      st,
+		base:    base,
+		pending: store.NewDelta(numParts),
+	}
+	l.view = store.NewEpoch(base, l.pending, 0)
+	if l.adds, err = openLogs(dir, "part", numParts); err != nil {
+		return nil, err
+	}
+	if l.dead, err = openLogs(dir, "dead", numParts); err != nil {
+		l.closeLogs()
+		return nil, err
+	}
+	l.publishLocked()
+	return l, nil
+}
+
+func logPath(dir, kind string, q int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%04d.esh", kind, q))
+}
+
+// countLogs counts contiguous part-NNNN.esh logs from 0 — the partition
+// count of a directory whose checkpoint is missing (0 if no logs).
+func countLogs(dir string) (int, error) {
+	n := 0
+	for ; n < maxParts; n++ {
+		if _, err := os.Stat(logPath(dir, "part", n)); os.IsNotExist(err) {
+			break
+		} else if err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// replayLog streams every packed edge of an EShard log into fn; a missing
+// file is an empty log.
+func replayLog(path string, fn func(k uint64)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sr, err := graph.NewShardReader(f)
+	if err != nil {
+		return fmt.Errorf("live: %s: %w", path, err)
+	}
+	for {
+		chunk, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("live: %s: %w", path, err)
+		}
+		for _, k := range chunk {
+			fn(k)
+		}
+	}
+}
+
+// openLogs opens every per-partition log of one kind for appending,
+// creating missing ones.
+func openLogs(dir, kind string, numParts int) ([]*graph.ShardWriter, error) {
+	out := make([]*graph.ShardWriter, numParts)
+	for q := range out {
+		path := logPath(dir, kind, q)
+		sw, err := graph.OpenShardAppend(path)
+		if os.IsNotExist(err) {
+			sw, err = graph.CreateShardFile(path, graph.ShardInfo{
+				NumVertices: logNumVertices, Index: uint32(q), Count: uint32(numParts),
+			})
+		}
+		if err != nil {
+			for _, o := range out[:q] {
+				if o != nil {
+					o.Close()
+				}
+			}
+			return nil, fmt.Errorf("live: opening %s: %w", path, err)
+		}
+		out[q] = sw
+	}
+	return out, nil
+}
+
+func (l *Live) closeLogs() {
+	for _, ws := range [2][]*graph.ShardWriter{l.adds, l.dead} {
+		for _, w := range ws {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+}
+
+// publishLocked freezes the pending overlay into the next epoch. Callers
+// hold mu.
+func (l *Live) publishLocked() {
+	l.seq++
+	var frozen *store.Delta
+	if l.pending.AddedEdges() != 0 || l.pending.DeletedEdges() != 0 {
+		frozen = l.pending.Clone()
+	}
+	l.epoch.Store(store.NewEpoch(l.base, frozen, l.seq))
+}
+
+// Epoch returns the current published snapshot. Queries run entirely
+// against it — the pointer is immutable, so a long traversal keeps its
+// epoch while writers publish new ones.
+func (l *Live) Epoch() *store.Epoch { return l.epoch.Load() }
+
+// State returns the placement state for inspection. Mutating it outside
+// the Live methods corrupts the subsystem.
+func (l *Live) State() *State { return l.st }
+
+// ownerLocked resolves the partition holding live edge (u,v), −1 when the
+// edge is absent. The scan runs from the lower-degree endpoint, so lookup
+// cost is O(P + min-degree), not hub-degree.
+func (l *Live) ownerLocked(u, v graph.Vertex) int32 {
+	a, b := u, v
+	if l.st.Degree(b) < l.st.Degree(a) {
+		a, b = b, a
+	}
+	if l.st.Degree(a) == 0 {
+		return -1
+	}
+	owner := int32(-1)
+	l.st.EachReplica(a, func(q int) {
+		if owner < 0 && l.view.ShardHasEdge(q, a, b) {
+			owner = int32(q)
+		}
+	})
+	return owner
+}
+
+// Apply ingests a batch of events in order and returns how many changed
+// state (duplicate insertions, self loops and deletions of absent edges
+// don't count). One epoch is published per batch, so batching amortizes
+// the overlay freeze; when the overlay outgrows maxOverlay the batch ends
+// with an automatic compaction.
+func (l *Live) Apply(events []dynpart.Event) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("live: closed")
+	}
+	changed := 0
+	for _, ev := range events {
+		c := ev.Edge.Canon()
+		switch ev.Op {
+		case dynpart.Add:
+			if c.U == c.V {
+				continue
+			}
+			if l.ownerLocked(c.U, c.V) >= 0 {
+				continue
+			}
+			q := l.st.Place(c.U, c.V)
+			k := graph.PackEdge(c.U, c.V)
+			if err := l.adds[q].AppendPacked(k); err != nil {
+				return changed, err
+			}
+			l.st.ApplyInsert(c.U, c.V, q)
+			l.pending.AddEdge(int(q), c.U, c.V)
+			changed++
+		case dynpart.Remove:
+			q := l.ownerLocked(c.U, c.V)
+			if q < 0 {
+				continue
+			}
+			k := graph.PackEdge(c.U, c.V)
+			if err := l.dead[q].AppendPacked(k); err != nil {
+				return changed, err
+			}
+			l.st.ApplyDelete(c.U, c.V, q)
+			if !l.pending.RemoveAdd(int(q), c.U, c.V) {
+				l.pending.DelEdge(int(q), c.U, c.V)
+			}
+			changed++
+		default:
+			return changed, fmt.Errorf("live: unknown op %d", ev.Op)
+		}
+	}
+	added, deleted := l.pending.AddedEdges(), l.pending.DeletedEdges()
+	if added+deleted > l.maxOverlay() {
+		if err := l.compactLocked(); err != nil {
+			return changed, err
+		}
+	} else {
+		l.publishLocked()
+	}
+	return changed, nil
+}
+
+// Rebalance migrates up to budget edges from partitions above the α cap to
+// strictly less-loaded destinations, preferring moves that do not add
+// replicas. Migrations are ordinary overlay mutations — a tombstone on the
+// source, an insertion on the target — published as one epoch, so readers
+// see each move atomically. The pass is deterministic (partitions in id
+// order, edges in canonical order). Returns the number of edges moved.
+func (l *Live) Rebalance(budget int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("live: closed")
+	}
+	cap := l.st.capEdges(0)
+	moved := 0
+	sizes := l.st.sizes
+	for q := int32(0); int(q) < l.st.cfg.NumParts && moved < budget; q++ {
+		if sizes[q] <= cap {
+			continue
+		}
+		for _, k := range l.view.ShardEdgesPacked(int(q)) {
+			if sizes[q] <= cap || moved >= budget {
+				break
+			}
+			e := graph.UnpackEdge(k)
+			t := l.st.BestTarget(e.U, e.V, q)
+			if t < 0 {
+				continue
+			}
+			if err := l.dead[q].AppendPacked(k); err != nil {
+				return moved, err
+			}
+			if err := l.adds[t].AppendPacked(k); err != nil {
+				return moved, err
+			}
+			l.st.ApplyMove(e.U, e.V, q, t)
+			if !l.pending.RemoveAdd(int(q), e.U, e.V) {
+				l.pending.DelEdge(int(q), e.U, e.V)
+			}
+			l.pending.AddEdge(int(t), e.U, e.V)
+			moved++
+		}
+	}
+	if moved > 0 {
+		l.publishLocked()
+	}
+	return moved, nil
+}
+
+// Compact folds the overlay into a fresh base store, rewrites the
+// per-partition logs to exactly the live edge set, checkpoints the
+// placement state, and publishes the compacted epoch. Readers keep serving
+// from their pinned epochs throughout; only writers wait.
+func (l *Live) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("live: closed")
+	}
+	return l.compactLocked()
+}
+
+func (l *Live) compactLocked() error {
+	numParts := l.st.cfg.NumParts
+	packed := make([][]uint64, numParts)
+	// The writer view's vertex bound is stale (fixed at its creation), so
+	// derive the universe from the state slabs and the edges themselves.
+	n := max(l.base.NumVertices(), uint32(len(l.st.deg)), 1)
+	for q := 0; q < numParts; q++ {
+		packed[q] = l.view.ShardEdgesPacked(q)
+		if m := len(packed[q]); m > 0 {
+			if v := uint32(packed[q][m-1]) + 1; v > n {
+				n = v
+			}
+		}
+	}
+	base, err := store.BuildFromShards(n, packed)
+	if err != nil {
+		return err
+	}
+
+	// Rewrite the logs to the live edge set: fresh adds, empty tombstones,
+	// written beside and renamed over the old generation so a crash
+	// mid-compaction leaves a replayable directory.
+	for q := 0; q < numParts; q++ {
+		if err := l.adds[q].Close(); err != nil {
+			return err
+		}
+		if err := l.dead[q].Close(); err != nil {
+			return err
+		}
+	}
+	for q := 0; q < numParts; q++ {
+		if err := writeLogFile(logPath(l.dir, "part", q), q, numParts, packed[q]); err != nil {
+			return err
+		}
+		if err := writeLogFile(logPath(l.dir, "dead", q), q, numParts, nil); err != nil {
+			return err
+		}
+	}
+	if l.adds, err = openLogs(l.dir, "part", numParts); err != nil {
+		return err
+	}
+	if l.dead, err = openLogs(l.dir, "dead", numParts); err != nil {
+		return err
+	}
+
+	l.base = base
+	l.pending = store.NewDelta(numParts)
+	l.view = store.NewEpoch(base, l.pending, 0)
+	l.ncomp++
+	if err := l.checkpointLocked(); err != nil {
+		return err
+	}
+	l.publishLocked()
+	return nil
+}
+
+// writeLogFile atomically replaces path with a fresh log holding packed.
+func writeLogFile(path string, q, numParts int, packed []uint64) error {
+	tmp := path + ".tmp"
+	sw, err := graph.CreateShardFile(tmp, graph.ShardInfo{
+		NumVertices: logNumVertices, Index: uint32(q), Count: uint32(numParts),
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range packed {
+		if err := sw.AppendPacked(k); err != nil {
+			sw.Close()
+			return err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Checkpoint saves the placement state so the next Open can skip the slab
+// rebuild and verify the logs against it.
+func (l *Live) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("live: closed")
+	}
+	return l.checkpointLocked()
+}
+
+func (l *Live) checkpointLocked() error {
+	path := filepath.Join(l.dir, "state.dls")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteState(f, l.st); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Close checkpoints the state and seals the logs (footer rewrite). The
+// last published epoch keeps serving pinned readers.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var firstErr error
+	for q := range l.adds {
+		if err := l.adds[q].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := l.dead[q].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := l.checkpointLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Checksum digests the full live graph — every partition's sorted live
+// edge list, owner included — the bit-identity currency for seeded ingest
+// runs (the dnepart -checksum analogue for dynamic streams).
+func (l *Live) Checksum() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := fnvNew()
+	var b [12]byte
+	for q := 0; q < l.st.cfg.NumParts; q++ {
+		for _, k := range l.view.ShardEdgesPacked(q) {
+			binary.LittleEndian.PutUint64(b[:8], k)
+			binary.LittleEndian.PutUint32(b[8:], uint32(q))
+			h = fnvWrite(h, b[:])
+		}
+	}
+	return h
+}
+
+// Stats is an observable snapshot of the subsystem.
+type Stats struct {
+	NumParts          int     `json:"num_parts"`
+	NumEdges          int64   `json:"num_edges"`
+	NumVertices       int64   `json:"num_vertices"`
+	ReplicationFactor float64 `json:"replication_factor"`
+	EdgeBalance       float64 `json:"edge_balance"`
+	Sizes             []int64 `json:"sizes"`
+	Events            uint64  `json:"events"`
+	Moved             int64   `json:"moved"`
+	MigratedBytes     int64   `json:"migrated_bytes"`
+	Epoch             uint64  `json:"epoch"`
+	OverlayAdds       int64   `json:"overlay_adds"`
+	OverlayDels       int64   `json:"overlay_dels"`
+	Compactions       int64   `json:"compactions"`
+}
+
+// Stats returns the current snapshot.
+func (l *Live) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	added, deleted := l.pending.AddedEdges(), l.pending.DeletedEdges()
+	return Stats{
+		NumParts:          l.st.cfg.NumParts,
+		NumEdges:          l.st.numEdges,
+		NumVertices:       l.st.NumVertices(),
+		ReplicationFactor: l.st.ReplicationFactor(),
+		EdgeBalance:       l.st.EdgeBalance(),
+		Sizes:             l.st.Sizes(),
+		Events:            l.st.events,
+		Moved:             l.st.moved,
+		MigratedBytes:     l.st.migratedBytes,
+		Epoch:             l.seq,
+		OverlayAdds:       added,
+		OverlayDels:       deleted,
+		Compactions:       l.ncomp,
+	}
+}

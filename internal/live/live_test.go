@@ -1,0 +1,372 @@
+package live
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"testing"
+
+	"github.com/distributedne/dne/internal/dynpart"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/store"
+)
+
+// arrivalStream returns g's edges as insertion events in a seeded random
+// arrival order — the live workload shape: edges trickle in, not sorted.
+func arrivalStream(g *graph.Graph, seed int64) []dynpart.Event {
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.Edges()
+	out := make([]dynpart.Event, len(edges))
+	for i, p := range rng.Perm(len(edges)) {
+		out[i] = dynpart.Event{Op: dynpart.Add, Edge: edges[p]}
+	}
+	return out
+}
+
+func applyAll(t *testing.T, l *Live, events []dynpart.Event, batch int) int {
+	t.Helper()
+	changed := 0
+	for i := 0; i < len(events); i += batch {
+		n, err := l.Apply(events[i:min(i+batch, len(events))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed += n
+	}
+	return changed
+}
+
+// TestLiveIngestServesGraph: ingesting a whole graph must leave an epoch
+// answering Degree/Neighbors/KHop exactly like a batch-built store over
+// the same edges.
+func TestLiveIngestServesGraph(t *testing.T) {
+	g := gen.RMAT(9, 8, 3)
+	l, err := Open(t.TempDir(), Config{NumParts: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	events := arrivalStream(g, 7)
+	if n := applyAll(t, l, events, 1000); n != int(g.NumEdges()) {
+		t.Fatalf("applied %d events, graph has %d edges", n, g.NumEdges())
+	}
+	if err := l.State().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-inserting everything is a full no-op.
+	if n := applyAll(t, l, events, 997); n != 0 {
+		t.Fatalf("re-insert changed %d edges", n)
+	}
+
+	ep := l.Epoch()
+	if ep.NumEdges() != g.NumEdges() {
+		t.Fatalf("epoch holds %d edges, graph has %d", ep.NumEdges(), g.NumEdges())
+	}
+	packed := make([][]uint64, ep.NumShards())
+	for s := range packed {
+		packed[s] = ep.ShardEdgesPacked(s)
+	}
+	ref, err := store.BuildFromShards(ep.NumVertices(), packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live universe covers every vertex with an edge; trailing isolated
+	// vertices of g may sit beyond it.
+	n := min(ep.NumVertices(), g.NumVertices())
+	for v := graph.Vertex(n); v < g.NumVertices(); v++ {
+		if len(g.Neighbors(v)) != 0 {
+			t.Fatalf("vertex %d has edges but is outside the live universe [0,%d)", v, n)
+		}
+	}
+	for v := graph.Vertex(0); v < n; v++ {
+		want, _ := ref.Neighbors(v)
+		got, err := ep.Neighbors(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("neighbors[%d] = %v, want %v", v, got, want)
+		}
+		if slices.Compare(got, g.Neighbors(v)) != 0 {
+			t.Fatalf("neighbors[%d] diverge from the source graph", v)
+		}
+	}
+	kl, err := ep.KHop(context.Background(), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := ref.KHop(context.Background(), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(kl.Vertices, kr.Vertices) {
+		t.Fatal("khop diverges from the rebuilt store")
+	}
+}
+
+// TestLiveChecksumInvariantToBatchAndCompaction: the live checksum is a
+// pure function of the event stream — batch size, interleaved manual
+// compactions, and rebalance budget slicing must not change it.
+func TestLiveChecksumInvariantToBatchAndCompaction(t *testing.T) {
+	g := gen.RMAT(9, 8, 5)
+	base := arrivalStream(g, 11)
+	// Salt in deletions and re-insertions.
+	events := make([]dynpart.Event, 0, len(base)+len(base)/3)
+	rng := rand.New(rand.NewSource(13))
+	for i, ev := range base {
+		events = append(events, ev)
+		if i%3 == 0 {
+			victim := base[rng.Intn(i+1)].Edge
+			events = append(events, dynpart.Event{Op: dynpart.Remove, Edge: victim})
+		}
+	}
+
+	run := func(batch int, compactEvery int) (uint64, uint64) {
+		l, err := Open(t.TempDir(), Config{NumParts: 8, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for i, n := 0, 0; i < len(events); i, n = i+batch, n+1 {
+			if _, err := l.Apply(events[i:min(i+batch, len(events))]); err != nil {
+				t.Fatal(err)
+			}
+			if compactEvery > 0 && n%compactEvery == compactEvery-1 {
+				if err := l.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := l.State().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return l.Checksum(), l.State().Checksum()
+	}
+
+	sum1, st1 := run(500, 0)
+	sum2, st2 := run(77, 3)
+	sum3, st3 := run(len(events), 1)
+	if sum1 != sum2 || sum1 != sum3 {
+		t.Fatalf("live checksum depends on batching/compaction: %#x %#x %#x", sum1, sum2, sum3)
+	}
+	if st1 != st2 || st1 != st3 {
+		t.Fatalf("state checksum depends on batching/compaction: %#x %#x %#x", st1, st2, st3)
+	}
+}
+
+// TestLiveResume: closing mid-stream and reopening must resume to the exact
+// same final state — and so must a reopen that lost the checkpoint (state
+// rebuilt from logs), since placement depends only on the slabs.
+func TestLiveResume(t *testing.T) {
+	g := gen.RMAT(9, 8, 9)
+	events := arrivalStream(g, 3)
+	for i := 0; i < len(events); i += 5 {
+		events[i].Op = dynpart.Remove
+		events[i].Edge = events[rand.New(rand.NewSource(int64(i))).Intn(i+1)].Edge
+	}
+	half := len(events) / 2
+
+	oneShot := func() uint64 {
+		l, err := Open(t.TempDir(), Config{NumParts: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		applyAll(t, l, events, 311)
+		return l.Checksum()
+	}
+	want := oneShot()
+
+	for _, dropCheckpoint := range []bool{false, true} {
+		dir := t.TempDir()
+		l, err := Open(dir, Config{NumParts: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyAll(t, l, events[:half], 311)
+		midState := l.State().Checksum()
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if dropCheckpoint {
+			if err := os.Remove(filepath.Join(dir, "state.dls")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l, err = Open(dir, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.State().NumParts() != 4 {
+			t.Fatalf("resume lost the partition count: %d", l.State().NumParts())
+		}
+		if got := l.State().Checksum(); got != midState {
+			t.Fatalf("dropCheckpoint=%v: resumed state checksum %#x, want %#x", dropCheckpoint, got, midState)
+		}
+		if err := l.State().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		applyAll(t, l, events[half:], 311)
+		if got := l.Checksum(); got != want {
+			t.Fatalf("dropCheckpoint=%v: resumed run checksum %#x, one-shot %#x", dropCheckpoint, got, want)
+		}
+		l.Close()
+	}
+}
+
+// TestLiveRejectsCorruptLog: a flipped byte in a partition log must fail
+// Open instead of resuming from silently wrong data.
+func TestLiveRejectsCorruptLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{NumParts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAll(t, l, arrivalStream(gen.ER(100, 400, 2), 1), 100)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := logPath(dir, "part", 0)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = b[:len(b)-5] // truncate into the footer
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Config{}); err == nil {
+		t.Fatal("opened a directory with a truncated log")
+	}
+}
+
+// TestLiveRebalance: deletions skew the load; a bounded rebalance must
+// migrate edges off the overloaded partition, stay within budget, account
+// migration bytes, and leave a consistent, still-correct graph.
+func TestLiveRebalance(t *testing.T) {
+	g := gen.ER(400, 6000, 4)
+	l, err := Open(t.TempDir(), Config{NumParts: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	applyAll(t, l, arrivalStream(g, 4), 1000)
+
+	// Delete most edges everywhere except partition 0.
+	ep := l.Epoch()
+	var dels []dynpart.Event
+	for q := 1; q < 4; q++ {
+		for i, k := range ep.ShardEdgesPacked(q) {
+			if i%10 != 0 {
+				dels = append(dels, dynpart.Event{Op: dynpart.Remove, Edge: graph.UnpackEdge(k)})
+			}
+		}
+	}
+	applyAll(t, l, dels, 1000)
+	sizes := l.State().Sizes()
+	cap := l.State().capEdges(0)
+	if sizes[0] <= cap {
+		t.Skipf("partition 0 not overloaded (%v, cap %d); skew assumption broken", sizes, cap)
+	}
+
+	const budget = 200
+	moved, err := l.Rebalance(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 || moved > budget {
+		t.Fatalf("moved %d edges, want in (0,%d]", moved, budget)
+	}
+	if l.State().Moved() != int64(moved) {
+		t.Fatalf("state counts %d moves, rebalance reported %d", l.State().Moved(), moved)
+	}
+	if l.State().MigratedBytes() != int64(moved)*16 {
+		t.Fatalf("migrated bytes %d, want %d", l.State().MigratedBytes(), moved*16)
+	}
+	if err := l.State().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The edge set is preserved — only owners changed.
+	var total int64
+	ep = l.Epoch()
+	for q := 0; q < 4; q++ {
+		total += int64(len(ep.ShardEdgesPacked(q)))
+	}
+	if total != l.State().NumEdges() {
+		t.Fatalf("epoch holds %d edges, state %d", total, l.State().NumEdges())
+	}
+	// Deterministic: the same history replays to the same checksum.
+	sum := l.Checksum()
+	l2, err := Open(t.TempDir(), Config{NumParts: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	applyAll(t, l2, arrivalStream(g, 4), 1000)
+	applyAll(t, l2, dels, 1000)
+	if _, err := l2.Rebalance(budget); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Checksum(); got != sum {
+		t.Fatalf("rebalance not deterministic: %#x vs %#x", got, sum)
+	}
+}
+
+// TestLiveConcurrentReadersNeverError: queries pin epochs while a writer
+// ingests, compacts and rebalances concurrently. Run under -race this is
+// the "readers never block, never tear" check.
+func TestLiveConcurrentReadersNeverError(t *testing.T) {
+	g := gen.RMAT(10, 8, 6)
+	l, err := Open(t.TempDir(), Config{NumParts: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	events := arrivalStream(g, 6)
+	// Seed a prefix so readers have something from the start.
+	applyAll(t, l, events[:len(events)/4], 4096)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ep := l.Epoch()
+				v := graph.Vertex(rng.Intn(int(ep.NumVertices())))
+				if _, err := ep.KHop(context.Background(), v, 2); err != nil {
+					t.Errorf("khop: %v", err)
+					return
+				}
+				if _, err := ep.Neighbors(v); err != nil {
+					t.Errorf("neighbors: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	for i := len(events) / 4; i < len(events); i += 2048 {
+		if _, err := l.Apply(events[i:min(i+2048, len(events))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rebalance(500); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}

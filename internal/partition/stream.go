@@ -296,6 +296,39 @@ func (r *ReplicaSets) Set(v graph.Vertex, q int) {
 // Bytes returns the accounted size of the slab.
 func (r *ReplicaSets) Bytes() int64 { return int64(len(r.slab)) * 8 }
 
+// Words returns the number of u64 words per vertex row (ceil(P/64)).
+func (r *ReplicaSets) Words() int { return r.words }
+
+// NumVertices returns the number of vertex rows the slab covers.
+func (r *ReplicaSets) NumVertices() uint32 { return uint32(len(r.slab) / r.words) }
+
+// Grow extends the slab to cover at least numVertices rows, preserving
+// existing sets. Growth is geometric so a live ingest that keeps minting
+// vertex ids amortizes to O(1) per vertex. Shrinking is a no-op.
+func (r *ReplicaSets) Grow(numVertices uint32) {
+	need := int(numVertices) * r.words
+	if need <= len(r.slab) {
+		return
+	}
+	grown := make([]uint64, max(need, 2*len(r.slab)))
+	copy(grown, r.slab)
+	r.slab = grown
+}
+
+// Slab exposes the backing words, row-major by vertex id, for persistence.
+// Callers must not resize it; mutating bits through it is equivalent to Set.
+func (r *ReplicaSets) Slab() []uint64 { return r.slab }
+
+// ReplicaSetsFromSlab adopts a persisted slab (as returned by Slab) for
+// numParts partitions. The length must be a whole number of rows.
+func ReplicaSetsFromSlab(numParts int, slab []uint64) (*ReplicaSets, error) {
+	w := bitset.WordsFor(numParts)
+	if len(slab)%w != 0 {
+		return nil, fmt.Errorf("partition: replica slab length %d not a multiple of %d words", len(slab), w)
+	}
+	return &ReplicaSets{words: w, slab: slab}, nil
+}
+
 // measureStream computes the Quality of p over the raw source's stream: the
 // i-th raw stream edge must be owned by Owner[i]. The math is identical to
 // Partitioning.Measure — for a canonical source the numbers are equal bit

@@ -1,0 +1,542 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"github.com/distributedne/dne/internal/dsa"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// compactYieldStride bounds how long compaction-side loops run between
+// voluntary yields. Compaction shares the scheduler with live queries that
+// pin epochs instead of locking; on a machine with few cores a compactor
+// that only gets preempted every ~10ms would add that quantum to query tail
+// latency, so the heavy loops yield every stride iterations (~1ms of work)
+// to keep foreground tails near steady state.
+const compactYieldStride = 1 << 14
+
+// yieldCounter calls runtime.Gosched every compactYieldStride ticks.
+type yieldCounter int
+
+func (y *yieldCounter) tick() {
+	if *y++; *y%compactYieldStride == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Epoch layer: the live-graph read path. A Store stays the immutable base;
+// arrivals and retractions accumulate in a small mutable Delta owned by the
+// writer; publishing freezes the delta into an Epoch — an immutable
+// (base, delta) pair readers resolve queries against. Readers pin an epoch
+// (one atomic pointer load in the live layer) and never observe a partial
+// update; a background compactor folds the delta into a fresh base with
+// BuildFromShards and publishes the next epoch.
+
+// BuildFromShards materializes per-shard canonical packed edge lists into a
+// Store — the compaction path, where the edge-to-shard assignment already
+// exists and no graph or owner array does. shardEdges[s] holds shard s's
+// edges as PackEdge keys (u < v); duplicates within a shard and endpoints
+// ≥ numVertices are rejected.
+func BuildFromShards(numVertices uint32, shardEdges [][]uint64) (*Store, error) {
+	numShards := len(shardEdges)
+	if numShards == 0 {
+		return nil, fmt.Errorf("store: no shards")
+	}
+	st := &Store{
+		numVertices: numVertices,
+		shards:      make([]*shard, numShards),
+		master:      make([]int32, numVertices),
+	}
+	var yield yieldCounter
+	for s, packed := range shardEdges {
+		deg := make(map[graph.Vertex]int64)
+		var prev uint64
+		for i, k := range packed {
+			u, v := graph.Vertex(k>>32), graph.Vertex(k)
+			if u >= v {
+				return nil, fmt.Errorf("store: shard %d edge %d (%d,%d) not canonical", s, i, u, v)
+			}
+			if v >= numVertices {
+				return nil, fmt.Errorf("store: shard %d edge %d endpoint %d out of range [0,%d)", s, i, v, numVertices)
+			}
+			if i > 0 && k <= prev {
+				return nil, fmt.Errorf("store: shard %d edges not strictly increasing at %d", s, i)
+			}
+			prev = k
+			deg[u]++
+			deg[v]++
+			yield.tick()
+		}
+		sh := &shard{id: s, index: make(map[graph.Vertex]uint32, len(deg))}
+		sh.verts = make([]graph.Vertex, 0, len(deg))
+		for v := range deg {
+			sh.verts = append(sh.verts, v)
+		}
+		dsa.SortU32(sh.verts)
+		sh.off = make([]int64, len(sh.verts)+1)
+		for l, v := range sh.verts {
+			sh.index[v] = uint32(l)
+			sh.off[l+1] = sh.off[l] + deg[v]
+		}
+		sh.tgt = make([]graph.Vertex, sh.off[len(sh.verts)])
+		cursor := make([]int64, len(sh.verts))
+		for _, k := range packed {
+			u, v := graph.Vertex(k>>32), graph.Vertex(k)
+			lu, lv := sh.index[u], sh.index[v]
+			sh.tgt[sh.off[lu]+cursor[lu]] = v
+			cursor[lu]++
+			sh.tgt[sh.off[lv]+cursor[lv]] = u
+			cursor[lv]++
+			yield.tick()
+		}
+		sh.edges = int64(len(packed))
+		st.numEdges += sh.edges
+		st.shards[s] = sh
+	}
+	st.buildRouting()
+	st.metrics.init(numShards)
+	return st, nil
+}
+
+// Delta is the mutable overlay of edge insertions and deletions a live
+// writer accumulates between epochs. It is not safe for concurrent use; the
+// live layer serializes writers and freezes a snapshot into each published
+// Epoch. Deletions may only name base edges — retracting an overlay
+// insertion must go through RemoveAdd instead, so an (add, del) pair of the
+// same edge cancels exactly.
+type Delta struct {
+	adds []map[graph.Vertex][]graph.Vertex // per shard: v -> appended neighbors
+	dels []map[uint64]struct{}             // per shard: deleted base edges, packed
+	addN []int64                           // per-shard inserted edge counts
+	delN []int64                           // per-shard deleted edge counts
+	maxV graph.Vertex                      // highest vertex id named by an add, +1
+}
+
+// NewDelta returns an empty overlay for numShards shards.
+func NewDelta(numShards int) *Delta {
+	d := &Delta{
+		adds: make([]map[graph.Vertex][]graph.Vertex, numShards),
+		dels: make([]map[uint64]struct{}, numShards),
+		addN: make([]int64, numShards),
+		delN: make([]int64, numShards),
+	}
+	for s := range d.adds {
+		d.adds[s] = make(map[graph.Vertex][]graph.Vertex)
+		d.dels[s] = make(map[uint64]struct{})
+	}
+	return d
+}
+
+// AddEdge records the insertion of edge (u,v) on shard s.
+func (d *Delta) AddEdge(s int, u, v graph.Vertex) {
+	d.adds[s][u] = append(d.adds[s][u], v)
+	d.adds[s][v] = append(d.adds[s][v], u)
+	d.addN[s]++
+	if u >= d.maxV {
+		d.maxV = u + 1
+	}
+	if v >= d.maxV {
+		d.maxV = v + 1
+	}
+}
+
+// RemoveAdd retracts a prior AddEdge of (u,v) on shard s, returning false
+// if no such overlay insertion exists (the caller then records a base
+// deletion instead).
+func (d *Delta) RemoveAdd(s int, u, v graph.Vertex) bool {
+	if !removeOne(d.adds[s], u, v) {
+		return false
+	}
+	removeOne(d.adds[s], v, u)
+	d.addN[s]--
+	return true
+}
+
+func removeOne(adj map[graph.Vertex][]graph.Vertex, u, v graph.Vertex) bool {
+	ns := adj[u]
+	for i, w := range ns {
+		if w == v {
+			ns[i] = ns[len(ns)-1]
+			if len(ns) == 1 {
+				delete(adj, u)
+			} else {
+				adj[u] = ns[:len(ns)-1]
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DelEdge records the deletion of base edge (u,v) from shard s.
+func (d *Delta) DelEdge(s int, u, v graph.Vertex) {
+	d.dels[s][graph.PackEdge(u, v)] = struct{}{}
+	d.delN[s]++
+}
+
+// HasDel reports whether base edge (u,v) is already deleted on shard s.
+func (d *Delta) HasDel(s int, u, v graph.Vertex) bool {
+	_, ok := d.dels[s][graph.PackEdge(u, v)]
+	return ok
+}
+
+// HasAdd reports whether the overlay holds an insertion of (u,v) on shard s.
+func (d *Delta) HasAdd(s int, u, v graph.Vertex) bool {
+	for _, w := range d.adds[s][u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddedEdges returns the total overlay insertions across shards.
+func (d *Delta) AddedEdges() int64 {
+	var t int64
+	for _, n := range d.addN {
+		t += n
+	}
+	return t
+}
+
+// DeletedEdges returns the total overlay deletions across shards.
+func (d *Delta) DeletedEdges() int64 {
+	var t int64
+	for _, n := range d.delN {
+		t += n
+	}
+	return t
+}
+
+// Clone deep-copies the overlay — the publish path, so readers of the
+// frozen epoch never race the writer's continuing mutations.
+func (d *Delta) Clone() *Delta {
+	c := &Delta{
+		adds: make([]map[graph.Vertex][]graph.Vertex, len(d.adds)),
+		dels: make([]map[uint64]struct{}, len(d.dels)),
+		addN: slices.Clone(d.addN),
+		delN: slices.Clone(d.delN),
+		maxV: d.maxV,
+	}
+	for s := range d.adds {
+		c.adds[s] = make(map[graph.Vertex][]graph.Vertex, len(d.adds[s]))
+		for v, ns := range d.adds[s] {
+			c.adds[s][v] = slices.Clone(ns)
+		}
+		c.dels[s] = make(map[uint64]struct{}, len(d.dels[s]))
+		for k := range d.dels[s] {
+			c.dels[s][k] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Epoch is one immutable snapshot of the live graph: a base Store plus a
+// frozen Delta (nil for a compacted epoch). Safe for concurrent use;
+// queries resolve against base-minus-deletions plus insertions.
+type Epoch struct {
+	base        *Store
+	delta       *Delta
+	seq         uint64
+	numVertices uint32
+}
+
+// NewEpoch freezes (base, delta) into snapshot number seq. delta may be
+// nil; the caller must not mutate it afterwards (clone first).
+func NewEpoch(base *Store, delta *Delta, seq uint64) *Epoch {
+	n := base.numVertices
+	if delta != nil && uint32(delta.maxV) > n {
+		n = uint32(delta.maxV)
+	}
+	return &Epoch{base: base, delta: delta, seq: seq, numVertices: n}
+}
+
+// Seq returns the epoch's publish sequence number.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// Base returns the underlying immutable store.
+func (e *Epoch) Base() *Store { return e.base }
+
+// NumVertices returns |V| as of this epoch (base, extended by any overlay
+// insertions naming new vertex ids).
+func (e *Epoch) NumVertices() uint32 { return e.numVertices }
+
+// NumShards returns the shard count.
+func (e *Epoch) NumShards() int { return len(e.base.shards) }
+
+// NumEdges returns the live edge count: base + insertions − deletions.
+func (e *Epoch) NumEdges() int64 {
+	n := e.base.numEdges
+	if e.delta != nil {
+		n += e.delta.AddedEdges() - e.delta.DeletedEdges()
+	}
+	return n
+}
+
+// ShardEdges returns the live edge count of shard s.
+func (e *Epoch) ShardEdges(s int) int64 {
+	n := e.base.shards[s].edges
+	if e.delta != nil {
+		n += e.delta.addN[s] - e.delta.delN[s]
+	}
+	return n
+}
+
+// OverlayEdges returns the overlay's (insertions, deletions) totals — the
+// compaction debt of this epoch.
+func (e *Epoch) OverlayEdges() (added, deleted int64) {
+	if e.delta == nil {
+		return 0, 0
+	}
+	return e.delta.AddedEdges(), e.delta.DeletedEdges()
+}
+
+// Replicas returns the shards holding a live copy of v, sorted by shard
+// id. Base replica lists are not shrunk by overlay deletions until
+// compaction — a fully-deleted replica still answers (with an empty
+// adjacency), it just costs a fetch; compaction removes it.
+func (e *Epoch) Replicas(v graph.Vertex) []int32 {
+	var base []int32
+	if v < e.base.numVertices {
+		base = e.base.Replicas(v)
+	}
+	if e.delta == nil {
+		return base
+	}
+	var extra []int32
+	for s := range e.delta.adds {
+		if len(e.delta.adds[s][v]) == 0 {
+			continue
+		}
+		if _, found := slices.BinarySearch(base, int32(s)); !found {
+			extra = append(extra, int32(s))
+		}
+	}
+	if len(extra) == 0 {
+		return base
+	}
+	merged := append(slices.Clone(base), extra...)
+	slices.Sort(merged)
+	return merged
+}
+
+// Master returns the shard owning v's primary copy. Vertices minted by the
+// overlay (beyond the base's |V|) are hash-routed until a compaction folds
+// them into the base routing table.
+func (e *Epoch) Master(v graph.Vertex) (int32, error) {
+	if v >= e.numVertices {
+		return 0, fmt.Errorf("store: vertex %d out of range [0,%d)", v, e.numVertices)
+	}
+	if v < e.base.numVertices {
+		return e.base.master[v], nil
+	}
+	return int32(v % uint32(len(e.base.shards))), nil
+}
+
+// shardNeighborsInto appends v's live neighbors on shard s to out: the base
+// adjacency minus deleted edges, plus overlay insertions.
+func (e *Epoch) shardNeighborsInto(s int, v graph.Vertex, out []graph.Vertex) []graph.Vertex {
+	if v < e.base.numVertices {
+		base := e.base.shards[s].neighborsOf(v)
+		if e.delta == nil || len(e.delta.dels[s]) == 0 {
+			out = append(out, base...)
+		} else {
+			for _, w := range base {
+				if _, dead := e.delta.dels[s][graph.PackEdge(v, w)]; !dead {
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	if e.delta != nil {
+		out = append(out, e.delta.adds[s][v]...)
+	}
+	return out
+}
+
+// ShardHasEdge reports whether shard s holds the live edge (u,v): inserted
+// in the overlay, or present in the base and not deleted. Cost is one scan
+// of u's local base adjacency, so callers pass the lower-degree endpoint
+// as u.
+func (e *Epoch) ShardHasEdge(s int, u, v graph.Vertex) bool {
+	if e.delta != nil && e.delta.HasAdd(s, u, v) {
+		return true
+	}
+	if u >= e.base.numVertices {
+		return false
+	}
+	for _, w := range e.base.shards[s].neighborsOf(u) {
+		if w == v {
+			return e.delta == nil || !e.delta.HasDel(s, u, v)
+		}
+	}
+	return false
+}
+
+// Degree returns v's live global degree across its replica shards.
+func (e *Epoch) Degree(v graph.Vertex) (int64, error) {
+	if v >= e.numVertices {
+		return 0, fmt.Errorf("store: vertex %d out of range [0,%d)", v, e.numVertices)
+	}
+	var d int64
+	for _, s := range e.Replicas(v) {
+		if v < e.base.numVertices {
+			d += e.base.shards[s].degreeOf(v)
+		}
+		if e.delta != nil {
+			d += int64(len(e.delta.adds[s][v]))
+			if v < e.base.numVertices {
+				for _, w := range e.base.shards[s].neighborsOf(v) {
+					if _, dead := e.delta.dels[s][graph.PackEdge(v, w)]; dead {
+						d--
+					}
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// Neighbors returns v's live neighbor set, sorted. Each live edge is held
+// by exactly one shard, so the per-shard lists concatenate without
+// duplicates.
+func (e *Epoch) Neighbors(v graph.Vertex) ([]graph.Vertex, error) {
+	if v >= e.numVertices {
+		return nil, fmt.Errorf("store: vertex %d out of range [0,%d)", v, e.numVertices)
+	}
+	var out []graph.Vertex
+	for _, s := range e.Replicas(v) {
+		out = e.shardNeighborsInto(int(s), v, out)
+	}
+	slices.Sort(out)
+	return out, nil
+}
+
+// KHop runs the same level-synchronous BFS as Store.KHop, resolved against
+// the epoch: one goroutine per touched shard per level, each scanning its
+// base adjacency through the deletion filter plus its overlay insertions.
+func (e *Epoch) KHop(ctx context.Context, v graph.Vertex, k int) (*KHopResult, error) {
+	if v >= e.numVertices {
+		return nil, fmt.Errorf("store: vertex %d out of range [0,%d)", v, e.numVertices)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("store: negative hop count %d", k)
+	}
+	res := &KHopResult{
+		Source:     v,
+		K:          k,
+		Vertices:   []graph.Vertex{v},
+		Depths:     []int32{0},
+		LevelSizes: []int64{1},
+	}
+	visited := make([]uint64, (e.numVertices+63)/64)
+	visited[v/64] |= 1 << (v % 64)
+	frontier := []graph.Vertex{v}
+	numShards := len(e.base.shards)
+	perShard := make([][]graph.Vertex, numShards)
+	outs := make([][]graph.Vertex, numShards)
+
+	for depth := int32(1); int(depth) <= k && len(frontier) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for s := range perShard {
+			perShard[s] = perShard[s][:0]
+		}
+		for _, u := range frontier {
+			reps := e.Replicas(u)
+			for _, s := range reps {
+				perShard[s] = append(perShard[s], u)
+			}
+			res.CrossShardHops += crossHops(len(reps))
+		}
+		var wg sync.WaitGroup
+		for s := range perShard {
+			if len(perShard[s]) == 0 {
+				outs[s] = outs[s][:0]
+				continue
+			}
+			res.ShardTasks++
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				out := outs[s][:0]
+				for _, u := range perShard[s] {
+					out = e.shardNeighborsInto(s, u, out)
+				}
+				outs[s] = out
+			}(s)
+		}
+		wg.Wait()
+
+		var next []graph.Vertex
+		for s := range outs {
+			for _, w := range outs[s] {
+				if visited[w/64]&(1<<(w%64)) == 0 {
+					visited[w/64] |= 1 << (w % 64)
+					next = append(next, w)
+				}
+			}
+		}
+		slices.Sort(next)
+		for _, w := range next {
+			res.Vertices = append(res.Vertices, w)
+			res.Depths = append(res.Depths, depth)
+		}
+		if len(next) > 0 {
+			res.LevelSizes = append(res.LevelSizes, int64(len(next)))
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// ShardEdgesPacked returns shard s's live canonical edge list, sorted — the
+// compaction input. Base edges appear twice in the shard CSR (once per
+// endpoint), so only the u < w direction is emitted.
+func (e *Epoch) ShardEdgesPacked(s int) []uint64 {
+	sh := e.base.shards[s]
+	out := make([]uint64, 0, e.ShardEdges(s))
+	var yield yieldCounter
+	for l, u := range sh.verts {
+		for _, w := range sh.tgt[sh.off[l]:sh.off[l+1]] {
+			yield.tick()
+			if u >= w {
+				continue
+			}
+			k := graph.PackEdge(u, w)
+			if e.delta != nil {
+				if _, dead := e.delta.dels[s][k]; dead {
+					continue
+				}
+			}
+			out = append(out, k)
+		}
+	}
+	if e.delta != nil {
+		for v, ns := range e.delta.adds[s] {
+			for _, w := range ns {
+				if v < w {
+					out = append(out, graph.PackEdge(v, w))
+				}
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Compact folds the epoch into a fresh base Store with an empty overlay.
+// The result serves identical queries; replica lists shed fully-deleted
+// copies and overlay vertices join the routing table.
+func (e *Epoch) Compact() (*Store, error) {
+	packed := make([][]uint64, len(e.base.shards))
+	for s := range packed {
+		packed[s] = e.ShardEdgesPacked(s)
+	}
+	return BuildFromShards(e.numVertices, packed)
+}

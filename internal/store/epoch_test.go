@@ -1,0 +1,255 @@
+package store
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// shardPacked groups a graph's canonical edges by a random owner into the
+// per-shard packed lists BuildFromShards consumes.
+func shardPacked(g *graph.Graph, numShards int, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	packed := make([][]uint64, numShards)
+	for i := int64(0); i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		s := rng.Intn(numShards)
+		packed[s] = append(packed[s], graph.PackEdge(e.U, e.V))
+	}
+	return packed
+}
+
+// assertStoresEqual checks two stores answer every routing and adjacency
+// query identically.
+func assertStoresEqual(t *testing.T, a, b *Store) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for s := 0; s < a.NumShards(); s++ {
+		if a.ShardEdges(s) != b.ShardEdges(s) {
+			t.Fatalf("shard %d edges %d vs %d", s, a.ShardEdges(s), b.ShardEdges(s))
+		}
+	}
+	for v := graph.Vertex(0); v < a.NumVertices(); v++ {
+		ma, _ := a.Master(v)
+		mb, _ := b.Master(v)
+		if ma != mb {
+			t.Fatalf("master[%d] %d vs %d", v, ma, mb)
+		}
+		if !slices.Equal(a.Replicas(v), b.Replicas(v)) {
+			t.Fatalf("replicas[%d] %v vs %v", v, a.Replicas(v), b.Replicas(v))
+		}
+		na, _ := a.Neighbors(v)
+		nb, _ := b.Neighbors(v)
+		if !slices.Equal(na, nb) {
+			t.Fatalf("neighbors[%d] %v vs %v", v, na, nb)
+		}
+	}
+}
+
+// TestBuildFromShardsMatchesBuildPartitioning: the two construction paths
+// must produce identical stores for the same edge-to-shard assignment.
+func TestBuildFromShardsMatchesBuildPartitioning(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			p := randomPartitioning(g, 4, 7)
+			a, err := BuildPartitioning(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			packed := make([][]uint64, 4)
+			for i, o := range p.Owner {
+				e := g.Edge(int64(i))
+				packed[o] = append(packed[o], graph.PackEdge(e.U, e.V))
+			}
+			b, err := BuildFromShards(g.NumVertices(), packed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStoresEqual(t, a, b)
+		})
+	}
+}
+
+func TestBuildFromShardsRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      uint32
+		packed [][]uint64
+	}{
+		{"no shards", 4, nil},
+		{"out of range", 4, [][]uint64{{graph.PackEdge(1, 9)}}},
+		{"self loop", 4, [][]uint64{{uint64(2)<<32 | 2}}},
+		{"non-canonical", 4, [][]uint64{{uint64(3)<<32 | 1}}},
+		{"duplicate in shard", 4, [][]uint64{{graph.PackEdge(0, 1), graph.PackEdge(0, 1)}}},
+		{"unsorted shard", 4, [][]uint64{{graph.PackEdge(1, 2), graph.PackEdge(0, 1)}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := BuildFromShards(tc.n, tc.packed); err == nil {
+				t.Fatalf("accepted bad input")
+			}
+		})
+	}
+}
+
+// epochReference applies a delta's adds/dels to per-shard packed lists —
+// the from-scratch truth an Epoch must match.
+func applyDelta(packed [][]uint64, d *Delta) [][]uint64 {
+	out := make([][]uint64, len(packed))
+	for s := range packed {
+		for _, k := range packed[s] {
+			if _, dead := d.dels[s][k]; !dead {
+				out[s] = append(out[s], k)
+			}
+		}
+		for v, ns := range d.adds[s] {
+			for _, w := range ns {
+				if v < w {
+					out[s] = append(out[s], graph.PackEdge(v, w))
+				}
+			}
+		}
+		slices.Sort(out[s])
+	}
+	return out
+}
+
+// TestEpochOverlayMatchesRebuild: an epoch's every query must agree with a
+// store rebuilt from scratch on the delta-applied edge set — including
+// degrees, neighbors, KHop results, and the compacted store itself.
+func TestEpochOverlayMatchesRebuild(t *testing.T) {
+	g := gen.RMAT(9, 8, 3)
+	const numShards = 4
+	packed := shardPacked(g, numShards, 11)
+	base, err := BuildFromShards(g.NumVertices(), packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate: delete a seeded sample of base edges, insert fresh edges —
+	// some between existing vertices, some minting new vertex ids.
+	rng := rand.New(rand.NewSource(5))
+	d := NewDelta(numShards)
+	for s := 0; s < numShards; s++ {
+		for _, k := range packed[s] {
+			if rng.Intn(10) == 0 {
+				e := graph.UnpackEdge(k)
+				d.DelEdge(s, e.U, e.V)
+			}
+		}
+	}
+	n := g.NumVertices()
+	for i := 0; i < 500; i++ {
+		u := graph.Vertex(rng.Intn(int(n)))
+		v := graph.Vertex(rng.Intn(int(n) + 40)) // some beyond base |V|
+		if u == v {
+			continue
+		}
+		s := rng.Intn(numShards)
+		if u > v {
+			u, v = v, u
+		}
+		if d.HasAdd(s, u, v) {
+			continue
+		}
+		if slices.Contains(packed[s], graph.PackEdge(u, v)) && !d.HasDel(s, u, v) {
+			continue
+		}
+		d.AddEdge(s, u, v)
+	}
+
+	ep := NewEpoch(base, d.Clone(), 1)
+	want := applyDelta(packed, d)
+	ref, err := BuildFromShards(ep.NumVertices(), want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ep.NumEdges() != ref.NumEdges() {
+		t.Fatalf("epoch edges %d, rebuilt %d", ep.NumEdges(), ref.NumEdges())
+	}
+	for s := 0; s < numShards; s++ {
+		if ep.ShardEdges(s) != ref.ShardEdges(s) {
+			t.Fatalf("shard %d: epoch %d, rebuilt %d", s, ep.ShardEdges(s), ref.ShardEdges(s))
+		}
+		if !slices.Equal(ep.ShardEdgesPacked(s), want[s]) {
+			t.Fatalf("shard %d packed edges diverge", s)
+		}
+	}
+	for v := graph.Vertex(0); v < ep.NumVertices(); v++ {
+		de, _ := ep.Degree(v)
+		dr, _ := ref.Degree(v)
+		if de != dr {
+			t.Fatalf("degree[%d] epoch %d, rebuilt %d", v, de, dr)
+		}
+		ne, _ := ep.Neighbors(v)
+		nr, _ := ref.Neighbors(v)
+		if !slices.Equal(ne, nr) {
+			t.Fatalf("neighbors[%d] epoch %v, rebuilt %v", v, ne, nr)
+		}
+	}
+	ctx := context.Background()
+	for _, src := range []graph.Vertex{0, 1, 17, n - 1} {
+		for _, k := range []int{1, 2, 3} {
+			re, err := ep.KHop(ctx, src, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, err := ref.KHop(ctx, src, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(re.Vertices, rr.Vertices) || !slices.Equal(re.Depths, rr.Depths) {
+				t.Fatalf("khop(%d,%d) diverges: %d vs %d vertices",
+					src, k, len(re.Vertices), len(rr.Vertices))
+			}
+		}
+	}
+
+	// Compaction folds the overlay into a fresh base answering identically.
+	compacted, err := ep.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, compacted, ref)
+}
+
+// TestDeltaRemoveAddCancels: retracting an overlay insertion restores the
+// exact prior state, so (add, del) pairs of the same edge cancel.
+func TestDeltaRemoveAddCancels(t *testing.T) {
+	g := gen.ER(200, 800, 9)
+	packed := shardPacked(g, 3, 2)
+	base, err := BuildFromShards(g.NumVertices(), packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta(3)
+	if d.RemoveAdd(0, 5, 9) {
+		t.Fatal("removed a nonexistent add")
+	}
+	d.AddEdge(1, 5, 9)
+	if !d.HasAdd(1, 5, 9) {
+		t.Fatal("add not visible")
+	}
+	if !d.RemoveAdd(1, 5, 9) {
+		t.Fatal("failed to retract the add")
+	}
+	if d.AddedEdges() != 0 || d.HasAdd(1, 5, 9) {
+		t.Fatal("retraction left residue")
+	}
+	ep := NewEpoch(base, d, 1)
+	for v := graph.Vertex(0); v < base.NumVertices(); v++ {
+		de, _ := ep.Degree(v)
+		db, _ := base.Degree(v)
+		if de != db {
+			t.Fatalf("degree[%d] drifted: %d vs %d", v, de, db)
+		}
+	}
+}

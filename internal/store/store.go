@@ -145,6 +145,20 @@ func BuildPartitioning(g *graph.Graph, p *partition.Partitioning) (*Store, error
 		sh.edges++
 	}
 
+	st.buildRouting()
+	st.metrics.init(numShards)
+	return st, nil
+}
+
+// buildRouting derives the mirror index and master table from the filled
+// shards: replica lists sorted by shard id, masters at the replica shard
+// with the highest local degree (ties to the lowest id), isolated vertices
+// hash-routed so routing is total. Shared by BuildPartitioning and
+// BuildFromShards so the two construction paths cannot drift.
+func (st *Store) buildRouting() {
+	n := st.numVertices
+	numShards := len(st.shards)
+
 	// Mirror index: replica count per vertex, then a fill pass in shard
 	// order so each vertex's replica list comes out sorted by shard id.
 	st.repOff = make([]int64, n+1)
@@ -182,9 +196,6 @@ func BuildPartitioning(g *graph.Graph, p *partition.Partitioning) (*Store, error
 		}
 		st.master[v] = best
 	}
-
-	st.metrics.init(numShards)
-	return st, nil
 }
 
 // NumVertices returns |V| of the graph the store was built from.
