@@ -6,14 +6,33 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/distributedne/dne/internal/gen"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/methods"
 	_ "github.com/distributedne/dne/internal/methods/all"
+	"github.com/distributedne/dne/internal/obs"
 	"github.com/distributedne/dne/internal/partition"
 )
+
+// recordPartitionPhases emits one run's timed phases into the span ring,
+// tiled back to back ending now, so GET /debug/trace?format=chrome shows
+// where each partitioning request spent its time.
+func recordPartitionPhases(tr *obs.Tracer, method string, parts int, phases []partition.PhaseTiming) {
+	if tr == nil || len(phases) == 0 {
+		return
+	}
+	ps := make([]obs.Phase, len(phases))
+	for i, ph := range phases {
+		ps[i] = obs.Phase{Name: ph.Name, Elapsed: ph.Elapsed}
+	}
+	tr.RecordPhases("partition", time.Now(), ps, map[string]string{
+		"method": method,
+		"parts":  strconv.Itoa(parts),
+	})
+}
 
 // RMATSpec asks the server to generate the input graph.
 type RMATSpec struct {
@@ -93,7 +112,7 @@ func newHandler(maxEdges int64, reqTimeout time.Duration) http.Handler {
 // newHandlerWithStores is newHandler plus store-registry configuration; the
 // live graph lives in an ephemeral temp directory.
 func newHandlerWithStores(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir string) (http.Handler, []error) {
-	h, _, errs := newHandlerWithLive(maxEdges, reqTimeout, maxStores, storeDir, "")
+	h, _, _, errs := newHandlerWithLive(maxEdges, reqTimeout, maxStores, storeDir, "")
 	return h, errs
 }
 
@@ -102,15 +121,26 @@ func newHandlerWithStores(maxEdges int64, reqTimeout time.Duration, maxStores in
 // and a non-empty liveDir roots the durable live graph (restore errors from
 // either are returned, not fatal). The returned liveService must be closed
 // on shutdown to seal the live logs; until then the on-disk tail is open
-// for appending and a second process cannot adopt the directory.
-func newHandlerWithLive(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir, liveDir string) (http.Handler, *liveService, []error) {
+// for appending and a second process cannot adopt the directory. The
+// returned serverObs owns the registry behind GET /metrics and the span
+// ring behind GET /debug/trace; main points the debug listener and the
+// access log at it.
+func newHandlerWithLive(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir, liveDir string) (http.Handler, *liveService, *serverObs, []error) {
 	mux := http.NewServeMux()
+	so := newServerObs()
 	registry := newStoreRegistry(maxStores, storeDir)
+	registry.obs = so.storeObs
+	registry.tracer = so.tracer
 	restoreErrs := registry.restore()
 	registry.register(mux, maxEdges, reqTimeout)
+	so.registerStoreGauges(registry)
 	lsvc := newLiveService(liveDir)
+	lsvc.reg = so.reg
+	lsvc.latNeighbors = so.liveNeighbors
+	lsvc.latKHop = so.liveKHop
 	restoreErrs = append(restoreErrs, lsvc.restore()...)
 	lsvc.register(mux, maxEdges, reqTimeout)
+	so.register(mux)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -132,7 +162,7 @@ func newHandlerWithLive(maxEdges int64, reqTimeout time.Duration, maxStores int,
 			ctx, cancel = context.WithTimeout(ctx, reqTimeout)
 			defer cancel()
 		}
-		resp, status, err := servePartition(ctx, &req, maxEdges)
+		resp, status, err := servePartition(ctx, &req, maxEdges, so.tracer)
 		if err != nil {
 			body := errorBody{Error: err.Error()}
 			var perr *methods.ParamError
@@ -148,10 +178,10 @@ func newHandlerWithLive(maxEdges int64, reqTimeout time.Duration, maxStores int,
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	return mux, lsvc, restoreErrs
+	return so.instrument(mux), lsvc, so, restoreErrs
 }
 
-func servePartition(ctx context.Context, req *Request, maxEdges int64) (*Response, int, error) {
+func servePartition(ctx context.Context, req *Request, maxEdges int64, tr *obs.Tracer) (*Response, int, error) {
 	if req.Parts <= 0 {
 		return nil, http.StatusBadRequest, fmt.Errorf("parts must be positive, got %d", req.Parts)
 	}
@@ -190,6 +220,7 @@ func servePartition(ctx context.Context, req *Request, maxEdges int64) (*Respons
 	}
 	q := res.Quality
 	st := res.Stats
+	recordPartitionPhases(tr, pr.Name(), req.Parts, st.Phases)
 	resp := &Response{
 		Method:   pr.Name(),
 		Parts:    req.Parts,

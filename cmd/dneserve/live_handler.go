@@ -14,6 +14,7 @@ import (
 	"github.com/distributedne/dne/internal/dynpart"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/live"
+	"github.com/distributedne/dne/internal/obs"
 )
 
 // The live endpoints expose internal/live over HTTP: one dynamic graph per
@@ -29,6 +30,13 @@ type liveService struct {
 	mu  sync.Mutex
 	dir string // "" = create a temp dir at first ingest
 	lv  *live.Live
+
+	// reg, when set, receives the live graph's metric families as soon as
+	// the graph is opened; latNeighbors/latKHop time the epoch query paths
+	// (which bypass the store's own instrumentation). All nil-safe.
+	reg          *obs.Registry
+	latNeighbors *obs.Histogram
+	latKHop      *obs.Histogram
 }
 
 func newLiveService(dir string) *liveService {
@@ -51,6 +59,7 @@ func (ls *liveService) restore() []error {
 	if err != nil {
 		return []error{fmt.Errorf("live: restoring %s: %w", ls.dir, err)}
 	}
+	lv.RegisterMetrics(ls.reg)
 	ls.lv = lv
 	return nil
 }
@@ -84,6 +93,7 @@ func (ls *liveService) open(parts int, seed int64) (*live.Live, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	lv.RegisterMetrics(ls.reg)
 	ls.lv = lv
 	return lv, http.StatusOK, nil
 }
@@ -283,7 +293,7 @@ func (ls *liveService) register(mux *http.ServeMux, maxEdges int64, reqTimeout t
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
 		}
-		resp, status, err := serveLiveNeighbors(lv, &req)
+		resp, status, err := ls.serveLiveNeighbors(lv, &req)
 		if err != nil {
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
@@ -309,7 +319,7 @@ func (ls *liveService) register(mux *http.ServeMux, maxEdges int64, reqTimeout t
 			ctx, cancel = context.WithTimeout(ctx, reqTimeout)
 			defer cancel()
 		}
-		resp, status, err := serveLiveKHop(ctx, lv, &req)
+		resp, status, err := ls.serveLiveKHop(ctx, lv, &req)
 		if err != nil {
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
@@ -318,7 +328,7 @@ func (ls *liveService) register(mux *http.ServeMux, maxEdges int64, reqTimeout t
 	})
 }
 
-func serveLiveNeighbors(lv *live.Live, req *LiveNeighborsRequest) (*LiveNeighborsResponse, int, error) {
+func (ls *liveService) serveLiveNeighbors(lv *live.Live, req *LiveNeighborsRequest) (*LiveNeighborsResponse, int, error) {
 	var vs []uint32
 	switch {
 	case req.Vertex != nil && len(req.Vertices) > 0:
@@ -337,6 +347,7 @@ func serveLiveNeighbors(lv *live.Live, req *LiveNeighborsRequest) (*LiveNeighbor
 	// same snapshot even while ingestion continues.
 	ep := lv.Epoch()
 	start := time.Now()
+	defer func() { ls.latNeighbors.Observe(int64(time.Since(start))) }()
 	resp := &LiveNeighborsResponse{Epoch: ep.Seq(), Results: make([]VertexNeighbors, 0, len(vs))}
 	for _, v := range vs {
 		ns, err := ep.Neighbors(graph.Vertex(v))
@@ -355,12 +366,13 @@ func serveLiveNeighbors(lv *live.Live, req *LiveNeighborsRequest) (*LiveNeighbor
 	return resp, http.StatusOK, nil
 }
 
-func serveLiveKHop(ctx context.Context, lv *live.Live, req *LiveKHopRequest) (*LiveKHopResponse, int, error) {
+func (ls *liveService) serveLiveKHop(ctx context.Context, lv *live.Live, req *LiveKHopRequest) (*LiveKHopResponse, int, error) {
 	if req.K < 0 || req.K > maxKHop {
 		return nil, http.StatusBadRequest, fmt.Errorf("k %d outside [0,%d]", req.K, maxKHop)
 	}
 	ep := lv.Epoch()
 	start := time.Now()
+	defer func() { ls.latKHop.Observe(int64(time.Since(start))) }()
 	res, err := ep.KHop(ctx, graph.Vertex(req.Vertex), req.K)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {

@@ -22,6 +22,14 @@
 //	                             an optional bounded rebalance first
 //	POST   /api/live/query/neighbors  point lookups against the live epoch
 //	POST   /api/live/query/khop       k-hop BFS against the live epoch
+//	GET    /metrics              Prometheus text exposition of every
+//	                             subsystem's metric families
+//	GET    /debug/trace          recent phase spans (?format=chrome for
+//	                             chrome://tracing / Perfetto)
+//
+// With -debug-addr set, a second listener serves net/http/pprof plus the
+// same /metrics and /debug/trace. Every request is logged as one JSON line
+// (method, path, status, duration, bytes) unless -quiet is set.
 //
 // A request supplies either explicit edges or a synthetic-generator spec:
 //
@@ -39,6 +47,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,11 +61,24 @@ func main() {
 	maxStores := flag.Int("max-stores", defaultMaxStores, "maximum resident query stores")
 	storeDir := flag.String("store-dir", "", "persist store snapshots here and restore them at startup")
 	liveDir := flag.String("live-dir", "", "root the live graph here (logs + placement state) and reopen it at startup")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics and /debug/trace on this extra listener (empty = off)")
+	quiet := flag.Bool("quiet", false, "suppress the structured access log")
 	flag.Parse()
 
-	handler, lsvc, restoreErrs := newHandlerWithLive(*maxEdges, *timeout, *maxStores, *storeDir, *liveDir)
+	handler, lsvc, so, restoreErrs := newHandlerWithLive(*maxEdges, *timeout, *maxStores, *storeDir, *liveDir)
 	for _, err := range restoreErrs {
 		log.Printf("dneserve: restore: %v", err)
+	}
+	if !*quiet {
+		// One JSON line per request: method, path, status, duration, bytes.
+		so.accessLog = log.New(os.Stderr, "", 0)
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debugMux(so)); err != nil {
+				log.Printf("dneserve: debug listener: %v", err)
+			}
+		}()
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -89,4 +111,19 @@ func main() {
 	if err := lsvc.close(); err != nil {
 		log.Fatalf("dneserve: sealing live graph: %v", err)
 	}
+}
+
+// debugMux is the -debug-addr surface: the runtime profiler plus the same
+// metrics and trace endpoints as the serving listener, so operators can
+// keep the debug port firewalled separately from the API.
+func debugMux(so *serverObs) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", so.serveMetrics)
+	mux.HandleFunc("/debug/trace", so.serveTrace)
+	return mux
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpoint drives a partition, a store build, queries, and a
+// live ingest through the handler, then checks /metrics exposes the
+// subsystem families obs-smoke asserts on.
+func TestMetricsEndpoint(t *testing.T) {
+	h, lsvc, _, errs := newHandlerWithLive(100_000, time.Minute, 4, "", t.TempDir())
+	if len(errs) > 0 {
+		t.Fatalf("restore errors: %v", errs)
+	}
+	defer lsvc.close()
+
+	if rec := doJSON(t, h, http.MethodPost, "/api/partition",
+		Request{Method: "dne", Parts: 2, RMAT: &RMATSpec{Scale: 6, EF: 4, Seed: 1}}); rec.Code != http.StatusOK {
+		t.Fatalf("partition: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := doJSON(t, h, http.MethodPost, "/api/store/build",
+		StoreBuildRequest{Method: "dne", Parts: 2, Name: "m",
+			RMAT: &RMATSpec{Scale: 6, EF: 4, Seed: 1}}); rec.Code != http.StatusOK {
+		t.Fatalf("build: status %d: %s", rec.Code, rec.Body)
+	}
+	v := uint32(0)
+	if rec := doJSON(t, h, http.MethodPost, "/api/query/neighbors",
+		NeighborsRequest{Store: "m", Vertex: &v}); rec.Code != http.StatusOK {
+		t.Fatalf("neighbors: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := doJSON(t, h, http.MethodPost, "/api/live/ingest",
+		LiveIngestRequest{Parts: 2, Edges: [][2]uint32{{0, 1}, {1, 2}, {2, 0}}}); rec.Code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", rec.Code, rec.Body)
+	}
+
+	rec := doJSON(t, h, http.MethodGet, "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE dne_store_query_duration_seconds histogram",
+		`dne_store_query_duration_seconds_count{kind="neighbors"} 1`,
+		"dne_store_shard_touches_total",
+		`dne_store_shard_touches{shard="0",store="m"}`,
+		"dne_live_edges 3",
+		"dne_live_apply_duration_seconds_count 1",
+		"dne_http_request_duration_seconds",
+		`route="/api/query/neighbors"`,
+		"dne_go_goroutines",
+		"dne_process_uptime_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The partition and build runs must have left spans in the ring.
+	trec := doJSON(t, h, http.MethodGet, "/debug/trace", nil)
+	if trec.Code != http.StatusOK {
+		t.Fatalf("/debug/trace: status %d", trec.Code)
+	}
+	var doc struct {
+		Spans []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(trec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("trace dump does not parse: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, s := range doc.Spans {
+		cats[s.Cat] = true
+	}
+	if !cats["partition"] || !cats["store"] {
+		t.Fatalf("trace ring missing partition/store spans: %+v", doc.Spans)
+	}
+}
+
+func TestRouteLabelBoundsCardinality(t *testing.T) {
+	cases := map[string]string{
+		"/api/partition":        "/api/partition",
+		"/api/store/s1":         "/api/store/{id}",
+		"/api/store/../../etc":  "/api/store/{id}",
+		"/totally/unknown/path": "other",
+		"/healthz":              "/healthz",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/methods"
+	"github.com/distributedne/dne/internal/obs"
 	"github.com/distributedne/dne/internal/partition"
 	"github.com/distributedne/dne/internal/store"
 )
@@ -56,6 +57,12 @@ type storeRegistry struct {
 	nextID    int
 	maxStores int
 	dir       string // "" disables persistence
+
+	// obs, when set, is attached to every built or restored store so their
+	// query latencies and touch counters land on /metrics; tracer receives
+	// the partition phases and build span of each /api/store/build.
+	obs    *store.Obs
+	tracer *obs.Tracer
 }
 
 func newStoreRegistry(maxStores int, dir string) *storeRegistry {
@@ -265,11 +272,20 @@ func (sr *storeRegistry) buildStore(ctx context.Context, req *StoreBuildRequest,
 		}
 		return nil, http.StatusInternalServerError, err
 	}
+	recordPartitionPhases(sr.tracer, pr.Name(), req.Parts, res.Stats.Phases)
 	buildStart := time.Now()
 	st, err := store.Build(g, res)
 	if err != nil {
 		return nil, http.StatusInternalServerError, fmt.Errorf("materializing store: %w", err)
 	}
+	st.SetObs(sr.obs)
+	sr.tracer.Record(obs.Span{
+		Name:  "build",
+		Cat:   "store",
+		Start: buildStart.UnixNano(),
+		Dur:   int64(time.Since(buildStart)),
+		Attrs: map[string]string{"method": pr.Name(), "parts": fmt.Sprint(req.Parts)},
+	})
 	q := res.Quality
 	info := StoreInfo{
 		Method:            pr.Name(),
@@ -432,6 +448,7 @@ func (sr *storeRegistry) restore() []error {
 			errs = append(errs, fmt.Errorf("%s: %w", de.Name(), err))
 			continue
 		}
+		st.SetObs(sr.obs)
 		info := StoreInfo{
 			Store:             name,
 			Method:            "unknown",

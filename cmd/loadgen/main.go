@@ -38,6 +38,7 @@ import (
 	"github.com/distributedne/dne/internal/live"
 	"github.com/distributedne/dne/internal/methods"
 	_ "github.com/distributedne/dne/internal/methods/all"
+	"github.com/distributedne/dne/internal/obs"
 	"github.com/distributedne/dne/internal/partition"
 	"github.com/distributedne/dne/internal/store"
 )
@@ -59,6 +60,9 @@ func main() {
 	k := flag.Int("k", 2, "traversal depth of k-hop queries")
 	workloadSeed := flag.Int64("workload-seed", 7, "query-selection seed (same seed = identical workload)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+
+	scrape := flag.Bool("scrape", false, "poll the in-process Prometheus exposition during each run and report server-side vs client-side p99 drift")
+	scrapeInterval := flag.Duration("scrape-interval", 200*time.Millisecond, "poll period of -scrape")
 
 	liveMode := flag.Bool("live", false, "drive a mixed ingest+query workload against the live-graph subsystem")
 	churnFactor := flag.Float64("churn-factor", 1.2, "live: stream length as a multiple of |E|")
@@ -108,6 +112,7 @@ func main() {
 		KHopK:     *k,
 		Seed:      *workloadSeed,
 	}
+	var driftLines []string
 	for _, name := range strings.Split(*methodList, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -128,7 +133,21 @@ func main() {
 			log.Fatalf("loadgen: %s: store build: %v", name, err)
 		}
 		buildElapsed := time.Since(buildStart)
+		// -scrape attaches a registry to the store and polls its Prometheus
+		// exposition while the workload runs, exactly as a scraping
+		// Prometheus would; the drift lines after the table compare the
+		// bucket-derived server-side p99 with the measured client-side p99.
+		var sc *scraper
+		if *scrape {
+			reg := obs.NewRegistry()
+			st.SetObs(store.NewObs(reg))
+			sc = newScraper(reg, *scrapeInterval)
+		}
 		rep, err := bench.RunServing(ctx, st, cfg)
+		if sc != nil {
+			sc.close()
+			driftLines = append(driftLines, sc.driftLine(pr.Name(), rep.LatencyP99))
+		}
 		if err != nil {
 			log.Fatalf("loadgen: %s: workload: %v", name, err)
 		}
@@ -146,6 +165,9 @@ func main() {
 		)
 	}
 	table.Print(os.Stdout)
+	for _, line := range driftLines {
+		fmt.Println(line)
+	}
 }
 
 func ms(d time.Duration) string {

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/distributedne/dne/internal/obs"
+)
+
+// scraper polls an in-process registry's Prometheus text exposition while a
+// workload runs — the identical bytes a Prometheus server would scrape —
+// and recovers the server-side query-latency quantile from the histogram
+// buckets. Comparing that against the client-side quantile measured by the
+// workload shows how much a bucket-quantile read drifts from the measured
+// tail: the drift bounds what a dashboard built on /metrics under-, or
+// over-states real client latency by.
+type scraper struct {
+	reg      *obs.Registry
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu       sync.Mutex
+	scrapes  int
+	lastText string
+}
+
+func newScraper(reg *obs.Registry, interval time.Duration) *scraper {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	s := &scraper{reg: reg, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{})}
+	go s.run()
+	return s
+}
+
+func (s *scraper) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.scrape()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *scraper) scrape() {
+	var b strings.Builder
+	_ = s.reg.WritePrometheus(&b)
+	s.mu.Lock()
+	s.scrapes++
+	s.lastText = b.String()
+	s.mu.Unlock()
+}
+
+// close stops the poll loop and takes one final scrape so the parsed
+// exposition covers the complete run.
+func (s *scraper) close() {
+	close(s.stop)
+	<-s.done
+	s.scrape()
+}
+
+// serverQuantile reads quantile q of the named histogram family from the
+// last scraped exposition, merging every label set (e.g. the per-kind
+// children of dne_store_query_duration_seconds). The bool is false when the
+// family has no samples.
+func (s *scraper) serverQuantile(family string, q float64) (time.Duration, bool) {
+	s.mu.Lock()
+	text := s.lastText
+	s.mu.Unlock()
+	sec, ok := histogramQuantile(text, family, q)
+	if !ok || math.IsInf(sec, 1) {
+		return 0, false
+	}
+	return time.Duration(sec * float64(time.Second)), true
+}
+
+func (s *scraper) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scrapes
+}
+
+// driftLine renders the server-vs-client comparison for one method.
+func (s *scraper) driftLine(method string, clientP99 time.Duration) string {
+	serverP99, ok := s.serverQuantile("dne_store_query_duration_seconds", 0.99)
+	if !ok {
+		return fmt.Sprintf("scrape: %-8s no server-side samples (%d scrapes)", method, s.count())
+	}
+	drift := 0.0
+	if clientP99 > 0 {
+		drift = (float64(serverP99) - float64(clientP99)) / float64(clientP99) * 100
+	}
+	return fmt.Sprintf("scrape: %-8s server p99 %s ms, client p99 %s ms, drift %+.1f%% (%d scrapes)",
+		method, ms(serverP99), ms(clientP99), drift, s.count())
+}
+
+// histogramQuantile computes quantile q of one histogram family from
+// Prometheus text exposition, merging all children. Bucket parsing follows
+// the exposition contract: per-child cumulative counts over ascending le
+// bounds, +Inf last. Returns the le upper bound (in the exported unit) of
+// the bucket holding the quantile rank.
+func histogramQuantile(text, family string, q float64) (float64, bool) {
+	prefix := family + "_bucket{"
+	type child struct {
+		les []float64
+		cum []uint64
+	}
+	children := map[string]*child{}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		sel, count, ok := strings.Cut(line[len(prefix)-1:], " ")
+		if !ok {
+			continue
+		}
+		le, rest, ok := cutLabel(sel, "le")
+		if !ok {
+			continue
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			bound, _ = strconv.ParseFloat(le, 64)
+		}
+		n, err := strconv.ParseUint(count, 10, 64)
+		if err != nil {
+			continue
+		}
+		c := children[rest]
+		if c == nil {
+			c = &child{}
+			children[rest] = c
+		}
+		c.les = append(c.les, bound)
+		c.cum = append(c.cum, n)
+	}
+	// Cumulative per child → per-bucket increments, merged across children.
+	merged := map[float64]uint64{}
+	var total uint64
+	for _, c := range children {
+		var prev uint64
+		for i, le := range c.les {
+			inc := c.cum[i] - prev
+			prev = c.cum[i]
+			if math.IsInf(le, 1) {
+				total += c.cum[i]
+				continue
+			}
+			merged[le] += inc
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	les := make([]float64, 0, len(merged))
+	for le := range merged {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, le := range les {
+		cum += merged[le]
+		if cum >= rank {
+			return le, true
+		}
+	}
+	// Rank falls in the +Inf bucket: the exposition's finite bounds don't
+	// cover it (shouldn't happen with our writer, which emits every
+	// non-empty bucket).
+	return math.Inf(1), true
+}
+
+// cutLabel removes `name="value"` from a {..} selector, returning the value
+// and the selector without that pair (child identity for merging).
+func cutLabel(sel, name string) (value, rest string, ok bool) {
+	i := strings.Index(sel, name+`="`)
+	if i < 0 {
+		return "", "", false
+	}
+	start := i + len(name) + 2
+	end := strings.Index(sel[start:], `"`)
+	if end < 0 {
+		return "", "", false
+	}
+	value = sel[start : start+end]
+	rest = sel[:i] + sel[start+end+1:]
+	return value, rest, true
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"github.com/distributedne/dne/internal/dynpart"
 	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/live"
+	"github.com/distributedne/dne/internal/obs"
 )
 
 // LiveConfig describes one mixed ingest+query workload against a live
@@ -73,7 +73,11 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	return c
 }
 
-// LivePhase is the measured query latency of one workload phase.
+// LivePhase is the measured query latency of one workload phase. Quantiles
+// come from a shared log-bucketed histogram (internal/obs): workers record
+// concurrently with no per-worker sample slices, and each quantile carries
+// a bounded relative error of at most one bucket width (≤ 6.25%); Max is
+// exact.
 type LivePhase struct {
 	Phase      string        `json:"phase"`
 	Queries    int64         `json:"queries"`
@@ -248,15 +252,13 @@ func runLivePhase(ctx context.Context, lv *live.Live, name string, cfg LiveConfi
 	if maintenance != nil {
 		minQueries = int64(cfg.Queries) / 4
 	}
-	latCh := make(chan []time.Duration, cfg.Workers)
+	hist := obs.NewHistogram()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var lats []time.Duration
-			defer func() { latCh <- lats }()
 			for {
 				i := next.Add(1) - 1
 				// Duration-bound phases cycle the pool until stopped;
@@ -280,7 +282,7 @@ func runLivePhase(ctx context.Context, lv *live.Live, name string, cfg LiveConfi
 				} else {
 					_, err = ep.Neighbors(q.v)
 				}
-				lats = append(lats, time.Since(qStart))
+				hist.Observe(int64(time.Since(qStart)))
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -294,25 +296,20 @@ func runLivePhase(ctx context.Context, lv *live.Live, name string, cfg LiveConfi
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	close(latCh)
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return LivePhase{}, err
 	}
-	var all []time.Duration
-	for lats := range latCh {
-		all = append(all, lats...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	ph := LivePhase{Phase: name, Queries: int64(len(all)), Elapsed: elapsed}
-	if len(all) == 0 {
+	snap := hist.Snapshot()
+	ph := LivePhase{Phase: name, Queries: int64(snap.Count), Elapsed: elapsed}
+	if snap.Count == 0 {
 		return ph, nil
 	}
 	if s := elapsed.Seconds(); s > 0 {
-		ph.Throughput = float64(len(all)) / s
+		ph.Throughput = float64(snap.Count) / s
 	}
-	ph.LatencyP50 = percentile(all, 0.50)
-	ph.LatencyP95 = percentile(all, 0.95)
-	ph.LatencyP99 = percentile(all, 0.99)
-	ph.LatencyMax = all[len(all)-1]
+	ph.LatencyP50 = time.Duration(snap.Quantile(0.50))
+	ph.LatencyP95 = time.Duration(snap.Quantile(0.95))
+	ph.LatencyP99 = time.Duration(snap.Quantile(0.99))
+	ph.LatencyMax = time.Duration(snap.Max)
 	return ph, nil
 }

@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/obs"
 	"github.com/distributedne/dne/internal/store"
 )
 
@@ -47,6 +47,11 @@ func (c ServingConfig) withDefaults() ServingConfig {
 // ServingReport is the measured outcome of a serving workload: throughput,
 // latency percentiles, and the cross-shard traffic the store's partitioning
 // induced — the online counterpart of the offline replication factor.
+//
+// Latency quantiles are read from a log-bucketed histogram (internal/obs)
+// rather than a sorted sample array: recording is allocation-free and
+// concurrent, at the cost of a bounded relative quantile error of at most
+// one bucket width (≤ 6.25%); LatencyMax is exact.
 type ServingReport struct {
 	Queries    int64
 	Elapsed    time.Duration
@@ -94,7 +99,7 @@ func RunServing(ctx context.Context, st *store.Store, cfg ServingConfig) (Servin
 	}
 
 	st.ResetMetrics()
-	latencies := make([]time.Duration, cfg.Queries)
+	hist := obs.NewHistogram()
 	var next atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
@@ -133,7 +138,7 @@ func RunServing(ctx context.Context, st *store.Store, cfg ServingConfig) (Servin
 				} else {
 					_, err = st.Neighbors(q.v)
 				}
-				latencies[i] = time.Since(qStart)
+				hist.Observe(int64(time.Since(qStart)))
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -158,11 +163,11 @@ func RunServing(ctx context.Context, st *store.Store, cfg ServingConfig) (Servin
 	if elapsed > 0 {
 		rep.Throughput = float64(cfg.Queries) / elapsed.Seconds()
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	rep.LatencyP50 = percentile(latencies, 0.50)
-	rep.LatencyP95 = percentile(latencies, 0.95)
-	rep.LatencyP99 = percentile(latencies, 0.99)
-	rep.LatencyMax = latencies[len(latencies)-1]
+	snap := hist.Snapshot()
+	rep.LatencyP50 = time.Duration(snap.Quantile(0.50))
+	rep.LatencyP95 = time.Duration(snap.Quantile(0.95))
+	rep.LatencyP99 = time.Duration(snap.Quantile(0.99))
+	rep.LatencyMax = time.Duration(snap.Max)
 	var sum, max int64
 	for _, c := range m.PerShardTouches {
 		sum += c
@@ -174,13 +179,4 @@ func RunServing(ctx context.Context, st *store.Store, cfg ServingConfig) (Servin
 		rep.TouchImbalance = float64(max) / (float64(sum) / float64(len(m.PerShardTouches)))
 	}
 	return rep, nil
-}
-
-// percentile reads quantile q from sorted latencies (nearest-rank).
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
 }

@@ -187,8 +187,10 @@ func (n *node) Send(to int, tag Tag, body Body) {
 	if to != n.rank {
 		// Local (same-machine) traffic is free, as in the paper's
 		// communication-cost accounting.
+		wire := int64(headerBytes + body.WireSize())
 		n.Stats().MessagesSent.Add(1)
-		n.Stats().BytesSent.Add(int64(headerBytes + body.WireSize()))
+		n.Stats().BytesSent.Add(wire)
+		globalObs.record(tag, n.rank, wire)
 	}
 	n.c.boxes[to].put(msg)
 }

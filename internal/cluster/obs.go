@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"github.com/distributedne/dne/internal/obs"
+)
+
+// Clusters are transient — a partition run builds one, uses it, and drops
+// it — so per-cluster Stats vanish with the run. The process-cumulative
+// aggregates below survive across runs and are what a serving process
+// exposes on /metrics: total bytes/messages by tag class and by sending
+// rank. Bumped on the same condition as Stats (remote traffic only; local
+// delivery is free, as in the paper's cost model).
+
+// maxObsRanks bounds the per-rank aggregate arrays; ranks at or above the
+// bound fold into the final "other" slot so pathological cluster sizes
+// can't grow the metric surface.
+const maxObsRanks = 64
+
+type commObs struct {
+	tagBytes [256]atomic.Int64
+	tagMsgs  [256]atomic.Int64
+	// index maxObsRanks is the overflow ("other") slot.
+	rankBytes [maxObsRanks + 1]atomic.Int64
+	rankMsgs  [maxObsRanks + 1]atomic.Int64
+}
+
+var globalObs commObs
+
+func (o *commObs) record(tag Tag, rank int, wireBytes int64) {
+	o.tagBytes[tag].Add(wireBytes)
+	o.tagMsgs[tag].Add(1)
+	r := rank
+	if r < 0 || r >= maxObsRanks {
+		r = maxObsRanks
+	}
+	o.rankBytes[r].Add(wireBytes)
+	o.rankMsgs[r].Add(1)
+}
+
+// tagLabel names a tag for exposition: reserved collective tags get their
+// role, algorithm tags their offset from TagUser.
+func tagLabel(t Tag) string {
+	switch t {
+	case tagBarrier:
+		return "barrier"
+	case tagReduce:
+		return "reduce"
+	case tagBcast:
+		return "bcast"
+	case tagCollCount:
+		return "coll_count"
+	case tagCollData:
+		return "coll_data"
+	}
+	return fmt.Sprintf("user_%d", t-TagUser)
+}
+
+func rankLabel(r int) string {
+	if r == maxObsRanks {
+		return "other"
+	}
+	return strconv.Itoa(r)
+}
+
+// RegisterMetrics exposes the process-cumulative communication aggregates
+// on reg. Families emit only label sets that have seen traffic, so an idle
+// process scrapes clean. Nil registry → no-op.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("dne_cluster_bytes_total",
+		"Remote bytes sent across all clusters in this process, by message tag (header framing included).",
+		func(emit func(v float64, kv ...string)) {
+			for t := range globalObs.tagBytes {
+				if v := globalObs.tagBytes[t].Load(); v > 0 {
+					emit(float64(v), "tag", tagLabel(Tag(t)))
+				}
+			}
+		})
+	reg.CounterFunc("dne_cluster_messages_total",
+		"Remote messages sent across all clusters in this process, by message tag.",
+		func(emit func(v float64, kv ...string)) {
+			for t := range globalObs.tagMsgs {
+				if v := globalObs.tagMsgs[t].Load(); v > 0 {
+					emit(float64(v), "tag", tagLabel(Tag(t)))
+				}
+			}
+		})
+	reg.CounterFunc("dne_cluster_rank_bytes_total",
+		"Remote bytes sent across all clusters in this process, by sending rank.",
+		func(emit func(v float64, kv ...string)) {
+			for r := range globalObs.rankBytes {
+				if v := globalObs.rankBytes[r].Load(); v > 0 {
+					emit(float64(v), "rank", rankLabel(r))
+				}
+			}
+		})
+	reg.CounterFunc("dne_cluster_rank_messages_total",
+		"Remote messages sent across all clusters in this process, by sending rank.",
+		func(emit func(v float64, kv ...string)) {
+			for r := range globalObs.rankMsgs {
+				if v := globalObs.rankMsgs[r].Load(); v > 0 {
+					emit(float64(v), "rank", rankLabel(r))
+				}
+			}
+		})
+}

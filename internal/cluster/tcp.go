@@ -254,8 +254,10 @@ func (n *TCPNode) Send(to int, tag Tag, body Body) {
 		n.box.put(Message{From: f.From, To: to, Tag: tag, Seq: f.Seq, Body: env.B})
 		return
 	}
+	wire := int64(headerBytes + body.WireSize())
 	n.stats.MessagesSent.Add(1)
-	n.stats.BytesSent.Add(int64(headerBytes + body.WireSize()))
+	n.stats.BytesSent.Add(wire)
+	globalObs.record(tag, n.rank, wire)
 	n.encMu.Lock()
 	err := n.enc.Encode(f)
 	n.encMu.Unlock()

@@ -576,6 +576,7 @@ var All = []struct {
 	{"table5", "graph applications (SSSP/WCC/PageRank)", Table5},
 	{"table6", "road networks (non-skewed)", Table6},
 	{"perf", "tracked perf snapshot of the expansion partitioners (BENCH_dne.json)", Perf},
+	{"obs", "observability overhead: instrumented vs no-op-registry serving latency (BENCH_obs.json)", ObsOverhead},
 	{"stream", "source-based input: stream vs materialized memory, bit-identity", ExtStream},
 	{"live", "live graph: phased query mix, RF drift, migration rate (BENCH_live.json)", ExtLive},
 	{"extdyn", "§8 extension: dynamic-graph incremental maintenance", ExtDynamic},

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/distributedne/dne/internal/bench"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/methods"
+	"github.com/distributedne/dne/internal/obs"
+	"github.com/distributedne/dne/internal/partition"
+	"github.com/distributedne/dne/internal/store"
+)
+
+// ObsArm is one arm's measured serving latency (medians across rounds).
+type ObsArm struct {
+	Arm    string  `json:"arm"`
+	Rounds int     `json:"rounds"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	QPS    float64 `json:"qps"`
+}
+
+// ObsSnapshot is the BENCH_obs.json document: the instrumentation-overhead
+// proof. Both arms run the identical seeded workload against the same
+// store; the only difference is whether the store's Obs handles are backed
+// by a live registry (every query records into sharded histograms and
+// counters) or by the no-op registry (typed-nil handles, one predictable
+// branch per record site). RatioP99 near 1.0 is the "near-free" claim.
+type ObsSnapshot struct {
+	Graph    string  `json:"graph"`
+	Edges    int64   `json:"edges"`
+	Parts    int     `json:"parts"`
+	Queries  int     `json:"queries"`
+	Baseline ObsArm  `json:"baseline"`
+	Instr    ObsArm  `json:"instrumented"`
+	RatioP50 float64 `json:"ratio_p50"`
+	RatioP99 float64 `json:"ratio_p99"`
+}
+
+// ObsOverhead measures the serving-latency cost of the observability layer
+// and writes the BENCH_obs.json snapshot when -json is given. Rounds of the
+// two arms interleave so clock drift and cache state land on both equally;
+// each arm reports its median across rounds.
+func ObsOverhead(o Options) error {
+	scale := 12 + o.Shift
+	rounds := 5
+	queries := 10_000
+	if o.Quick {
+		scale = 9 + o.Shift
+		rounds = 3
+		queries = 2_000
+	}
+	const edgeFactor = 8
+	const parts = 8
+	g := gen.RMAT(scale, edgeFactor, o.Seed)
+	pr, spec, err := methods.New("dne", partition.NewSpec(parts, o.Seed))
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	res, err := pr.Partition(o.ctx(), g, spec)
+	if err != nil {
+		return fmt.Errorf("obs: partition: %w", err)
+	}
+	st, err := store.Build(g, res)
+	if err != nil {
+		return fmt.Errorf("obs: store build: %w", err)
+	}
+
+	cfg := bench.ServingConfig{
+		Queries:   queries,
+		Workers:   4,
+		KHopRatio: 0.2,
+		KHopK:     2,
+		Seed:      o.Seed,
+	}
+	reg := obs.NewRegistry()
+	arms := []struct {
+		name   string
+		handle *store.Obs
+	}{
+		// NewObs(nil) is the no-op registry arm: the handle exists, every
+		// instrument in it is a typed nil.
+		{"noop-registry", store.NewObs(nil)},
+		{"instrumented", store.NewObs(reg)},
+	}
+	type sample struct{ p50, p99, qps float64 }
+	results := make([][]sample, len(arms))
+	for r := 0; r < rounds; r++ {
+		for i, arm := range arms {
+			st.SetObs(arm.handle)
+			rep, err := bench.RunServing(o.ctx(), st, cfg)
+			if err != nil {
+				return fmt.Errorf("obs: %s round %d: %w", arm.name, r, err)
+			}
+			results[i] = append(results[i], sample{
+				p50: float64(rep.LatencyP50.Microseconds()) / 1000,
+				p99: float64(rep.LatencyP99.Microseconds()) / 1000,
+				qps: rep.Throughput,
+			})
+		}
+	}
+	median := func(ss []sample, f func(sample) float64) float64 {
+		vs := make([]float64, len(ss))
+		for i, s := range ss {
+			vs[i] = f(s)
+		}
+		sort.Float64s(vs)
+		return vs[len(vs)/2]
+	}
+	mkArm := func(name string, ss []sample) ObsArm {
+		return ObsArm{
+			Arm:    name,
+			Rounds: len(ss),
+			P50MS:  median(ss, func(s sample) float64 { return s.p50 }),
+			P99MS:  median(ss, func(s sample) float64 { return s.p99 }),
+			QPS:    median(ss, func(s sample) float64 { return s.qps }),
+		}
+	}
+	snap := ObsSnapshot{
+		Graph:    fmt.Sprintf("rmat-s%d-e%d", scale, edgeFactor),
+		Edges:    g.NumEdges(),
+		Parts:    parts,
+		Queries:  queries,
+		Baseline: mkArm(arms[0].name, results[0]),
+		Instr:    mkArm(arms[1].name, results[1]),
+	}
+	if snap.Baseline.P50MS > 0 {
+		snap.RatioP50 = snap.Instr.P50MS / snap.Baseline.P50MS
+	}
+	if snap.Baseline.P99MS > 0 {
+		snap.RatioP99 = snap.Instr.P99MS / snap.Baseline.P99MS
+	}
+
+	tbl := &bench.Table{Header: []string{"arm", "rounds", "p50(ms)", "p99(ms)", "qps"}}
+	for _, a := range []ObsArm{snap.Baseline, snap.Instr} {
+		tbl.Add(a.Arm, a.Rounds, fmt.Sprintf("%.4f", a.P50MS), fmt.Sprintf("%.4f", a.P99MS),
+			fmt.Sprintf("%.0f", a.QPS))
+	}
+	tbl.Print(o.out())
+	fmt.Fprintf(o.out(), "p99 ratio instrumented/noop = %.3f (p50 %.3f)\n", snap.RatioP99, snap.RatioP50)
+
+	// Sanity: the instrumented rounds must actually have recorded — an
+	// overhead number for instruments that never fired proves nothing.
+	var b countWriter
+	if err := reg.WritePrometheus(&b); err != nil {
+		return err
+	}
+	if b.n == 0 {
+		return fmt.Errorf("obs: instrumented registry exported nothing")
+	}
+
+	if o.JSONPath != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(o.JSONPath, buf, 0o644); err != nil {
+			return fmt.Errorf("obs: write snapshot: %w", err)
+		}
+		fmt.Fprintf(o.out(), "wrote %s\n", o.JSONPath)
+	}
+	return nil
+}
+
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

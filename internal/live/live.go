@@ -9,9 +9,11 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/distributedne/dne/internal/dynpart"
 	"github.com/distributedne/dne/internal/graph"
+	"github.com/distributedne/dne/internal/obs"
 	"github.com/distributedne/dne/internal/store"
 )
 
@@ -47,7 +49,14 @@ type Live struct {
 	ncomp   int64 // compactions performed
 	closed  bool
 
-	epoch atomic.Pointer[store.Epoch] // published snapshot; readers load and go
+	epoch       atomic.Pointer[store.Epoch] // published snapshot; readers load and go
+	lastPublish atomic.Int64                // UnixNano of the last published epoch
+
+	// Maintenance duration histograms, attached by RegisterMetrics; nil
+	// (the default) records nothing.
+	obsApply     *obs.Histogram
+	obsCompact   *obs.Histogram
+	obsRebalance *obs.Histogram
 }
 
 // MaxOverlay returns the overlay mutation count that triggers an automatic
@@ -271,6 +280,7 @@ func (l *Live) publishLocked() {
 		frozen = l.pending.Clone()
 	}
 	l.epoch.Store(store.NewEpoch(l.base, frozen, l.seq))
+	l.lastPublish.Store(time.Now().UnixNano())
 }
 
 // Epoch returns the current published snapshot. Queries run entirely
@@ -313,6 +323,8 @@ func (l *Live) Apply(events []dynpart.Event) (int, error) {
 	if l.closed {
 		return 0, fmt.Errorf("live: closed")
 	}
+	start := time.Now()
+	defer func() { l.obsApply.Observe(int64(time.Since(start))) }()
 	changed := 0
 	for _, ev := range events {
 		c := ev.Edge.Canon()
@@ -373,6 +385,8 @@ func (l *Live) Rebalance(budget int) (int, error) {
 	if l.closed {
 		return 0, fmt.Errorf("live: closed")
 	}
+	start := time.Now()
+	defer func() { l.obsRebalance.Observe(int64(time.Since(start))) }()
 	cap := l.st.capEdges(0)
 	moved := 0
 	sizes := l.st.sizes
@@ -423,6 +437,8 @@ func (l *Live) Compact() error {
 }
 
 func (l *Live) compactLocked() error {
+	start := time.Now()
+	defer func() { l.obsCompact.Observe(int64(time.Since(start))) }()
 	numParts := l.st.cfg.NumParts
 	packed := make([][]uint64, numParts)
 	// The writer view's vertex bound is stale (fixed at its creation), so

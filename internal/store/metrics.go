@@ -3,6 +3,8 @@ package store
 import (
 	"sync/atomic"
 	"time"
+
+	"github.com/distributedne/dne/internal/obs"
 )
 
 // queryKind indexes the per-kind query counters.
@@ -15,31 +17,94 @@ const (
 	numKinds
 )
 
+// kindNames are the exported label values, indexed by queryKind.
+var kindNames = [numKinds]string{"degree", "neighbors", "khop"}
+
+// Obs bundles the store's externally registered instruments: per-endpoint
+// latency histograms and the exported touch/hop/task counters. All handles
+// are nil-safe, so a store with no Obs (or a nil registry) records nothing
+// beyond its built-in counters. One Obs may be shared by many stores — the
+// families then aggregate across them, which is what a serving process
+// wants on /metrics.
+type Obs struct {
+	latency [numKinds]*obs.Histogram
+	touches *obs.Counter
+	hops    *obs.Counter
+	tasks   *obs.Counter
+}
+
+// NewObs registers the store metric families on reg and returns the handle
+// to hang on stores via SetObs. A nil registry yields a fully no-op handle.
+func NewObs(reg *obs.Registry) *Obs {
+	o := &Obs{
+		touches: reg.Counter("dne_store_shard_touches_total",
+			"Shard fetches performed by store queries."),
+		hops: reg.Counter("dne_store_cross_shard_hops_total",
+			"Replica fetches beyond the first, summed over queries."),
+		tasks: reg.Counter("dne_store_shard_tasks_total",
+			"Per-shard scan tasks fanned out by KHop traversals."),
+	}
+	for k := range o.latency {
+		o.latency[k] = reg.DurationHistogram("dne_store_query_duration_seconds",
+			"Store query latency by endpoint.", "kind", kindNames[k])
+	}
+	return o
+}
+
 // metrics is the store's live instrumentation: lock-free counters bumped on
-// every query so serving cost can be read off a running store.
+// every query so serving cost can be read off a running store, plus the
+// optional obs handles exported on /metrics.
 type metrics struct {
 	queries  [numKinds]atomic.Int64
 	hops     atomic.Int64 // cross-shard hops (replica fetches beyond the first)
 	tasks    atomic.Int64 // KHop per-shard scan tasks
 	latency  atomic.Int64 // summed query wall time, ns
 	perShard []atomic.Int64
+	obs      atomic.Pointer[Obs] // nil = uninstrumented
 }
 
 func (m *metrics) init(numShards int) {
 	m.perShard = make([]atomic.Int64, numShards)
 }
 
+// SetObs attaches (or, with nil, detaches) the exported instruments.
+// Safe to call on a serving store; queries pick the handle up atomically.
+func (st *Store) SetObs(o *Obs) { st.metrics.obs.Store(o) }
+
 // begin counts one query of kind k and returns the closure that records its
 // latency; call it when the query finishes.
 func (m *metrics) begin(k queryKind) func() {
 	m.queries[k].Add(1)
 	start := time.Now()
-	return func() { m.latency.Add(int64(time.Since(start))) }
+	return func() {
+		d := int64(time.Since(start))
+		m.latency.Add(d)
+		if o := m.obs.Load(); o != nil {
+			o.latency[k].Observe(d)
+		}
+	}
 }
 
-func (m *metrics) touchShard(s int) { m.perShard[s].Add(1) }
-func (m *metrics) addHops(n int64)  { m.hops.Add(n) }
-func (m *metrics) addTasks(n int64) { m.tasks.Add(n) }
+func (m *metrics) touchShard(s int) {
+	m.perShard[s].Add(1)
+	if o := m.obs.Load(); o != nil {
+		o.touches.Inc()
+	}
+}
+
+func (m *metrics) addHops(n int64) {
+	m.hops.Add(n)
+	if o := m.obs.Load(); o != nil {
+		o.hops.Add(n)
+	}
+}
+
+func (m *metrics) addTasks(n int64) {
+	m.tasks.Add(n)
+	if o := m.obs.Load(); o != nil {
+		o.tasks.Add(n)
+	}
+}
 
 // Metrics is a point-in-time snapshot of a store's serving counters.
 type Metrics struct {
