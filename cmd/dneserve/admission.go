@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// admissionLimits configures the bounded admission queue in front of the
+// expensive endpoints. Zero values pick defaults sized to the machine.
+type admissionLimits struct {
+	// MaxInflight bounds concurrently executing heavy requests
+	// (default 2×GOMAXPROCS).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot beyond
+	// MaxInflight; arrivals past this are shed immediately with 503
+	// (default 4×MaxInflight).
+	MaxQueue int
+	// MaxWait bounds how long a queued request waits before being shed
+	// (default 2s). This keeps served latency bounded under overload: a
+	// request either starts within MaxWait or turns into a fast 503.
+	MaxWait time.Duration
+}
+
+func (al admissionLimits) withDefaults() admissionLimits {
+	if al.MaxInflight <= 0 {
+		al.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if al.MaxQueue <= 0 {
+		al.MaxQueue = 4 * al.MaxInflight
+	}
+	if al.MaxWait <= 0 {
+		al.MaxWait = 2 * time.Second
+	}
+	return al
+}
+
+// admission is a two-stage gate: a slot channel bounds execution
+// concurrency, and an atomic counter bounds the waiting line. Load beyond
+// slots+queue — or queued longer than MaxWait — is shed with 503 and a
+// Retry-After hint instead of piling onto the goroutine scheduler until the
+// whole server (including health and metrics) stops answering.
+type admission struct {
+	limits admissionLimits
+	slots  chan struct{}
+	queued atomic.Int64
+
+	shedFull    atomic.Int64 // queue at capacity on arrival
+	shedTimeout atomic.Int64 // waited MaxWait without a slot
+	shedGone    atomic.Int64 // client gave up while queued
+}
+
+func newAdmission(limits admissionLimits) *admission {
+	limits = limits.withDefaults()
+	return &admission{
+		limits: limits,
+		slots:  make(chan struct{}, limits.MaxInflight),
+	}
+}
+
+// admit blocks until an execution slot is free (bounded by MaxWait) and
+// returns its release func, or reports why the request must be shed.
+func (a *admission) admit(done <-chan struct{}) (release func(), shedReason string) {
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, ""
+	default:
+	}
+	if a.queued.Add(1) > int64(a.limits.MaxQueue) {
+		a.queued.Add(-1)
+		a.shedFull.Add(1)
+		return nil, "queue_full"
+	}
+	defer a.queued.Add(-1)
+	t := time.NewTimer(a.limits.MaxWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, ""
+	case <-t.C:
+		a.shedTimeout.Add(1)
+		return nil, "queue_timeout"
+	case <-done:
+		a.shedGone.Add(1)
+		return nil, "client_gone"
+	}
+}
+
+// heavyRequest reports whether a request runs real graph work and must pass
+// the admission gate. Reads (health, metrics, traces, listings, stats) stay
+// ungated so the server remains observable while it is shedding.
+func heavyRequest(r *http.Request) bool {
+	return r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/api/")
+}
+
+// guard wraps next with the admission gate. Shed responses are 503 with a
+// Retry-After of the configured queue wait rounded up, so well-behaved
+// clients back off for at least as long as the queue would have held them.
+func (a *admission) guard(next http.Handler) http.Handler {
+	retryAfter := strconv.Itoa(int((a.limits.MaxWait + time.Second - 1) / time.Second))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !heavyRequest(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		release, reason := a.admit(r.Context().Done())
+		if release == nil {
+			w.Header().Set("Retry-After", retryAfter)
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{
+				Error: fmt.Sprintf("server overloaded (%s): %d executing, %d queued; retry after %ss",
+					reason, len(a.slots), a.queued.Load(), retryAfter),
+			})
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// registerAdmissionMetrics exposes the gate on /metrics: current load,
+// configured capacity, and every shed decision by reason.
+func (so *serverObs) registerAdmissionMetrics(a *admission) {
+	so.reg.GaugeFunc("dne_http_inflight",
+		"Heavy requests currently executing.",
+		func(emit func(v float64, kv ...string)) {
+			emit(float64(len(a.slots)))
+		})
+	so.reg.GaugeFunc("dne_http_queue_depth",
+		"Heavy requests waiting for an execution slot.",
+		func(emit func(v float64, kv ...string)) {
+			emit(float64(a.queued.Load()))
+		})
+	so.reg.GaugeFunc("dne_http_admission_capacity",
+		"Configured admission bounds.",
+		func(emit func(v float64, kv ...string)) {
+			emit(float64(a.limits.MaxInflight), "kind", "inflight")
+			emit(float64(a.limits.MaxQueue), "kind", "queue")
+		})
+	so.reg.CounterFunc("dne_http_shed_total",
+		"Requests shed by the admission gate, by reason.",
+		func(emit func(v float64, kv ...string)) {
+			for _, e := range []struct {
+				reason string
+				v      int64
+			}{
+				{"queue_full", a.shedFull.Load()},
+				{"queue_timeout", a.shedTimeout.Load()},
+				{"client_gone", a.shedGone.Load()},
+			} {
+				if e.v > 0 {
+					emit(float64(e.v), "reason", e.reason)
+				}
+			}
+		})
+}

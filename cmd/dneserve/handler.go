@@ -112,7 +112,7 @@ func newHandler(maxEdges int64, reqTimeout time.Duration) http.Handler {
 // newHandlerWithStores is newHandler plus store-registry configuration; the
 // live graph lives in an ephemeral temp directory.
 func newHandlerWithStores(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir string) (http.Handler, []error) {
-	h, _, _, errs := newHandlerWithLive(maxEdges, reqTimeout, maxStores, storeDir, "")
+	h, _, _, errs := newHandlerWithLive(maxEdges, reqTimeout, maxStores, storeDir, "", admissionLimits{})
 	return h, errs
 }
 
@@ -124,8 +124,10 @@ func newHandlerWithStores(maxEdges int64, reqTimeout time.Duration, maxStores in
 // for appending and a second process cannot adopt the directory. The
 // returned serverObs owns the registry behind GET /metrics and the span
 // ring behind GET /debug/trace; main points the debug listener and the
-// access log at it.
-func newHandlerWithLive(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir, liveDir string) (http.Handler, *liveService, *serverObs, []error) {
+// access log at it. adm bounds heavy-request admission (zero = machine-sized
+// defaults); overload beyond its queue is shed with 503 + Retry-After while
+// reads and probes keep answering.
+func newHandlerWithLive(maxEdges int64, reqTimeout time.Duration, maxStores int, storeDir, liveDir string, adm admissionLimits) (http.Handler, *liveService, *serverObs, []error) {
 	mux := http.NewServeMux()
 	so := newServerObs()
 	registry := newStoreRegistry(maxStores, storeDir)
@@ -178,7 +180,10 @@ func newHandlerWithLive(maxEdges int64, reqTimeout time.Duration, maxStores int,
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	return so.instrument(mux), lsvc, so, restoreErrs
+	gate := newAdmission(adm)
+	so.registerAdmissionMetrics(gate)
+	// instrument wraps the gate so shed 503s land in the request metrics too.
+	return so.instrument(gate.guard(mux)), lsvc, so, restoreErrs
 }
 
 func servePartition(ctx context.Context, req *Request, maxEdges int64, tr *obs.Tracer) (*Response, int, error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -58,6 +59,9 @@ func (ls *liveService) restore() []error {
 	lv, err := live.Open(ls.dir, live.Config{})
 	if err != nil {
 		return []error{fmt.Errorf("live: restoring %s: %w", ls.dir, err)}
+	}
+	if rec := lv.Recovery(); rec.Recovered() {
+		log.Printf("dneserve: live crash recovery in %s: %s", ls.dir, rec)
 	}
 	lv.RegisterMetrics(ls.reg)
 	ls.lv = lv

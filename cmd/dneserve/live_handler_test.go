@@ -38,7 +38,7 @@ func liveStats(t *testing.T, h http.Handler, checksum bool) LiveStatsResponse {
 }
 
 func TestLiveIngestStatsQuery(t *testing.T) {
-	h, lsvc, _, errs := newHandlerWithLive(100_000, time.Minute, 2, "", t.TempDir())
+	h, lsvc, _, errs := newHandlerWithLive(100_000, time.Minute, 2, "", t.TempDir(), admissionLimits{})
 	if len(errs) != 0 {
 		t.Fatalf("restore errors: %v", errs)
 	}
@@ -132,7 +132,7 @@ func TestLiveIngestStatsQuery(t *testing.T) {
 }
 
 func TestLiveCompactAndChecksumStability(t *testing.T) {
-	h, lsvc, _, _ := newHandlerWithLive(100_000, time.Minute, 2, "", t.TempDir())
+	h, lsvc, _, _ := newHandlerWithLive(100_000, time.Minute, 2, "", t.TempDir(), admissionLimits{})
 	defer lsvc.close()
 	ingestBatch(t, h, LiveIngestRequest{Parts: 4, Seed: 7, Edges: ringEdges(100)})
 
@@ -156,7 +156,7 @@ func TestLiveCompactAndChecksumStability(t *testing.T) {
 
 func TestLiveRestartResumesGraph(t *testing.T) {
 	dir := t.TempDir()
-	h1, lsvc1, _, _ := newHandlerWithLive(100_000, time.Minute, 2, "", dir)
+	h1, lsvc1, _, _ := newHandlerWithLive(100_000, time.Minute, 2, "", dir, admissionLimits{})
 	ingestBatch(t, h1, LiveIngestRequest{Parts: 4, Seed: 7, Edges: ringEdges(80)})
 	ingestBatch(t, h1, LiveIngestRequest{Deletes: [][2]uint32{{0, 1}, {5, 6}}})
 	sum1 := liveStats(t, h1, true)
@@ -166,7 +166,7 @@ func TestLiveRestartResumesGraph(t *testing.T) {
 
 	// A second handler over the same (sealed) directory replays the logs and
 	// serves the identical graph.
-	h2, lsvc2, _, errs := newHandlerWithLive(100_000, time.Minute, 2, "", dir)
+	h2, lsvc2, _, errs := newHandlerWithLive(100_000, time.Minute, 2, "", dir, admissionLimits{})
 	if len(errs) != 0 {
 		t.Fatalf("restore errors: %v", errs)
 	}
@@ -179,7 +179,7 @@ func TestLiveRestartResumesGraph(t *testing.T) {
 }
 
 func TestLiveIngestBatchCap(t *testing.T) {
-	h, lsvc, _, _ := newHandlerWithLive(10, time.Minute, 2, "", t.TempDir())
+	h, lsvc, _, _ := newHandlerWithLive(10, time.Minute, 2, "", t.TempDir(), admissionLimits{})
 	defer lsvc.close()
 	rec := doJSON(t, h, http.MethodPost, "/api/live/ingest",
 		LiveIngestRequest{Parts: 2, Edges: ringEdges(20)})

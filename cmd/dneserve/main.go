@@ -63,9 +63,13 @@ func main() {
 	liveDir := flag.String("live-dir", "", "root the live graph here (logs + placement state) and reopen it at startup")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics and /debug/trace on this extra listener (empty = off)")
 	quiet := flag.Bool("quiet", false, "suppress the structured access log")
+	maxInflight := flag.Int("max-inflight", 0, "concurrently executing heavy requests (0 = 2×GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "heavy requests queued beyond -max-inflight before shedding 503s (0 = 4×inflight)")
+	queueWait := flag.Duration("queue-wait", 0, "longest a queued request waits for a slot before a 503 (0 = 2s)")
 	flag.Parse()
 
-	handler, lsvc, so, restoreErrs := newHandlerWithLive(*maxEdges, *timeout, *maxStores, *storeDir, *liveDir)
+	adm := admissionLimits{MaxInflight: *maxInflight, MaxQueue: *maxQueue, MaxWait: *queueWait}
+	handler, lsvc, so, restoreErrs := newHandlerWithLive(*maxEdges, *timeout, *maxStores, *storeDir, *liveDir, adm)
 	for _, err := range restoreErrs {
 		log.Printf("dneserve: restore: %v", err)
 	}

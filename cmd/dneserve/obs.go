@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/distributedne/dne/internal/cluster"
+	"github.com/distributedne/dne/internal/dne"
 	"github.com/distributedne/dne/internal/obs"
 	"github.com/distributedne/dne/internal/store"
 )
@@ -49,6 +50,7 @@ func newServerObs() *serverObs {
 	so.liveKHop = so.reg.DurationHistogram("dne_live_query_duration_seconds",
 		"Live-epoch query latency by endpoint.", "kind", "khop")
 	cluster.RegisterMetrics(so.reg)
+	dne.RegisterMetrics(so.reg)
 	so.registerRuntimeMetrics()
 	return so
 }

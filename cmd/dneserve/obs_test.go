@@ -12,7 +12,7 @@ import (
 // live ingest through the handler, then checks /metrics exposes the
 // subsystem families obs-smoke asserts on.
 func TestMetricsEndpoint(t *testing.T) {
-	h, lsvc, _, errs := newHandlerWithLive(100_000, time.Minute, 4, "", t.TempDir())
+	h, lsvc, _, errs := newHandlerWithLive(100_000, time.Minute, 4, "", t.TempDir(), admissionLimits{})
 	if len(errs) > 0 {
 		t.Fatalf("restore errors: %v", errs)
 	}

@@ -55,19 +55,61 @@ func main() {
 		seed     = flag.Int64("seed", 42, "shared random seed")
 		alpha    = flag.Float64("alpha", 1.1, "imbalance factor")
 		lambda   = flag.Float64("lambda", 0.1, "expansion factor")
+
+		ckptDir      = flag.String("ckpt-dir", "", "fault tolerance: write per-superstep checkpoints here and survive worker restarts (shard mode only)")
+		ckptEvery    = flag.Int("ckpt-every", 1, "fault tolerance: checkpoint every N supersteps")
+		maxRestarts  = flag.Int("max-restarts", 3, "fault tolerance: mesh rebuilds survived before giving up")
+		rejoinWindow = flag.Duration("rejoin-window", 30*time.Second, "fault tolerance: how long the router waits for a restarted worker to rejoin")
+		heartbeat    = flag.Duration("heartbeat", 0, "fault tolerance: heartbeat interval for detecting wedged peers (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*rank, *size, *addr, *shardDir, *scale, *ef, *seed, *alpha, *lambda); err != nil {
+	ft := ftFlags{dir: *ckptDir, every: *ckptEvery, maxRestarts: *maxRestarts,
+		rejoinWindow: *rejoinWindow, heartbeat: *heartbeat}
+	if err := run(*rank, *size, *addr, *shardDir, *scale, *ef, *seed, *alpha, *lambda, ft); err != nil {
 		fmt.Fprintf(os.Stderr, "dneworker rank %d: %v\n", *rank, err)
 		os.Exit(1)
 	}
 }
 
-func run(rank, size int, addr, shardDir string, scale, ef int, seed int64, alpha, lambda float64) error {
+// ftFlags bundles the fault-tolerance command line. A non-empty dir turns
+// the feature on: checkpoints are written there, the rank-0 router accepts
+// mesh rebuilds, and dials retry with backoff.
+type ftFlags struct {
+	dir          string
+	every        int
+	maxRestarts  int
+	rejoinWindow time.Duration
+	heartbeat    time.Duration
+}
+
+func (f ftFlags) enabled() bool { return f.dir != "" }
+
+// heartbeatTimeout is the deadline paired with the heartbeat interval: a
+// peer silent for four intervals is treated as dead.
+func (f ftFlags) heartbeatTimeout() time.Duration {
+	if f.heartbeat <= 0 {
+		return 0
+	}
+	return 4 * f.heartbeat
+}
+
+func run(rank, size int, addr, shardDir string, scale, ef int, seed int64, alpha, lambda float64, ft ftFlags) error {
+	if ft.enabled() && shardDir == "" {
+		return fmt.Errorf("-ckpt-dir requires -shard-dir (checkpointing covers the shard data plane)")
+	}
 	var wait func() error
 	if rank == 0 {
+		ropt := cluster.RouterOptions{}
+		if ft.enabled() {
+			ropt.MaxRejoins = ft.maxRestarts
+			ropt.RejoinWindow = ft.rejoinWindow
+			ropt.HeartbeatTimeout = ft.heartbeatTimeout()
+			ropt.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "router: "+format+"\n", args...)
+			}
+		}
 		var err error
-		_, wait, err = cluster.StartRouter(addr, size)
+		_, wait, err = cluster.StartRouterOpts(addr, size, ropt)
 		if err != nil {
 			return err
 		}
@@ -92,6 +134,25 @@ func run(rank, size int, addr, shardDir string, scale, ef int, seed int64, alpha
 		time.Sleep(hardAbortGrace)
 		hardCancel()
 	}()
+
+	if ft.enabled() {
+		// The fault-tolerant driver owns dialing: it reconnects after a
+		// transport loss, so the node is created (and re-created) inside.
+		start := time.Now()
+		runErr := runShardsFT(ctx, hardCtx, rank, size, addr, shardDir, cfg, ft, start)
+		if wait != nil {
+			done := make(chan error, 1)
+			go func() { done <- wait() }()
+			select {
+			case err := <-done:
+				if runErr == nil {
+					runErr = err
+				}
+			case <-time.After(3 * time.Second):
+			}
+		}
+		return runErr
+	}
 
 	node, err := dialWithRetry(hardCtx, addr, rank, size)
 	if err != nil {
@@ -150,6 +211,62 @@ func runShards(ctx context.Context, node *cluster.TCPNode, rank, size int, dir s
 	if res != nil {
 		fmt.Printf("rank 0: RESULT |V|=%d |E|=%d parts=%d EB=%.3f checksum=%#x elapsed=%v\n",
 			shard.NumVertices, res.NumEdges(), res.NumParts, res.EdgeBalance(),
+			res.Checksum(), time.Since(start))
+	}
+	return nil
+}
+
+// runShardsFT is the fault-tolerant shard data plane: per-superstep
+// checkpoints in ft.dir, dial retries with backoff, and rejoin after a
+// transport loss. ctx aborts the run collectively at the next superstep
+// boundary; hardCtx is the transport watchdog that kills blocked receives.
+func runShardsFT(ctx, hardCtx context.Context, rank, size int, addr, dir string, cfg dne.Config, ft ftFlags, start time.Time) error {
+	ckpt, err := dne.NewCheckpointer(ft.dir, rank, size, ft.every, cfg)
+	if err != nil {
+		return err
+	}
+	loadShard := func() (*graph.Shard, error) {
+		shard, err := graph.ReadShardDir(dir, func(index, count uint32) bool {
+			return int(index)%size == rank
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("rank %d: loaded %d shard edges (|V|=%d) from %s\n",
+			rank, shard.NumEdges(), shard.NumVertices, dir)
+		return shard, nil
+	}
+	pol := cluster.RetryPolicy{
+		MaxAttempts: 100,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    ft.rejoinWindow / 10,
+		Seed:        cfg.Seed ^ int64(rank),
+	}
+	dopt := cluster.DialOptions{
+		HeartbeatInterval: ft.heartbeat,
+		HeartbeatTimeout:  ft.heartbeatTimeout(),
+	}
+	connect := func(context.Context) (cluster.Comm, error) {
+		return cluster.DialTCPRetry(hardCtx, addr, rank, size, pol, dopt)
+	}
+	res, stats, err := dne.PartitionShardsFT(ctx, cfg, dne.FTOptions{
+		Checkpoint:  ckpt,
+		Connect:     connect,
+		LoadShard:   loadShard,
+		MaxRestarts: ft.maxRestarts,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d: iterations=%d partition-edges=%d peak-mem=%.1fMB comm=%.1fMB\n",
+		rank, stats.Iterations, stats.PartEdges,
+		float64(stats.MemBytes)/(1<<20), float64(stats.CommBytes)/(1<<20))
+	if res != nil {
+		fmt.Printf("rank 0: RESULT |E|=%d parts=%d EB=%.3f checksum=%#x elapsed=%v\n",
+			res.NumEdges(), res.NumParts, res.EdgeBalance(),
 			res.Checksum(), time.Since(start))
 	}
 	return nil

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/distributedne/dne/internal/bench"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// HTTP mode (-url) drives a remote dneserve instead of the in-process
+// store: the graph is uploaded once via /api/store/build, then the same
+// neighbors/khop mix is fired at /api/query/*. Transient failures — refused
+// or reset connections while the server restarts, and 503 load sheds from
+// its admission gate — are retried with capped exponential backoff and
+// reported separately in the summary instead of counting as query failures.
+
+// httpOptions bundles the -url mode knobs.
+type httpOptions struct {
+	url      string
+	method   string
+	parts    int
+	seed     int64
+	queries  int
+	workers  int
+	khop     float64
+	k        int
+	wseed    int64
+	attempts int
+}
+
+// retryClient wraps http.Client with transient-error retries. A transport
+// error (refused, reset, timeout) or a 503 is backed off and retried up to
+// maxAttempts times; 503s honor the server's Retry-After when it is shorter
+// than the capped backoff. Every retry is counted by cause.
+type retryClient struct {
+	c           *http.Client
+	maxAttempts int
+	base, cap   time.Duration
+
+	connRetries atomic.Int64 // transport-level failures retried
+	shedRetries atomic.Int64 // 503 load sheds retried
+}
+
+func newRetryClient(maxAttempts int) *retryClient {
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	return &retryClient{
+		c:           &http.Client{Timeout: 2 * time.Minute},
+		maxAttempts: maxAttempts,
+		base:        50 * time.Millisecond,
+		cap:         2 * time.Second,
+	}
+}
+
+// transientErr reports whether a transport error is worth retrying: the
+// shapes a restarting or overloaded server produces.
+func transientErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var op *net.OpError
+	if errors.As(err, &op) {
+		return true // refused, reset, EPIPE — all connection-level
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// postJSON POSTs body to url with retries and returns the response bytes.
+// Non-2xx terminal statuses come back as errors carrying the server's error
+// body.
+func (rc *retryClient) postJSON(ctx context.Context, url string, body []byte, rng *rand.Rand) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < rc.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := rc.sleep(ctx, attempt, lastErr, rng); err != nil {
+				return nil, err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rc.c.Do(req)
+		if err != nil {
+			if transientErr(err) && ctx.Err() == nil {
+				rc.connRetries.Add(1)
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			if transientErr(rerr) && ctx.Err() == nil {
+				rc.connRetries.Add(1)
+				lastErr = rerr
+				continue
+			}
+			return nil, rerr
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			rc.shedRetries.Add(1)
+			lastErr = &shedError{retryAfter: resp.Header.Get("Retry-After")}
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, firstLine(b))
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("giving up after %d attempts: %w", rc.maxAttempts, lastErr)
+}
+
+type shedError struct{ retryAfter string }
+
+func (e *shedError) Error() string { return "server shed the request (503)" }
+
+// sleep backs off before attempt n: exponential with full jitter, capped,
+// but never longer than a 503's Retry-After asked for.
+func (rc *retryClient) sleep(ctx context.Context, attempt int, cause error, rng *rand.Rand) error {
+	d := rc.base << uint(attempt-1)
+	if d > rc.cap || d <= 0 {
+		d = rc.cap
+	}
+	d = time.Duration(rng.Int63n(int64(d))) + rc.base/2
+	var shed *shedError
+	if errors.As(cause, &shed) && shed.retryAfter != "" {
+		if sec, err := strconv.Atoi(shed.retryAfter); err == nil && sec >= 0 {
+			if ra := time.Duration(sec) * time.Second; ra < d {
+				d = ra
+			}
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}
+
+// runHTTP is the -url entrypoint: upload, query, summarize.
+func runHTTP(ctx context.Context, g *graph.Graph, opt httpOptions) {
+	rc := newRetryClient(opt.attempts)
+	rng := rand.New(rand.NewSource(opt.wseed))
+
+	edges := make([][2]uint32, g.NumEdges())
+	for i, e := range g.Edges() {
+		edges[i] = [2]uint32{e.U, e.V}
+	}
+	buildBody, _ := json.Marshal(StoreBuildRequest{
+		Method: opt.method, Parts: opt.parts, Seed: opt.seed, Edges: edges,
+	})
+	fmt.Printf("http: building store on %s (%v, method=%s, %d shards)\n", opt.url, g, opt.method, opt.parts)
+	b, err := rc.postJSON(ctx, opt.url+"/api/store/build", buildBody, rng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: http build: %v\n", err)
+		os.Exit(1)
+	}
+	var info StoreInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: http build reply: %v\n", err)
+		os.Exit(1)
+	}
+
+	// The same seeded workload shape as the in-process path: a fixed query
+	// list, partitioned across workers.
+	type query struct {
+		khop   bool
+		vertex uint32
+	}
+	qs := make([]query, opt.queries)
+	for i := range qs {
+		qs[i] = query{
+			khop:   rng.Float64() < opt.khop,
+			vertex: uint32(rng.Intn(int(g.NumVertices()))),
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  int64
+	)
+	work := make(chan query, len(qs))
+	for _, q := range qs {
+		work <- q
+	}
+	close(work)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(opt.wseed + int64(w) + 1))
+			for q := range work {
+				var (
+					url  string
+					body []byte
+				)
+				if q.khop {
+					url = opt.url + "/api/query/khop"
+					body, _ = json.Marshal(KHopRequest{Store: info.Store, Vertex: q.vertex, K: opt.k})
+				} else {
+					url = opt.url + "/api/query/neighbors"
+					body, _ = json.Marshal(NeighborsRequest{Store: info.Store, Vertex: &q.vertex})
+				}
+				qstart := time.Now()
+				if _, err := rc.postJSON(ctx, url, body, wrng); err != nil {
+					atomic.AddInt64(&failures, 1)
+					continue
+				}
+				d := time.Since(qstart)
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	table := &bench.Table{Header: []string{
+		"store", "queries", "ok", "qps", "p50(ms)", "p95(ms)", "p99(ms)",
+	}}
+	table.Add(info.Store, opt.queries, len(latencies),
+		fmt.Sprintf("%.0f", float64(len(latencies))/elapsed.Seconds()),
+		ms(pct(0.50)), ms(pct(0.95)), ms(pct(0.99)))
+	table.Print(os.Stdout)
+	// Retries are reported on their own line, deliberately not folded into
+	// the failure count: a retried-then-served query is a success.
+	fmt.Printf("retries: %d transport, %d shed (503) — transient, not counted as failures\n",
+		rc.connRetries.Load(), rc.shedRetries.Load())
+	if failures > 0 {
+		fmt.Printf("failures: %d queries exhausted %d attempts\n", failures, opt.attempts)
+	}
+}
+
+// StoreBuildRequest, StoreInfo, NeighborsRequest and KHopRequest mirror
+// cmd/dneserve's request/response contract (kept in sync by hand; the server
+// rejects unknown fields, so drift fails fast).
+type StoreBuildRequest struct {
+	Method string      `json:"method"`
+	Parts  int         `json:"parts"`
+	Seed   int64       `json:"seed,omitempty"`
+	Edges  [][2]uint32 `json:"edges,omitempty"`
+	Name   string      `json:"name,omitempty"`
+}
+
+type StoreInfo struct {
+	Store    string `json:"store"`
+	NumEdges int64  `json:"numEdges"`
+}
+
+type NeighborsRequest struct {
+	Store  string  `json:"store"`
+	Vertex *uint32 `json:"vertex,omitempty"`
+}
+
+type KHopRequest struct {
+	Store  string `json:"store"`
+	Vertex uint32 `json:"vertex"`
+	K      int    `json:"k"`
+}

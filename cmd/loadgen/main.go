@@ -64,6 +64,9 @@ func main() {
 	scrape := flag.Bool("scrape", false, "poll the in-process Prometheus exposition during each run and report server-side vs client-side p99 drift")
 	scrapeInterval := flag.Duration("scrape-interval", 200*time.Millisecond, "poll period of -scrape")
 
+	url := flag.String("url", "", "drive a remote dneserve at this base URL instead of an in-process store (first -methods entry; transient errors are retried with backoff)")
+	retries := flag.Int("retries", 8, "http: max attempts per request before a transient error counts as a failure")
+
 	liveMode := flag.Bool("live", false, "drive a mixed ingest+query workload against the live-graph subsystem")
 	churnFactor := flag.Float64("churn-factor", 1.2, "live: stream length as a multiple of |E|")
 	deleteRatio := flag.Float64("delete-ratio", 0.1, "live: fraction of stream events that are deletions")
@@ -77,6 +80,21 @@ func main() {
 	g, err := loadGraph(*graphPath, *rmatScale, *rmatEF, *graphSeed)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
+	}
+	if *url != "" {
+		runHTTP(ctx, g, httpOptions{
+			url:      strings.TrimRight(*url, "/"),
+			method:   strings.TrimSpace(strings.Split(*methodList, ",")[0]),
+			parts:    *parts,
+			seed:     *seed,
+			queries:  *queries,
+			workers:  *workers,
+			khop:     *khopRatio,
+			k:        *k,
+			wseed:    *workloadSeed,
+			attempts: *retries,
+		})
+		return
 	}
 	if *liveMode {
 		runLive(ctx, g, liveOptions{

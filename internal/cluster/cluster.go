@@ -149,6 +149,16 @@ func (c *Cluster) TotalMessages() int64 {
 	return t
 }
 
+// FailAll marks every machine's transport dead with err: each blocked or
+// future Recv panics *ConnLostError*, exactly as when the TCP router tears a
+// mesh down. Fault-injection tests use it so that one rank's injected death
+// propagates to the whole in-process mesh the way a real one would.
+func (c *Cluster) FailAll(err error) {
+	for _, b := range c.boxes {
+		b.fail(err)
+	}
+}
+
 // Run starts fn on every machine concurrently and waits for all to return.
 // The first error (by rank) is returned.
 func (c *Cluster) Run(fn func(comm Comm) error) error {

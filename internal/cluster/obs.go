@@ -30,6 +30,20 @@ type commObs struct {
 
 var globalObs commObs
 
+// ftObs aggregates the fault-tolerance layer's process-cumulative failure
+// events: dial retries, router mesh rebuilds, heartbeat timeouts, and the
+// faults FaultComm injected on purpose.
+type ftObs struct {
+	dialRetries       atomic.Int64
+	meshRebuilds      atomic.Int64
+	heartbeatTimeouts atomic.Int64
+	injectedKills     atomic.Int64
+	injectedDelays    atomic.Int64
+	injectedDialFails atomic.Int64
+}
+
+var globalFT ftObs
+
 func (o *commObs) record(tag Tag, rank int, wireBytes int64) {
 	o.tagBytes[tag].Add(wireBytes)
 	o.tagMsgs[tag].Add(1)
@@ -106,6 +120,25 @@ func RegisterMetrics(reg *obs.Registry) {
 			for r := range globalObs.rankMsgs {
 				if v := globalObs.rankMsgs[r].Load(); v > 0 {
 					emit(float64(v), "rank", rankLabel(r))
+				}
+			}
+		})
+	reg.CounterFunc("dne_cluster_fault_events_total",
+		"Fault-tolerance events in this process: dial retries, router mesh rebuilds, heartbeat timeouts, and deliberately injected faults.",
+		func(emit func(v float64, kv ...string)) {
+			for _, e := range []struct {
+				kind string
+				v    int64
+			}{
+				{"dial_retry", globalFT.dialRetries.Load()},
+				{"mesh_rebuild", globalFT.meshRebuilds.Load()},
+				{"heartbeat_timeout", globalFT.heartbeatTimeouts.Load()},
+				{"injected_kill", globalFT.injectedKills.Load()},
+				{"injected_delay", globalFT.injectedDelays.Load()},
+				{"injected_dial_failure", globalFT.injectedDialFails.Load()},
+			} {
+				if e.v > 0 {
+					emit(float64(e.v), "kind", e.kind)
 				}
 			}
 		})

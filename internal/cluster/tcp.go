@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP transport: the same Comm contract as the in-process cluster, but each
@@ -19,6 +20,18 @@ import (
 // against message passing only (cmd/dneworker, examples/multiprocess); the
 // in-process transport remains the default for experiments because it
 // eliminates serialisation noise from measurements.
+//
+// Fault tolerance: with RouterOptions.MaxRejoins > 0 the router survives a
+// worker death. The mesh is generational — when any worker connection dies
+// mid-run the router tears the whole generation down (every surviving
+// worker's read loop fails, so every blocked Recv panics *ConnLostError*),
+// then re-accepts a full set of fresh hellos within RejoinWindow and starts
+// forwarding again. Workers rejoin with DialTCPRetry and the checkpointing
+// layer above (internal/dne) decides where to resume. Heartbeat frames
+// (DialOptions.HeartbeatInterval, RouterOptions.HeartbeatTimeout) detect
+// wedged-but-open peers: the router echoes each worker's heartbeat, both
+// sides bound the silence they tolerate with read deadlines, and a peer
+// silent past the bound is treated exactly like a closed one.
 
 // RegisterBody registers a concrete Body implementation for gob transport.
 func RegisterBody(b Body) { gob.Register(b) }
@@ -32,6 +45,7 @@ type frame struct {
 	Payload  []byte
 	Hello    bool // first frame on a connection: From identifies the worker
 	Bye      bool // worker is done; router closes after all byes
+	Hb       bool // heartbeat; router echoes it back, never forwarded
 }
 
 // bodyEnvelope wraps the Body interface for gob.
@@ -49,35 +63,182 @@ type TCPNode struct {
 	stats      *Stats
 	seq        uint64
 	stopWatch  func() bool // releases the context watchdog, if any
+	hbStop     chan struct{}
+	hbTimeout  time.Duration
+	closeOnce  sync.Once
 }
 
 var _ Comm = (*TCPNode)(nil)
 
+// RouterOptions configures StartRouterOpts. The zero value reproduces the
+// fail-fast router: any dead worker connection tears the mesh down and the
+// run is over.
+type RouterOptions struct {
+	// MaxRejoins is how many times the router will rebuild the mesh after a
+	// worker connection dies mid-run. 0 = fail fast.
+	MaxRejoins int
+	// RejoinWindow bounds how long a rebuild waits for a complete set of
+	// fresh hellos (including the restarted rank's). Defaults to 30s when
+	// MaxRejoins > 0.
+	RejoinWindow time.Duration
+	// HeartbeatTimeout, when > 0, declares a worker connection dead after
+	// this much silence. Workers must send heartbeats (DialOptions) at an
+	// interval comfortably below it.
+	HeartbeatTimeout time.Duration
+	// Logf, when non-nil, receives one line per mesh teardown/rebuild.
+	Logf func(format string, args ...any)
+}
+
 // StartRouter listens on addr and forwards frames among size machines. It
 // returns the listener address (useful with ":0") and a function that blocks
-// until all machines have said goodbye.
+// until all machines have said goodbye. Fail-fast: equivalent to
+// StartRouterOpts with a zero RouterOptions.
 func StartRouter(addr string, size int) (string, func() error, error) {
+	return StartRouterOpts(addr, size, RouterOptions{})
+}
+
+// routerPeer is one worker connection from the router's point of view.
+type routerPeer struct {
+	enc  *gob.Encoder
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *routerPeer) send(f frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enc.Encode(f)
+}
+
+// StartRouterOpts listens on addr and forwards frames among size machines,
+// rebuilding the mesh up to opt.MaxRejoins times when a worker connection
+// dies mid-run (see the package comment on fault tolerance).
+func StartRouterOpts(addr string, size int, opt RouterOptions) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("cluster: router listen: %w", err)
 	}
-	type peer struct {
-		enc  *gob.Encoder
-		mu   sync.Mutex
-		conn net.Conn
+	if opt.MaxRejoins > 0 && opt.RejoinWindow <= 0 {
+		opt.RejoinWindow = 30 * time.Second
 	}
-	peers := make([]*peer, size)
-	done := make(chan error, size+1)
-	// fatal carries accept-phase failures (bad hello, duplicate rank): the
-	// mesh never forms, so no byes will arrive and wait must not block on
-	// them.
-	fatal := make(chan error, 1)
+	result := make(chan error, 1)
+	go func() { result <- routerLoop(ln, size, opt) }()
+	wait := func() error {
+		err := <-result
+		ln.Close()
+		return err
+	}
+	return ln.Addr().String(), wait, nil
+}
+
+// routerLoop drives mesh generations until one finishes cleanly (all byes),
+// the rejoin budget is exhausted, or a rebuild times out.
+func routerLoop(ln net.Listener, size int, opt RouterOptions) error {
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for gen := 0; ; gen++ {
+		peers, decs, ranks, err := acceptMesh(ln, size, gen, opt)
+		if err != nil {
+			return err
+		}
+		err = runGeneration(peers, decs, ranks, opt)
+		if err == nil {
+			return nil
+		}
+		if gen >= opt.MaxRejoins {
+			return err
+		}
+		globalFT.meshRebuilds.Add(1)
+		logf("cluster: router: mesh generation %d died (%v); waiting up to %v for %d workers to rejoin",
+			gen, err, opt.RejoinWindow, size)
+	}
+}
+
+// acceptMesh collects one hello per rank. For rebuild generations (gen > 0)
+// the whole collection is bounded by opt.RejoinWindow and a later hello for
+// an already-seen rank replaces the earlier connection (a worker may have
+// abandoned a dial that was sitting in the listen backlog).
+func acceptMesh(ln net.Listener, size, gen int, opt RouterOptions) ([]*routerPeer, []*gob.Decoder, []int, error) {
+	var deadline time.Time
+	if gen > 0 {
+		deadline = time.Now().Add(opt.RejoinWindow)
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline) // zero deadline = no deadline
+		defer tl.SetDeadline(time.Time{})
+	}
+	peers := make([]*routerPeer, size)
+	decoders := make([]*gob.Decoder, size)
+	seen := 0
+	closeAll := func() {
+		for _, p := range peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+	}
+	for seen < size {
+		conn, err := ln.Accept()
+		if err != nil {
+			closeAll()
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, nil, nil, fmt.Errorf("cluster: router: mesh rebuild timed out after %v with %d/%d workers", opt.RejoinWindow, seen, size)
+			}
+			return nil, nil, nil, err
+		}
+		if !deadline.IsZero() {
+			conn.SetReadDeadline(deadline)
+		}
+		dec := gob.NewDecoder(conn)
+		var hello frame
+		if err := dec.Decode(&hello); err != nil || !hello.Hello {
+			conn.Close()
+			closeAll()
+			return nil, nil, nil, fmt.Errorf("cluster: router: bad hello: %v", err)
+		}
+		conn.SetReadDeadline(time.Time{})
+		r := hello.From
+		if r < 0 || r >= size {
+			conn.Close()
+			closeAll()
+			return nil, nil, nil, fmt.Errorf("cluster: router: invalid rank %d", r)
+		}
+		if peers[r] != nil {
+			if gen == 0 && opt.MaxRejoins == 0 {
+				conn.Close()
+				closeAll()
+				return nil, nil, nil, fmt.Errorf("cluster: router: invalid or duplicate rank %d", r)
+			}
+			// Newest wins: the older connection is a stale dial the worker
+			// abandoned before this one.
+			peers[r].conn.Close()
+			seen--
+		}
+		peers[r] = &routerPeer{enc: gob.NewEncoder(conn), conn: conn}
+		decoders[r] = dec
+		seen++
+	}
+	ranks := make([]int, size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return peers, decoders, ranks, nil
+}
+
+// runGeneration forwards frames among one complete mesh until every worker
+// says goodbye (returns nil) or any connection dies (tears the whole mesh
+// down and returns the first error).
+func runGeneration(peers []*routerPeer, decs []*gob.Decoder, ranks []int, opt RouterOptions) error {
+	size := len(ranks)
+	done := make(chan error, size)
 
 	// closeAll tears the whole mesh down once any worker connection dies
 	// mid-run. Closing every connection makes every surviving worker's read
 	// loop fail, which fails its mailbox and wakes any blocked Recv — a dead
-	// peer must crash the run loudly, not leave the other ranks waiting
-	// forever for frames that will never arrive.
+	// peer must crash the generation loudly, not leave the other ranks
+	// waiting forever for frames that will never arrive.
 	var closeOnce sync.Once
 	closeAll := func() {
 		closeOnce.Do(func() {
@@ -90,77 +251,70 @@ func StartRouter(addr string, size int) (string, func() error, error) {
 	}
 
 	forward := func(dec *gob.Decoder, rank int) {
+		self := peers[rank]
 		for {
+			if opt.HeartbeatTimeout > 0 {
+				self.conn.SetReadDeadline(time.Now().Add(opt.HeartbeatTimeout))
+			}
 			var f frame
 			if err := dec.Decode(&f); err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					globalFT.heartbeatTimeouts.Add(1)
+					err = fmt.Errorf("cluster: router: rank %d silent past heartbeat timeout %v", rank, opt.HeartbeatTimeout)
+				}
 				closeAll()
 				done <- fmt.Errorf("cluster: router: decode from %d: %w", rank, err)
 				return
+			}
+			if f.Hb {
+				// Echo so the worker's own silence bound is satisfied by a
+				// healthy router even when no algorithm traffic flows.
+				if err := self.send(frame{To: rank, Hb: true}); err != nil {
+					closeAll()
+					done <- fmt.Errorf("cluster: router: heartbeat echo to %d: %w", rank, err)
+					return
+				}
+				continue
 			}
 			if f.Bye {
 				done <- nil
 				return
 			}
-			p := peers[f.To]
-			p.mu.Lock()
-			err := p.enc.Encode(f)
-			p.mu.Unlock()
-			if err != nil {
+			if err := peers[f.To].send(f); err != nil {
 				closeAll()
 				done <- fmt.Errorf("cluster: router: forward to %d: %w", f.To, err)
 				return
 			}
 		}
 	}
-	go func() {
-		// Collect every worker's hello before forwarding anything: early
-		// frames for not-yet-connected ranks simply sit in their sender's
-		// TCP buffer until the mesh is complete.
-		decs := make([]*gob.Decoder, 0, size)
-		ranks := make([]int, 0, size)
-		for i := 0; i < size; i++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				fatal <- err
-				return
-			}
-			dec := gob.NewDecoder(conn)
-			var hello frame
-			if err := dec.Decode(&hello); err != nil || !hello.Hello {
-				conn.Close()
-				fatal <- fmt.Errorf("cluster: router: bad hello: %v", err)
-				return
-			}
-			if hello.From < 0 || hello.From >= size || peers[hello.From] != nil {
-				conn.Close()
-				fatal <- fmt.Errorf("cluster: router: invalid or duplicate rank %d", hello.From)
-				return
-			}
-			peers[hello.From] = &peer{enc: gob.NewEncoder(conn), conn: conn}
-			decs = append(decs, dec)
-			ranks = append(ranks, hello.From)
-		}
-		for i := range decs {
-			go forward(decs[i], ranks[i])
-		}
-	}()
-	wait := func() error {
-		var firstErr error
-		for i := 0; i < size; i++ {
-			select {
-			case err := <-done:
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-			case err := <-fatal:
-				ln.Close()
-				return err
-			}
-		}
-		ln.Close()
-		return firstErr
+	for i := range decs {
+		go forward(decs[i], ranks[i])
 	}
-	return ln.Addr().String(), wait, nil
+	var firstErr error
+	for i := 0; i < size; i++ {
+		if err := <-done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Clean finish leaves the bye'd connections open; a failed one already
+	// closed everything via closeAll.
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	return firstErr
+}
+
+// DialOptions configures DialTCPOpts. The zero value is plain DialTCPContext
+// behavior.
+type DialOptions struct {
+	// Dial replaces the TCP dial (tests, fault injection). Nil = net.Dialer.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// HeartbeatInterval, when > 0, sends a heartbeat frame this often so the
+	// router can tell a wedged worker from an idle one.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout, when > 0, declares the router dead after this much
+	// read silence (heartbeat echoes count). Set it to several intervals.
+	HeartbeatTimeout time.Duration
 }
 
 // DialTCP connects a machine to the router.
@@ -174,17 +328,28 @@ func DialTCP(addr string, rank, size int) (*TCPNode, error) {
 // a dead or wedged peer can never hang this process past its deadline. The
 // dial itself also honors ctx.
 func DialTCPContext(ctx context.Context, addr string, rank, size int) (*TCPNode, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	return DialTCPOpts(ctx, addr, rank, size, DialOptions{})
+}
+
+// DialTCPOpts is DialTCPContext with a replaceable dial function and
+// optional heartbeats.
+func DialTCPOpts(ctx context.Context, addr string, rank, size int, o DialOptions) (*TCPNode, error) {
+	dial := o.Dial
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	conn, err := dial(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial router: %w", err)
 	}
 	n := &TCPNode{
 		rank: rank, size: size,
-		conn:  conn,
-		enc:   gob.NewEncoder(conn),
-		box:   newMailbox(),
-		stats: &Stats{},
+		conn:      conn,
+		enc:       gob.NewEncoder(conn),
+		box:       newMailbox(),
+		stats:     &Stats{},
+		hbTimeout: o.HeartbeatTimeout,
 	}
 	if ctx.Done() != nil {
 		n.stopWatch = context.AfterFunc(ctx, func() {
@@ -197,26 +362,65 @@ func DialTCPContext(ctx context.Context, addr string, rank, size int) (*TCPNode,
 		conn.Close()
 		return nil, fmt.Errorf("cluster: hello: %w", err)
 	}
+	if o.HeartbeatInterval > 0 {
+		n.hbStop = make(chan struct{})
+		go n.heartbeatLoop(o.HeartbeatInterval)
+	}
 	go n.readLoop()
 	return n, nil
 }
 
-// release detaches the context watchdog.
+// release detaches the context watchdog and stops the heartbeat sender.
 func (n *TCPNode) release() {
 	if n.stopWatch != nil {
 		n.stopWatch()
+	}
+	if n.hbStop != nil {
+		n.closeOnce.Do(func() { close(n.hbStop) })
+	}
+}
+
+// heartbeatLoop sends a heartbeat frame every interval until release. A send
+// failure fails the mailbox (waking the machine goroutine wherever it is
+// blocked) rather than panicking in this background goroutine.
+func (n *TCPNode) heartbeatLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.hbStop:
+			return
+		case <-t.C:
+			n.encMu.Lock()
+			err := n.enc.Encode(frame{From: n.rank, Hb: true})
+			n.encMu.Unlock()
+			if err != nil {
+				n.box.fail(fmt.Errorf("cluster: heartbeat send: %w", err))
+				return
+			}
+		}
 	}
 }
 
 func (n *TCPNode) readLoop() {
 	dec := gob.NewDecoder(n.conn)
 	for {
+		if n.hbTimeout > 0 {
+			n.conn.SetReadDeadline(time.Now().Add(n.hbTimeout))
+		}
 		var f frame
 		if err := dec.Decode(&f); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				globalFT.heartbeatTimeouts.Add(1)
+				err = fmt.Errorf("cluster: router silent past heartbeat timeout %v", n.hbTimeout)
+			}
 			// Wake any blocked Recv: a dead router must fail the worker
 			// loudly, not leave it waiting for frames that will never come.
 			n.box.fail(err)
 			return
+		}
+		if f.Hb {
+			continue // echo of our own heartbeat; the read deadline is reset above
 		}
 		var env bodyEnvelope
 		if err := gob.NewDecoder(bytes.NewReader(f.Payload)).Decode(&env); err != nil {
@@ -236,7 +440,9 @@ func (n *TCPNode) Size() int { return n.size }
 // Stats implements Comm.
 func (n *TCPNode) Stats() *Stats { return n.stats }
 
-// Send implements Comm.
+// Send implements Comm. A dead connection panics *ConnLostError*, the same
+// signal a blocked Recv raises, so one recovery path (dne.recoverConnLost)
+// covers both directions of the transport dying.
 func (n *TCPNode) Send(to int, tag Tag, body Body) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(bodyEnvelope{B: body}); err != nil {
@@ -262,7 +468,9 @@ func (n *TCPNode) Send(to int, tag Tag, body Body) {
 	err := n.enc.Encode(f)
 	n.encMu.Unlock()
 	if err != nil {
-		panic(fmt.Sprintf("cluster: send to %d: %v", to, err))
+		err = fmt.Errorf("cluster: send to %d: %w", to, err)
+		n.box.fail(err)
+		panic(&ConnLostError{Tag: tag, Err: err})
 	}
 }
 
@@ -315,7 +523,8 @@ func (n *TCPNode) Close() error {
 }
 
 // Abort closes the connection without a goodbye, as a crashed process
-// would. Tests use it to simulate a rank dying mid-superstep.
+// would. Tests use it to simulate a rank dying mid-superstep; the
+// fault-tolerant rejoin path uses it to discard a dead generation's node.
 func (n *TCPNode) Abort() error {
 	n.release()
 	return n.conn.Close()

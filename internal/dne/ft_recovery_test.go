@@ -1,0 +1,221 @@
+package dne
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/distributedne/dne/internal/cluster"
+	"github.com/distributedne/dne/internal/gen"
+	"github.com/distributedne/dne/internal/graph"
+)
+
+// genConnector serves one in-process cluster per mesh generation: each
+// rank's Connect blocks until all P ranks have asked for the current
+// generation, then a fresh cluster is built and shared — the in-process
+// analogue of the TCP router's rejoin window.
+type genConnector struct {
+	mu           sync.Mutex
+	cond         *sync.Cond
+	p            int
+	gen, waiting int
+	cur          *cluster.Cluster
+}
+
+func newGenConnector(p int) *genConnector {
+	g := &genConnector{p: p}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// connect returns (generation, cluster) once all P ranks of that generation
+// have arrived.
+func (g *genConnector) connect() (int, *cluster.Cluster) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	myGen := g.gen
+	g.waiting++
+	if g.waiting == g.p {
+		g.cur = cluster.New(g.p)
+		g.waiting = 0
+		g.gen++
+		g.cond.Broadcast()
+	} else {
+		for g.gen == myGen {
+			g.cond.Wait()
+		}
+	}
+	return myGen, g.cur
+}
+
+// genFault keys a fault schedule: inject cfg into this rank's communicator
+// of this mesh generation.
+type genFault struct{ gen, rank int }
+
+// runFTCluster runs PartitionShardsFT on every rank over in-process
+// clusters, injecting the scheduled faults, and returns rank 0's result
+// plus the number of kills that actually fired.
+func runFTCluster(t *testing.T, g *graph.Graph, parts int, cfg Config, schedule map[genFault]cluster.FaultConfig) (*ShardResult, int64) {
+	t.Helper()
+	conn := newGenConnector(parts)
+	dirs := make([]string, parts)
+	for r := range dirs {
+		dirs[r] = t.TempDir()
+	}
+	var fired atomic.Int64
+	var mu sync.Mutex
+	var result *ShardResult
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	for rank := 0; rank < parts; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ckpt, err := NewCheckpointer(dirs[rank], rank, parts, 1, cfg)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			connect := func(context.Context) (cluster.Comm, error) {
+				g, cl := conn.connect()
+				comm := cl.Node(rank)
+				if fc, ok := schedule[genFault{g, rank}]; ok {
+					f := cluster.NewFault(comm, fc)
+					// Mirror the TCP router's whole-mesh teardown: one dead
+					// rank fails every survivor's next blocked receive.
+					f.OnKill = func(err error) {
+						fired.Add(1)
+						cl.FailAll(err)
+					}
+					return f, nil
+				}
+				return comm, nil
+			}
+			res, _, err := PartitionShardsFT(context.Background(), cfg, FTOptions{
+				Checkpoint: ckpt,
+				Connect:    connect,
+				LoadShard: func() (*graph.Shard, error) {
+					return graph.ShardsOf(g, parts)[rank], nil
+				},
+				MaxRestarts: 4,
+				Logf:        t.Logf,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if res != nil {
+				mu.Lock()
+				result = res
+				mu.Unlock()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if result == nil {
+		t.Fatal("rank 0 returned no result")
+	}
+	return result, fired.Load()
+}
+
+// referenceRun is the fault-free shard run: the checksum every recovered
+// run must reproduce, plus per-rank op counts for placing precise kills.
+func referenceRun(t *testing.T, g *graph.Graph, parts int, cfg Config) (uint64, []uint64) {
+	t.Helper()
+	shards := graph.ShardsOf(g, parts)
+	c := cluster.New(parts)
+	ops := make([]uint64, parts)
+	var mu sync.Mutex
+	var sum uint64
+	err := c.Run(func(comm cluster.Comm) error {
+		f := cluster.NewFault(comm, cluster.FaultConfig{}) // count ops, inject nothing
+		res, _, err := PartitionShards(context.Background(), f, shards[comm.Rank()], cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		ops[comm.Rank()] = f.Ops()
+		if res != nil {
+			sum = res.Checksum()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, ops
+}
+
+func TestFTRecoverySingleKillBitIdentical(t *testing.T) {
+	g := gen.RMAT(9, 8, 11)
+	const parts = 4
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+
+	want, ops := referenceRun(t, g, parts, cfg)
+
+	// Kill rank 2 at ~40% of its fault-free op count: mid-superstep-loop,
+	// well past the first checkpoint and well before result collection.
+	schedule := map[genFault]cluster.FaultConfig{
+		{gen: 0, rank: 2}: {KillAtOp: ops[2] * 4 / 10},
+	}
+	res, fired := runFTCluster(t, g, parts, cfg, schedule)
+	if fired == 0 {
+		t.Fatal("scheduled kill never fired; the test exercised nothing")
+	}
+	if got := res.Checksum(); got != want {
+		t.Fatalf("recovered checksum %#x != fault-free %#x", got, want)
+	}
+}
+
+func TestFTRecoveryRepeatedKillsBitIdentical(t *testing.T) {
+	g := gen.RMAT(9, 8, 11)
+	const parts = 4
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+
+	want, ops := referenceRun(t, g, parts, cfg)
+
+	// Two successive generations die: rank 1 early in the first mesh, then
+	// rank 3 shortly after the resumed second mesh gets going. The third
+	// mesh runs to completion.
+	schedule := map[genFault]cluster.FaultConfig{
+		{gen: 0, rank: 1}: {KillAtOp: ops[1] / 4},
+		{gen: 1, rank: 3}: {KillAtOp: 300},
+	}
+	res, fired := runFTCluster(t, g, parts, cfg, schedule)
+	if fired < 2 {
+		t.Fatalf("only %d of 2 scheduled kills fired", fired)
+	}
+	if got := res.Checksum(); got != want {
+		t.Fatalf("recovered checksum %#x != fault-free %#x", got, want)
+	}
+}
+
+func TestFTRecoveryKillBeforeFirstCheckpoint(t *testing.T) {
+	// A kill during the very first ops — before any checkpoint exists —
+	// negotiates superstep -1 and restarts cleanly from the shards.
+	g := gen.RMAT(8, 8, 3)
+	const parts = 3
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+
+	want, _ := referenceRun(t, g, parts, cfg)
+	schedule := map[genFault]cluster.FaultConfig{
+		{gen: 0, rank: 1}: {KillAtOp: 2},
+	}
+	res, fired := runFTCluster(t, g, parts, cfg, schedule)
+	if fired == 0 {
+		t.Fatal("scheduled kill never fired")
+	}
+	if got := res.Checksum(); got != want {
+		t.Fatalf("restarted checksum %#x != fault-free %#x", got, want)
+	}
+}

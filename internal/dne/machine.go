@@ -98,6 +98,14 @@ type machineInput struct {
 	// inputPeakBytes is the transient peak of the input phase (shard +
 	// shuffle buffers); the reported peak is the max of the two phases.
 	inputPeakBytes int64
+	// ckpt, when non-nil, persists the loop state every ckpt.every
+	// supersteps (at the superstep boundary, before the superstep runs).
+	ckpt *Checkpointer
+	// resume, when non-nil, is a loaded checkpoint to restart from instead
+	// of the initial state. All ranks must agree (negotiated collectively by
+	// the fault-tolerant driver): the initial free-edge gather is skipped on
+	// resume, so a mixed fresh/resumed mesh would deadlock.
+	resume *machineCkpt
 }
 
 // runMachine executes one machine's combined expansion + allocation process
@@ -122,7 +130,10 @@ func runMachine(ctx context.Context, comm cluster.Comm, cfg Config, in machineIn
 		// zero value never aliases a live superstep.
 		sg.claimIter = make([]int32, len(sg.edges))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(rank)+1)*0x9e3779b9))
+	// The counting wrapper leaves the seeded stream untouched (bit-identical
+	// to a bare source) while letting checkpoints record the draw position.
+	src := newCountingSource(cfg.Seed ^ (int64(rank)+1)*0x9e3779b9)
+	rng := rand.New(src)
 	bnd := dsa.NewBoundary(int(in.numVertices))
 
 	// replicaProcs resolves a vertex's replica machine set: the grid
@@ -151,10 +162,12 @@ func runMachine(ctx context.Context, comm cluster.Comm, cfg Config, in machineIn
 	localPerPart := make([]int64, p) // edges this machine allocated, per owner
 
 	myFree := make([]int64, p)
-	myFree[rank] = sg.freeEdges
-	freeVec = cluster.AllGatherSumVec(comm, myFree)
-
-	epEdges := make([]graph.Edge, 0, capEdges)
+	var epEdges []graph.Edge
+	if in.resume == nil {
+		myFree[rank] = sg.freeEdges
+		freeVec = cluster.AllGatherSumVec(comm, myFree)
+		epEdges = make([]graph.Edge, 0, capEdges)
+	}
 	scratch := bitset.New(p)
 	var procsBuf []int
 	outPairs := make([][]vp, p)
@@ -188,7 +201,44 @@ func runMachine(ctx context.Context, comm cluster.Comm, cfg Config, in machineIn
 		maxIter = defaultMaxIterations
 	}
 
+	lastCkpt := int64(-1)
+	if in.resume != nil {
+		st := in.resume
+		if len(st.partSizes) != p || len(st.freeVec) != p || len(st.localPerPart) != p {
+			return fmt.Errorf("dne: checkpoint gathered vectors sized for %d parts, run has %d", len(st.partSizes), p)
+		}
+		if err := st.restoreInto(sg, bnd, src); err != nil {
+			return err
+		}
+		copy(partSizes, st.partSizes)
+		copy(freeVec, st.freeVec)
+		copy(localPerPart, st.localPerPart)
+		// Only the length of the partition's own edge set is ever read
+		// (budget arithmetic, the done test, the |Ep| stat), so the restored
+		// set is length-accurate and content-free.
+		epCap := capEdges
+		if st.epCount > epCap {
+			epCap = st.epCount
+		}
+		epEdges = make([]graph.Edge, st.epCount, epCap)
+		done = st.done
+		iter = int(st.iter)
+		lastCkpt = st.iter
+		res.wasted = st.wasted
+		res.selections = st.selections
+	}
+
 	for {
+		// Checkpoint at the superstep boundary: the loop state as of "about
+		// to run superstep iter+1". Failures are loud — a run asked to
+		// checkpoint must not silently continue without crash protection.
+		if in.ckpt != nil && int64(iter) > lastCkpt && iter%in.ckpt.every == 0 {
+			st := captureCkpt(iter, done, sg, bnd, src, partSizes, freeVec, localPerPart, int64(len(epEdges)), res)
+			if err := in.ckpt.WriteState(st); err != nil {
+				return err
+			}
+			lastCkpt = int64(iter)
+		}
 		iter++
 		if iter > maxIter {
 			return fmt.Errorf("dne: machine %d exceeded %d iterations (|E| allocated: %d/%d)",

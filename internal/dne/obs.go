@@ -1,0 +1,35 @@
+package dne
+
+import "github.com/distributedne/dne/internal/obs"
+
+// RegisterMetrics exposes the process-cumulative checkpoint/recovery
+// aggregates on reg. Families emit only kinds that have fired, so a
+// fault-free process scrapes clean. Nil registry → no-op.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("dne_checkpoint_events_total",
+		"Checkpoint lifecycle events in this process: states written, states restored, and mesh rejoins after a transport loss.",
+		func(emit func(v float64, kv ...string)) {
+			for _, e := range []struct {
+				kind string
+				v    int64
+			}{
+				{"written", ckptObs.written.Load()},
+				{"restored", ckptObs.restored.Load()},
+				{"rejoin", ckptObs.rejoins.Load()},
+			} {
+				if e.v > 0 {
+					emit(float64(e.v), "kind", e.kind)
+				}
+			}
+		})
+	reg.CounterFunc("dne_checkpoint_bytes_total",
+		"Total bytes of checkpoint state and base files written by this process.",
+		func(emit func(v float64, kv ...string)) {
+			if v := ckptObs.bytes.Load(); v > 0 {
+				emit(float64(v))
+			}
+		})
+}

@@ -1,0 +1,154 @@
+package dne
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"github.com/distributedne/dne/internal/dsa"
+)
+
+// countingSource wraps the seeded math/rand source and counts every draw, so
+// a checkpoint can record the PRNG position and a restore can fast-forward
+// to it — the stream itself is untouched, keeping seeded runs bit-identical
+// to the pre-checkpointing code.
+type countingSource struct {
+	src      rand.Source64
+	n63, n64 uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *countingSource) Int63() int64 {
+	s.n63++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *countingSource) Uint64() uint64 {
+	s.n64++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source.
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
+
+// skip replays n63 Int63 and n64 Uint64 draws on a freshly-seeded source,
+// leaving it at the exact recorded position.
+func (s *countingSource) skip(n63, n64 uint64) {
+	for i := uint64(0); i < n63; i++ {
+		s.src.Int63()
+	}
+	for i := uint64(0); i < n64; i++ {
+		s.src.Uint64()
+	}
+	s.n63, s.n64 = n63, n64
+}
+
+// captureCkpt snapshots the superstep loop's mutable state. The slice
+// fields alias the live slabs — WriteState streams them out synchronously
+// before the loop mutates anything, so no copies are taken.
+func captureCkpt(iter int, done bool, sg *subGraph, bnd *dsa.Boundary, src *countingSource,
+	partSizes, freeVec, localPerPart []int64, epCount int64, res *machineResult) *machineCkpt {
+	live, doneSet := bnd.Snapshot()
+	return &machineCkpt{
+		iter: int64(iter), done: done, epCount: epCount,
+		seedCur: int64(sg.seedCur), conflicts: atomic.LoadInt64(&sg.conflicts),
+		wasted: res.wasted, selections: res.selections,
+		rng63: src.n63, rng64: src.n64, bndPeak: int64(bnd.Peak()),
+		partSizes: partSizes, freeVec: freeVec, localPerPart: localPerPart,
+		owner: sg.owner, eIdx: sg.eIdx, aliveLen: sg.aliveLen, partWords: sg.partWords,
+		claimIter: sg.claimIter, bndLive: live, bndDone: doneSet,
+	}
+}
+
+// restoreInto applies a loaded overlay onto a freshly-rebuilt subgraph,
+// boundary, and PRNG. Every index read from the file is bounds-checked, so
+// a corrupt-but-digest-valid checkpoint errors instead of corrupting
+// memory. The derivable state — the target array (which allocTwoHop
+// compacts in step with eIdx), the free-degree slab, and the free-edge
+// count — is recomputed rather than trusted.
+func (st *machineCkpt) restoreInto(sg *subGraph, bnd *dsa.Boundary, src *countingSource) error {
+	nEdges := len(sg.edges)
+	if len(st.owner) != nEdges || len(st.eIdx) != len(sg.eIdx) ||
+		len(st.aliveLen) != len(sg.aliveLen) || len(st.partWords) != len(sg.partWords) {
+		return errors.New("dne: checkpoint slabs do not match the rebuilt subgraph")
+	}
+	for _, o := range st.owner {
+		if o < -1 || int(o) >= sg.numParts {
+			return fmt.Errorf("dne: checkpoint owner %d out of range", o)
+		}
+	}
+	for _, le := range st.eIdx {
+		if le < 0 || int(le) >= nEdges {
+			return fmt.Errorf("dne: checkpoint edge index %d out of range", le)
+		}
+	}
+	for lv, a := range st.aliveLen {
+		if a < 0 || int64(a) > sg.off[lv+1]-sg.off[lv] {
+			return fmt.Errorf("dne: checkpoint alive length %d exceeds degree of local vertex %d", a, lv)
+		}
+	}
+	if st.seedCur < 0 || (nEdges > 0 && st.seedCur >= int64(nEdges)) {
+		return fmt.Errorf("dne: checkpoint seed cursor %d out of range", st.seedCur)
+	}
+	copy(sg.owner, st.owner)
+	copy(sg.eIdx, st.eIdx)
+	copy(sg.aliveLen, st.aliveLen)
+	copy(sg.partWords, st.partWords)
+	sg.seedCur = int(st.seedCur)
+	sg.conflicts = st.conflicts
+	if st.claimIter != nil {
+		if sg.claimIter == nil || len(st.claimIter) != len(sg.claimIter) {
+			return errors.New("dne: checkpoint claim tags do not match the run mode")
+		}
+		copy(sg.claimIter, st.claimIter)
+	}
+	// Rebuild target to mirror the checkpointed eIdx order slot for slot.
+	n := len(sg.verts)
+	for lv := 0; lv < n; lv++ {
+		v := sg.verts[lv]
+		for s := sg.off[lv]; s < sg.off[lv+1]; s++ {
+			e := sg.edges[sg.eIdx[s]]
+			if e.U == v {
+				sg.target[s] = e.V
+			} else {
+				sg.target[s] = e.U
+			}
+		}
+	}
+	clear(sg.drest)
+	var free int64
+	for le, o := range sg.owner {
+		if o != -1 {
+			continue
+		}
+		free++
+		e := sg.edges[le]
+		if lu := sg.lid[e.U]; lu >= 0 {
+			sg.drest[lu]++
+		}
+		if lv := sg.lid[e.V]; lv >= 0 {
+			sg.drest[lv]++
+		}
+	}
+	sg.freeEdges = free
+	nV := uint32(len(sg.lid))
+	for _, e := range st.bndLive {
+		if e.V >= nV {
+			return fmt.Errorf("dne: checkpoint boundary vertex %d out of range", e.V)
+		}
+	}
+	for _, v := range st.bndDone {
+		if v >= nV {
+			return fmt.Errorf("dne: checkpoint expanded vertex %d out of range", v)
+		}
+	}
+	bnd.Restore(st.bndLive, st.bndDone, int(st.bndPeak))
+	src.skip(st.rng63, st.rng64)
+	return nil
+}

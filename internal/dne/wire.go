@@ -179,6 +179,155 @@ func runShardMachine(ctx context.Context, comm cluster.Comm, shard *graph.Shard,
 	return keys, owners, nil
 }
 
+// FTOptions configures PartitionShardsFT, the fault-tolerant shard driver.
+type FTOptions struct {
+	// Checkpoint persists and restores this rank's superstep state. Required.
+	Checkpoint *Checkpointer
+	// Connect dials a fresh communicator for one mesh generation. Called
+	// once per attempt; after a transport loss the previous communicator is
+	// aborted and Connect is called again (it should retry internally, e.g.
+	// cluster.DialTCPRetry, while the router's rejoin window is open).
+	Connect func(ctx context.Context) (cluster.Comm, error)
+	// LoadShard re-reads this rank's input shard. Called on any attempt that
+	// cannot restore from a checkpoint (including the first), so the driver
+	// never needs the shard held in memory across attempts.
+	LoadShard func() (*graph.Shard, error)
+	// MaxRestarts bounds how many transport losses are survived before the
+	// last error is returned. <= 0 means 3.
+	MaxRestarts int
+	// Logf, when non-nil, receives one line per recovery event.
+	Logf func(format string, args ...any)
+}
+
+// closableComm is what Connect usually returns: a Comm whose transport can
+// be shut down cleanly (Close) or abandoned like a crash (Abort).
+// *cluster.TCPNode implements it; in-process test comms may not, in which
+// case teardown is the test harness's business.
+type closableComm interface {
+	Close() error
+	Abort() error
+}
+
+// PartitionShardsFT is PartitionShards with superstep checkpointing and
+// bounded rejoin: when the transport dies mid-run (*cluster.ConnLostError* —
+// a peer crashed or the router tore the mesh down), the rank reconnects via
+// opt.Connect, all ranks of the new mesh negotiate the newest superstep
+// every one of them can restore (cluster.AllGatherMin over local checkpoint
+// inventories), and the run resumes from that boundary. The recovered
+// partitioning is bit-identical to a fault-free run's: the checkpoint
+// captures every input to future supersteps, including the PRNG position.
+//
+// A rank that finds no common checkpoint (negotiated superstep -1, e.g. the
+// failure predated the first checkpoint) restarts from its shard via
+// opt.LoadShard. The communicator is owned by this call: closed cleanly on
+// success, aborted on failure.
+func PartitionShardsFT(ctx context.Context, cfg Config, opt FTOptions) (*ShardResult, *MachineStats, error) {
+	if opt.Checkpoint == nil || opt.Connect == nil || opt.LoadShard == nil {
+		return nil, nil, errors.New("dne: FTOptions requires Checkpoint, Connect and LoadShard")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	maxRestarts := opt.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 3
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= maxRestarts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if attempt > 0 {
+			ckptObs.rejoins.Add(1)
+			logf("dne: rank %d rejoining after transport loss (attempt %d/%d): %v",
+				opt.Checkpoint.rank, attempt, maxRestarts, lastErr)
+		}
+		comm, err := opt.Connect(ctx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dne: connect (attempt %d): %w", attempt, err)
+		}
+		result, stats, err := runShardAttempt(ctx, comm, cfg, opt, logf)
+		if err == nil {
+			if cc, ok := comm.(closableComm); ok {
+				cc.Close()
+			}
+			return result, stats, nil
+		}
+		if cc, ok := comm.(closableComm); ok {
+			cc.Abort()
+		}
+		var cl *cluster.ConnLostError
+		if !errors.As(err, &cl) {
+			return nil, nil, err
+		}
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("dne: %d restarts exhausted: %w", maxRestarts, lastErr)
+}
+
+// runShardAttempt is one mesh generation of the fault-tolerant driver:
+// negotiate the resume point, restore or rebuild, run, collect.
+func runShardAttempt(ctx context.Context, comm cluster.Comm, cfg Config, opt FTOptions, logf func(string, ...any)) (_ *ShardResult, _ *MachineStats, err error) {
+	defer recoverConnLost(&err)
+	c := opt.Checkpoint
+	p := comm.Size()
+	var res machineResult
+	in := machineInput{ckpt: c}
+
+	// Negotiate the newest superstep every rank can restore. The collective
+	// doubles as the rejoin barrier: survivors block here until the restarted
+	// rank's hello completes the mesh.
+	newest := c.Newest()
+	resume := cluster.AllGatherMin(comm, newest)
+	if resume >= 0 {
+		numVertices, totalE, packed, err := c.LoadBase()
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := c.LoadState(resume)
+		if err != nil {
+			return nil, nil, err
+		}
+		logf("dne: rank %d restoring checkpoint at superstep %d (%d local edges)", c.rank, resume, len(packed))
+		in.sg = buildSubGraphPacked(numVertices, p, packed)
+		in.numVertices = numVertices
+		in.totalEdges = totalE
+		in.resume = st
+	} else {
+		shard, err := opt.LoadShard()
+		if err != nil {
+			return nil, nil, fmt.Errorf("dne: loading shard: %w", err)
+		}
+		gd := newGrid(p)
+		shardBytes := shard.Bytes()
+		local, shuffleBytes := shuffleShard(comm, gd, shard.Packed)
+		shard.Packed = nil
+		totalE := cluster.AllGatherSum(comm, int64(len(local)))
+		if totalE == 0 {
+			return nil, nil, errors.New("dne: shards hold no edges")
+		}
+		if err := c.WriteBase(shard.NumVertices, totalE, local); err != nil {
+			return nil, nil, err
+		}
+		in.sg = buildSubGraphPacked(shard.NumVertices, p, local)
+		in.numVertices = shard.NumVertices
+		in.totalEdges = totalE
+		in.inputPeakBytes = shardBytes + shuffleBytes
+	}
+	if err := runMachine(ctx, comm, cfg, in, &res); err != nil {
+		return nil, nil, err
+	}
+	keys, owners := collectOwnersByKey(comm, in.sg)
+	if comm.Rank() != 0 {
+		return nil, res.stats(), nil
+	}
+	return &ShardResult{NumParts: p, Keys: keys, Owner: owners}, res.stats(), nil
+}
+
 // MachineStats is the public view of one machine's execution metrics.
 type MachineStats struct {
 	Iterations int

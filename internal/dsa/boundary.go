@@ -116,6 +116,45 @@ func (b *Boundary) PopK(k int, budget int64, dst []uint32) []uint32 {
 	return dst
 }
 
+// BoundaryEntry is one live (vertex, score) pair of a Snapshot.
+type BoundaryEntry struct {
+	V     uint32
+	Score int32
+}
+
+// Snapshot captures the boundary's logical state: the live (vertex, score)
+// pairs and the expanded vertex set, both in ascending vertex order. Because
+// the pop sequence is the total order by (score, id) — stale heap entries
+// are skipped — this logical state fully determines future behavior; the
+// physical heap layout need not be preserved. Used by the checkpoint layer.
+func (b *Boundary) Snapshot() (live []BoundaryEntry, done []uint32) {
+	for v := range b.mark {
+		if b.mark[v] == b.epoch {
+			live = append(live, BoundaryEntry{V: uint32(v), Score: b.score[v]})
+		}
+		if b.done[v] == b.epoch {
+			done = append(done, uint32(v))
+		}
+	}
+	return live, done
+}
+
+// Restore rebuilds the boundary from a Snapshot, replacing any current
+// content. The restored boundary pops the exact same sequence as the
+// snapshotted one.
+func (b *Boundary) Restore(live []BoundaryEntry, done []uint32, peak int) {
+	b.Reset()
+	for _, v := range done {
+		b.done[v] = b.epoch
+	}
+	for _, e := range live {
+		b.Update(e.V, e.Score)
+	}
+	if peak > b.peak {
+		b.peak = peak
+	}
+}
+
 // MemoryFootprint returns the bytes held by the boundary's dense slabs and
 // the heap's peak backing array: 12 bytes per vertex id in the domain plus 8
 // per peak heap entry. Unlike the map-based predecessor there is no

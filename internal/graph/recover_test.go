@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTwoChunkShard materializes a shard with two chunks (3 + 2 edges) so
+// torn-tail cases can land inside the second frame while the first survives.
+// Layout: 28-byte header, chunk1 at 28 (4+24), chunk2 at 56 (4+16),
+// terminator at 76, footer at 80, total 88 bytes.
+func writeTwoChunkShard(t *testing.T, path string) ([]byte, []uint64) {
+	t.Helper()
+	first := []Edge{{0, 1}, {1, 2}, {2, 3}}
+	writeShardFile(t, path, 64, first)
+	sw, err := OpenShardAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := []Edge{{5, 6}, {7, 8}}
+	for _, e := range second {
+		if err := sw.Append(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want []uint64
+	for _, e := range append(first, second...) {
+		want = append(want, PackEdge(e.U, e.V))
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 88 {
+		t.Fatalf("fixture is %d bytes, layout comments assume 88", len(b))
+	}
+	return b, want
+}
+
+// TestRecoverShardTail: every tail a SIGKILL (or bit rot) can leave behind
+// either recovers to the longest valid chunk prefix or — when the header
+// itself is gone — fails without touching the file. Recovered files must be
+// fully valid: readable, reopenable for append, and idempotent under a
+// second recovery pass.
+func TestRecoverShardTail(t *testing.T) {
+	cases := []struct {
+		name      string
+		mutate    func(b []byte) []byte
+		wantEdges int    // prefix length surviving recovery
+		wantDrop  bool   // droppedBytes > 0 expected
+		wantErr   string // non-empty: recovery must fail mentioning this
+	}{
+		{
+			name:      "valid file untouched",
+			mutate:    func(b []byte) []byte { return b },
+			wantEdges: 5,
+		},
+		{
+			name:      "torn mid-footer",
+			mutate:    func(b []byte) []byte { return b[:len(b)-5] },
+			wantEdges: 5,
+			wantDrop:  true,
+		},
+		{
+			name:      "missing terminator",
+			mutate:    func(b []byte) []byte { return b[:76] },
+			wantEdges: 5,
+		},
+		{
+			name:      "torn mid-chunk-count",
+			mutate:    func(b []byte) []byte { return b[:58] },
+			wantEdges: 3,
+			wantDrop:  true,
+		},
+		{
+			name:      "torn mid-payload",
+			mutate:    func(b []byte) []byte { return b[:70] },
+			wantEdges: 3,
+			wantDrop:  true,
+		},
+		{
+			name:      "junk after terminator",
+			mutate:    func(b []byte) []byte { return append(b, 0xaa, 0xbb, 0xcc) },
+			wantEdges: 5,
+			wantDrop:  true,
+		},
+		{
+			name: "garbage edges in tail chunk",
+			mutate: func(b []byte) []byte {
+				b[60+4] = 0xff // edge {5,6} becomes non-canonical (u >= v)
+				return b
+			},
+			wantEdges: 3,
+			wantDrop:  true,
+		},
+		{
+			name: "hostile chunk length",
+			mutate: func(b []byte) []byte {
+				binary.LittleEndian.PutUint32(b[56:], maxShardChunkEdges+1)
+				return b
+			},
+			wantEdges: 3,
+			wantDrop:  true,
+		},
+		{
+			name: "footer total tampered",
+			mutate: func(b []byte) []byte {
+				binary.LittleEndian.PutUint64(b[len(b)-8:], 99)
+				return b
+			},
+			wantEdges: 5,
+			wantDrop:  true,
+		},
+		{
+			name:    "bad magic",
+			mutate:  func(b []byte) []byte { binary.LittleEndian.PutUint32(b[0:], 0xdeadbeef); return b },
+			wantErr: "bad magic",
+		},
+		{
+			name:    "bad version",
+			mutate:  func(b []byte) []byte { binary.LittleEndian.PutUint32(b[4:], 99); return b },
+			wantErr: "unsupported version",
+		},
+		{
+			name:    "truncated header",
+			mutate:  func(b []byte) []byte { return b[:20] },
+			wantErr: "header",
+		},
+		{
+			name:    "empty file",
+			mutate:  func(b []byte) []byte { return nil },
+			wantErr: "header",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "s.esh")
+			base, want := writeTwoChunkShard(t, path)
+			mutated := tc.mutate(append([]byte(nil), base...))
+			if err := os.WriteFile(path, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			edges, dropped, err := RecoverShardTail(path)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("recovered an unrecoverable file (%d edges)", edges)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				after, rerr := os.ReadFile(path)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				if !bytes.Equal(mutated, after) {
+					t.Fatal("failed recovery modified the file")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(edges) != tc.wantEdges {
+				t.Fatalf("recovered %d edges, want %d", edges, tc.wantEdges)
+			}
+			if tc.wantDrop && dropped == 0 {
+				t.Fatal("expected dropped tail bytes, got 0")
+			}
+			if !tc.wantDrop && tc.name == "valid file untouched" {
+				after, rerr := os.ReadFile(path)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				if dropped != 0 || !bytes.Equal(base, after) {
+					t.Fatalf("valid file was modified (dropped=%d)", dropped)
+				}
+			}
+
+			// The recovered file must be a fully valid shard replaying
+			// exactly the surviving prefix.
+			s := readShardFileT(t, path)
+			if len(s.Packed) != tc.wantEdges {
+				t.Fatalf("read back %d edges, want %d", len(s.Packed), tc.wantEdges)
+			}
+			for i := 0; i < tc.wantEdges; i++ {
+				if s.Packed[i] != want[i] {
+					t.Fatalf("edge %d = %#x, want %#x", i, s.Packed[i], want[i])
+				}
+			}
+
+			// A second pass must be a no-op.
+			edges2, dropped2, err := RecoverShardTail(path)
+			if err != nil || edges2 != edges || dropped2 != 0 {
+				t.Fatalf("recovery not idempotent: edges %d->%d dropped %d err %v",
+					edges, edges2, dropped2, err)
+			}
+
+			// And the file must accept further appends.
+			sw, err := OpenShardAppend(path)
+			if err != nil {
+				t.Fatalf("recovered file rejected for append: %v", err)
+			}
+			if err := sw.Append(40, 41); err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if s := readShardFileT(t, path); len(s.Packed) != tc.wantEdges+1 {
+				t.Fatalf("post-recovery append: %d edges, want %d", len(s.Packed), tc.wantEdges+1)
+			}
+		})
+	}
+}

@@ -52,6 +52,8 @@ type Live struct {
 	epoch       atomic.Pointer[store.Epoch] // published snapshot; readers load and go
 	lastPublish atomic.Int64                // UnixNano of the last published epoch
 
+	recovery Recovery // what Open had to repair; immutable afterwards
+
 	// Maintenance duration histograms, attached by RegisterMetrics; nil
 	// (the default) records nothing.
 	obsApply     *obs.Histogram
@@ -102,6 +104,16 @@ func Open(dir string, cfg Config) (*Live, error) {
 	}
 	numParts := st.cfg.NumParts
 
+	// Crash consistency first: a process SIGKILLed mid-append leaves a log
+	// with a torn tail (partial frame, no terminator). Truncate each such
+	// log back to its last valid chunk and reseal it before replaying —
+	// un-fsynced appends were never durable, so dropping them is within the
+	// durability contract.
+	rec, err := recoverLogs(dir, numParts)
+	if err != nil {
+		return nil, err
+	}
+
 	// Replay the logs: per partition, live edges are insertions minus
 	// tombstones (counts alternate 1/0 per edge — an edge is tombstoned
 	// only while live, re-inserted only while dead).
@@ -130,10 +142,7 @@ func Open(dir string, cfg Config) (*Live, error) {
 		}
 	}
 
-	if st.events == 0 && st.numEdges == 0 {
-		// No saved state (or a fresh directory): rebuild the slabs from the
-		// replayed live edge set. Placement history (events, moved) is
-		// unknowable from logs alone and restarts at zero.
+	rebuildFromLogs := func() {
 		for q, ks := range packed {
 			for _, k := range ks {
 				e := graph.UnpackEdge(k)
@@ -144,21 +153,36 @@ func Open(dir string, cfg Config) (*Live, error) {
 				st.numEdges++
 			}
 		}
+	}
+
+	if st.events == 0 && st.numEdges == 0 {
+		// No saved state (or a fresh directory): rebuild the slabs from the
+		// replayed live edge set. Placement history (events, moved) is
+		// unknowable from logs alone and restarts at zero.
+		rebuildFromLogs()
+	} else if stateMatchesLogs(st, packed) == nil {
+		// Saved state agrees with the logs exactly: resume it, history
+		// included.
+	} else if mismatch := stateMatchesLogs(st, packed); rec.DroppedBytes > 0 || logsCoverState(st, packed) {
+		// The checkpoint describes a moment the logs no longer (torn tail
+		// recovered behind it) or not yet (appends landed after it — the
+		// checkpoint is stale) capture. The logs are the durable truth:
+		// discard the checkpointed slabs and rebuild placement from replay.
+		// Placement history restarts at zero, like a stateless open.
+		fresh, err := NewState(st.cfg)
+		if err != nil {
+			return nil, err
+		}
+		st = fresh
+		rebuildFromLogs()
+		rec.StateRebuilt = true
+		rec.StateMismatch = mismatch.Error()
+		liveObs.stateRebuilds.Add(1)
 	} else {
-		// Saved state must agree with the logs exactly; a divergence means
-		// the directory mixes runs (or a log was truncated behind the
-		// checkpoint) and resuming would corrupt placement.
-		var total int64
-		for q := range packed {
-			n := int64(len(packed[q]))
-			if st.sizes[q] != n {
-				return nil, fmt.Errorf("live: state says partition %d holds %d edges, logs replay %d", q, st.sizes[q], n)
-			}
-			total += n
-		}
-		if st.numEdges != total {
-			return nil, fmt.Errorf("live: state holds %d edges, logs replay %d", st.numEdges, total)
-		}
+		// Logs replay fewer edges than the checkpoint with no torn tail in
+		// sight: the directory mixes runs or a log was tampered with.
+		// Rebuilding would silently corrupt placement — refuse.
+		return nil, stateMatchesLogs(st, packed)
 	}
 	if n := uint32(len(st.deg)); n > uint32(maxV) {
 		maxV = graph.Vertex(n)
@@ -172,10 +196,11 @@ func Open(dir string, cfg Config) (*Live, error) {
 		return nil, err
 	}
 	l := &Live{
-		dir:     dir,
-		st:      st,
-		base:    base,
-		pending: store.NewDelta(numParts),
+		dir:      dir,
+		st:       st,
+		base:     base,
+		pending:  store.NewDelta(numParts),
+		recovery: rec,
 	}
 	l.view = store.NewEpoch(base, l.pending, 0)
 	if l.adds, err = openLogs(dir, "part", numParts); err != nil {

@@ -218,9 +218,97 @@ func TestLiveResume(t *testing.T) {
 	}
 }
 
-// TestLiveRejectsCorruptLog: a flipped byte in a partition log must fail
-// Open instead of resuming from silently wrong data.
-func TestLiveRejectsCorruptLog(t *testing.T) {
+// TestLiveRecoversTruncatedFooter: a log torn inside its footer (the
+// SIGKILL-during-Close shape) holds every chunk intact; reopen must reseal
+// it and resume with nothing lost.
+func TestLiveRecoversTruncatedFooter(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{NumParts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAll(t, l, arrivalStream(gen.ER(100, 400, 2), 1), 100)
+	want := l.Checksum()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := logPath(dir, "part", 0)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = b[:len(b)-5] // truncate into the footer
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("torn footer must recover, got: %v", err)
+	}
+	defer l.Close()
+	if rec := l.Recovery(); rec.TornLogs != 1 || rec.DroppedBytes == 0 {
+		t.Fatalf("recovery report %+v, want 1 torn log with dropped bytes", rec)
+	}
+	if got := l.Checksum(); got != want {
+		t.Fatalf("recovered checksum %#x != pre-crash %#x (no chunk was lost)", got, want)
+	}
+	if err := l.State().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveRecoversTornChunk: a SIGKILL mid-append tears a log inside a
+// chunk, losing edges. Reopen must truncate to the last valid chunk,
+// discard the now-stale placement checkpoint, and rebuild from replay —
+// fewer edges, but a consistent graph.
+func TestLiveRecoversTornChunk(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{NumParts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAll(t, l, arrivalStream(gen.ER(100, 400, 2), 1), 100)
+	before := l.Stats().NumEdges
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := logPath(dir, "part", 0)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = b[:len(b)-25] // through footer+terminator into the last chunk's payload
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("torn chunk must recover, got: %v", err)
+	}
+	defer l.Close()
+	rec := l.Recovery()
+	if rec.TornLogs != 1 || !rec.StateRebuilt {
+		t.Fatalf("recovery report %+v, want torn log + state rebuild", rec)
+	}
+	after := l.Stats().NumEdges
+	if after >= before || after == 0 {
+		t.Fatalf("replayed %d edges after losing a tail from %d", after, before)
+	}
+	if err := l.State().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered graph must keep working: it accepts new edges.
+	if _, err := l.Apply([]dynpart.Event{{Op: dynpart.Add, Edge: graph.Edge{U: 900, V: 901}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().NumEdges; got != after+1 {
+		t.Fatalf("post-recovery apply: %d edges, want %d", got, after+1)
+	}
+}
+
+// TestLiveRejectsUnrecoverableLog: a log whose header is destroyed has no
+// valid prefix to salvage; Open must refuse rather than guess.
+func TestLiveRejectsUnrecoverableLog(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, Config{NumParts: 2, Seed: 1})
 	if err != nil {
@@ -235,12 +323,12 @@ func TestLiveRejectsCorruptLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b = b[:len(b)-5] // truncate into the footer
+	b[0] ^= 0xff // destroy the magic
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, Config{}); err == nil {
-		t.Fatal("opened a directory with a truncated log")
+		t.Fatal("opened a directory with an unrecoverable log")
 	}
 }
 

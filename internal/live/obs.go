@@ -70,6 +70,28 @@ func (l *Live) RegisterMetrics(reg *obs.Registry) {
 				emit(float64(n), "partition", strconv.Itoa(q))
 			}
 		})
+	reg.CounterFunc("dne_live_recovery_events_total",
+		"Crash-recovery events in this process: torn log tails truncated and placement-state rebuilds from replay.",
+		func(emit func(v float64, kv ...string)) {
+			for _, e := range []struct {
+				kind string
+				v    int64
+			}{
+				{"torn_log", liveObs.tornLogs.Load()},
+				{"state_rebuild", liveObs.stateRebuilds.Load()},
+			} {
+				if e.v > 0 {
+					emit(float64(e.v), "kind", e.kind)
+				}
+			}
+		})
+	reg.CounterFunc("dne_live_recovery_dropped_bytes_total",
+		"Torn-tail bytes discarded while recovering live logs.",
+		func(emit func(v float64, kv ...string)) {
+			if v := liveObs.tornBytes.Load(); v > 0 {
+				emit(float64(v))
+			}
+		})
 	reg.GaugeFunc("dne_live_epoch_age_seconds",
 		"Seconds since the current epoch was published.",
 		func(emit func(v float64, kv ...string)) {
