@@ -11,6 +11,7 @@ import (
 
 	"github.com/distributedne/dne/internal/cluster"
 	"github.com/distributedne/dne/internal/dne"
+	"github.com/distributedne/dne/internal/graph"
 	"github.com/distributedne/dne/internal/obs"
 	"github.com/distributedne/dne/internal/store"
 )
@@ -51,6 +52,7 @@ func newServerObs() *serverObs {
 		"Live-epoch query latency by endpoint.", "kind", "khop")
 	cluster.RegisterMetrics(so.reg)
 	dne.RegisterMetrics(so.reg)
+	graph.RegisterStreamMetrics(so.reg)
 	so.registerRuntimeMetrics()
 	return so
 }

@@ -26,6 +26,11 @@
 // is bit-identical — same checksum — to an in-memory run on the same
 // graph. The price is the generator-side materialization; the consumers
 // still stream.
+//
+// -compress (requires -canonical) writes the stripes in the delta+varint
+// ESZ1 format (*.esz) instead of raw EShard: the same edge stream, read by
+// the same consumers, from several-fold fewer disk bytes. Sortedness is
+// what compresses, which is why the flag rides on -canonical.
 package main
 
 import (
@@ -52,11 +57,16 @@ func main() {
 		shards   = flag.Int("shards", 0, "write this many EShard files instead of a text edge list")
 		shardDir = flag.String("shard-dir", "", "directory for -shards output (created if missing)")
 		canon    = flag.Bool("canonical", false, "shard as canonical stripes (dedup+sorted; dnepart -stream output matches in-memory runs)")
+		compress = flag.Bool("compress", false, "with -canonical: write delta+varint compressed ESZ1 shards (*.esz)")
 	)
 	flag.Parse()
 
 	if *canon && *shards <= 0 {
 		fmt.Fprintln(os.Stderr, "gengraph: -canonical requires -shards/-shard-dir")
+		os.Exit(2)
+	}
+	if *compress && !*canon {
+		fmt.Fprintln(os.Stderr, "gengraph: -compress requires -canonical (only sorted stripes compress)")
 		os.Exit(2)
 	}
 	if *shards > 0 {
@@ -65,7 +75,7 @@ func main() {
 			os.Exit(2)
 		}
 		if *canon {
-			if err := writeCanonicalShards(*kind, *scale, *ef, *n, *alpha, *rows, *cols, *seed, *shards, *shardDir); err != nil {
+			if err := writeCanonicalShards(*kind, *scale, *ef, *n, *alpha, *rows, *cols, *seed, *shards, *shardDir, *compress); err != nil {
 				fatal(err)
 			}
 			return
@@ -191,17 +201,22 @@ func writeShards(kind string, scale, ef, n int, alpha float64, rows, cols int, s
 }
 
 // writeCanonicalShards materializes the graph and stripes its canonical
-// edge list across count shard files (graph.WriteCanonicalShards).
-func writeCanonicalShards(kind string, scale, ef, n int, alpha float64, rows, cols int, seed int64, count int, dir string) error {
+// edge list across count shard files (graph.WriteCanonicalShards, or the
+// compressed ESZ1 variant).
+func writeCanonicalShards(kind string, scale, ef, n int, alpha float64, rows, cols int, seed int64, count int, dir string, compress bool) error {
 	g, err := materialize(kind, scale, ef, n, alpha, rows, cols, seed)
 	if err != nil {
 		return err
 	}
-	if err := graph.WriteCanonicalShards(dir, g, count); err != nil {
+	write, layout := graph.WriteCanonicalShards, "canonical shard stripes"
+	if compress {
+		write, layout = graph.WriteCanonicalShardsCompressed, "compressed canonical shard stripes"
+	}
+	if err := write(dir, g, count); err != nil {
 		return err
 	}
-	fmt.Printf("gengraph: %s |V|=%d |E|=%d -> %d canonical shard stripes in %s\n",
-		kind, g.NumVertices(), g.NumEdges(), count, dir)
+	fmt.Printf("gengraph: %s |V|=%d |E|=%d -> %d %s in %s\n",
+		kind, g.NumVertices(), g.NumEdges(), count, layout, dir)
 	return nil
 }
 

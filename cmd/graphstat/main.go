@@ -15,7 +15,10 @@
 // validated exactly like every shard consumer (ReadShardDir's checks), and
 // the degree statistics come from one streaming pass — the edge list is
 // never materialized, so a shard set bigger than memory still inspects
-// fine. Degrees count the raw stream: a hash-routed set written by plain
+// fine. Raw (*.esh), compressed (*.esz, gengraph -compress) and mixed
+// directories are all recognized; a per-file table reports decoded edges,
+// on-disk bytes and the compression ratio against the raw encoding.
+// Degrees count the raw stream: a hash-routed set written by plain
 // gengraph -shards counts duplicate samples per occurrence, a canonical
 // set (gengraph -canonical) matches the materialized graph exactly.
 //
@@ -28,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/distributedne/dne/internal/bound"
 	"github.com/distributedne/dne/internal/gen"
@@ -103,6 +107,9 @@ func loadDegrees(shardDir, in, kind string, scale, ef, n int, alpha float64, row
 			return nil, err
 		}
 		info := src.Info()
+		if err := printShardFiles(shardDir); err != nil {
+			return nil, err
+		}
 		deg, err := partition.Degrees(context.Background(), src, info.NumVertices)
 		if err != nil {
 			return nil, err
@@ -139,6 +146,36 @@ func loadDegrees(shardDir, in, kind string, scale, ef, n int, alpha float64, row
 		}
 	}
 	return degs, nil
+}
+
+// printShardFiles reports each shard file's on-disk footprint: decoded
+// edges, bytes on disk, and the compression ratio against what the raw
+// EShard encoding of the same edges would occupy (1.00 for raw files).
+func printShardFiles(dir string) error {
+	stats, err := graph.ShardDirStats(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %-6s %12s %12s %7s\n", "# file", "format", "edges", "disk-bytes", "ratio")
+	var edges uint64
+	var disk, raw int64
+	for _, st := range stats {
+		format := "raw"
+		if st.Compressed {
+			format = "esz1"
+		}
+		fmt.Printf("%-28s %-6s %12d %12d %6.2fx\n",
+			filepath.Base(st.Path), format, st.Edges, st.DiskBytes, st.Ratio)
+		edges += st.Edges
+		disk += st.DiskBytes
+		raw += int64(float64(st.DiskBytes) * st.Ratio)
+	}
+	totalRatio := 1.0
+	if disk > 0 {
+		totalRatio = float64(raw) / float64(disk)
+	}
+	fmt.Printf("%-28s %-6s %12d %12d %6.2fx\n", "# total", "", edges, disk, totalRatio)
+	return nil
 }
 
 func load(in, kind string, scale, ef, n int, alpha float64, rows, cols int, seed int64) (*graph.Graph, error) {

@@ -16,8 +16,23 @@ import (
 // floored at the resident graph, so the two input paths are comparable on
 // one scale.
 func ExecuteSource(ctx context.Context, name string, src graph.Source, spec partition.Spec) Run {
+	return executeSource(ctx, name, src, spec, false)
+}
+
+// ExecuteSourcePiped is ExecuteSource through the pipelined stream runner
+// (methods.PartitionSourcePiped): identical Run shape, identical checksum
+// and quality, overlapped stages.
+func ExecuteSourcePiped(ctx context.Context, name string, src graph.Source, spec partition.Spec) Run {
+	return executeSource(ctx, name, src, spec, true)
+}
+
+func executeSource(ctx context.Context, name string, src graph.Source, spec partition.Spec, piped bool) Run {
 	run := Run{Partitioner: name, Graph: src.Info().Name, NumParts: spec.NumParts}
-	res, err := methods.PartitionSource(ctx, name, src, spec)
+	partitionSource := methods.PartitionSource
+	if piped {
+		partitionSource = methods.PartitionSourcePiped
+	}
+	res, err := partitionSource(ctx, name, src, spec)
 	if err != nil {
 		run.Err = err
 		return run

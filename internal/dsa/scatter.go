@@ -1,0 +1,32 @@
+package dsa
+
+// ScatterByBucket is one stable counting-sort scatter pass — the same
+// machinery as SortU64's radix passes, exposed for callers that group a
+// chunk of records by a small bucket id before spilling each group with one
+// contiguous write. keys and pos move together; bucket[i] is the
+// destination group of record i and must be < nb. outKeys/outPos receive
+// the grouped records (len(keys) each); offs must have room for nb+1
+// entries and returns the group boundaries: group b occupies
+// outKeys[offs[b]:offs[b+1]] in original (stable) order. cursor is caller
+// scratch of at least nb entries, so a per-chunk caller allocates nothing.
+func ScatterByBucket(keys []uint64, pos []int64, bucket []uint8, nb int, outKeys []uint64, outPos []int64, offs, cursor []int) []int {
+	offs = offs[:nb+1]
+	for i := range offs {
+		offs[i] = 0
+	}
+	for _, b := range bucket {
+		offs[b+1]++
+	}
+	for b := 1; b <= nb; b++ {
+		offs[b] += offs[b-1]
+	}
+	cursor = cursor[:nb]
+	copy(cursor, offs[:nb])
+	for i, b := range bucket {
+		at := cursor[b]
+		cursor[b]++
+		outKeys[at] = keys[i]
+		outPos[at] = pos[i]
+	}
+	return offs
+}

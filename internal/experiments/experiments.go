@@ -35,8 +35,8 @@ type Options struct {
 	PRIters int
 	// Quick restricts sweeps to fewer points (used by unit tests).
 	Quick bool
-	// JSONPath, when non-empty, makes experiments that support it (perf)
-	// write a machine-readable snapshot to this file.
+	// JSONPath, when non-empty, makes experiments that support it (perf,
+	// obs, live, stream) write a machine-readable snapshot to this file.
 	JSONPath string
 	Out      io.Writer
 }
@@ -577,7 +577,7 @@ var All = []struct {
 	{"table6", "road networks (non-skewed)", Table6},
 	{"perf", "tracked perf snapshot of the expansion partitioners (BENCH_dne.json)", Perf},
 	{"obs", "observability overhead: instrumented vs no-op-registry serving latency (BENCH_obs.json)", ObsOverhead},
-	{"stream", "source-based input: stream vs materialized memory, bit-identity", ExtStream},
+	{"stream", "source-based input: stream vs materialized memory, pipelined throughput ladder (BENCH_stream.json)", ExtStream},
 	{"live", "live graph: phased query mix, RF drift, migration rate (BENCH_live.json)", ExtLive},
 	{"extdyn", "§8 extension: dynamic-graph incremental maintenance", ExtDynamic},
 	{"exthyper", "§8 extension: hypergraph partitioning", ExtHyper},

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/distributedne/dne/internal/bench"
 	"github.com/distributedne/dne/internal/gen"
@@ -11,13 +13,48 @@ import (
 	"github.com/distributedne/dne/internal/partition"
 )
 
-// ExtStream is the source-API counterpart of the §7.5 memory trade-off:
-// every stream-capable method partitions the seeded RMAT twice — from the
-// in-memory graph and from canonical shard stripes on disk — and the table
-// reports both accounted peaks plus the checksum agreement. The stream
-// column must be a small fraction of the materialized baseline (the dense
-// per-vertex state instead of the resident CSR) while the partitionings
-// stay bit-identical.
+// StreamRung is one scale of the disk-throughput ladder: the same seeded
+// RMAT partitioned from freshly written compressed stripes by the
+// sequential and the pipelined stream engine. Edges/sec counts partition
+// time only (the measured quality pass is excluded by PartitionTime), and
+// the read columns show the pipelined engine's I/O-amplification fix: the
+// sequential shuffle re-reads the source once per bucket, the pipelined
+// one scatters in a single pass.
+type StreamRung struct {
+	Scale            int     `json:"scale"`
+	Edges            int64   `json:"edges"`
+	DiskBytes        int64   `json:"disk_bytes"`
+	Compression      float64 `json:"compression_ratio"`
+	SeqEdgesPerSec   float64 `json:"seq_edges_per_sec"`
+	PipedEdgesPerSec float64 `json:"piped_edges_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	SeqReadMB        float64 `json:"seq_read_mb"`
+	PipedReadMB      float64 `json:"piped_read_mb"`
+	Identical        bool    `json:"identical"`
+}
+
+// StreamSnapshot is the BENCH_stream.json document: raw stream throughput
+// of the pipelined engine against the sequential baseline, over an RMAT
+// scale ladder, plus the compression the ESZ1 stripes deliver. "Cold" here
+// means the shards are written immediately before each rung runs; the OS
+// page cache is shared by both arms (the sequential arm runs first, so any
+// cache warmth favors the baseline).
+type StreamSnapshot struct {
+	Method     string       `json:"method"`
+	Parts      int          `json:"parts"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Ladder     []StreamRung `json:"ladder"`
+}
+
+// ExtStream is the source-API counterpart of the §7.5 memory trade-off,
+// extended with the pipelined engine. Part one: every stream-capable
+// method partitions the seeded RMAT three ways — from the in-memory graph,
+// from compressed canonical stripes sequentially, and from the same
+// stripes through the pipelined engine — and the table reports the
+// accounted peaks, times, and whether all three partitionings are
+// bit-identical. Part two: the throughput ladder (hdrf over an RMAT scale
+// ladder, -shift moves it, e.g. -shift 4 reaches 20→24) that BENCH_stream.json
+// snapshots.
 func ExtStream(o Options) error {
 	scale := 13 + o.Shift
 	if o.Quick {
@@ -30,7 +67,7 @@ func ExtStream(o Options) error {
 	}
 	defer os.RemoveAll(dir)
 	const shards = 4
-	if err := graph.WriteCanonicalShards(dir, g, shards); err != nil {
+	if err := graph.WriteCanonicalShardsCompressed(dir, g, shards); err != nil {
 		return err
 	}
 	src, err := graph.DirSource(dir)
@@ -38,9 +75,9 @@ func ExtStream(o Options) error {
 		return err
 	}
 	const parts = 16
-	fmt.Fprintf(o.out(), "Source-based input: RMAT scale-%d (|E|=%d), %d shard stripes, %d partitions\n",
+	fmt.Fprintf(o.out(), "Source-based input: RMAT scale-%d (|E|=%d), %d compressed stripes, %d partitions\n",
 		scale, g.NumEdges(), shards, parts)
-	t := &bench.Table{Header: []string{"method", "RF", "mem(graph)MB", "mem(stream)MB", "ratio", "t(stream)", "identical"}}
+	t := &bench.Table{Header: []string{"method", "RF", "mem(graph)MB", "mem(stream)MB", "ratio", "t(seq)", "t(piped)", "identical"}}
 	for _, name := range methods.StreamNames() {
 		spec := partition.NewSpec(parts, o.Seed)
 		pr, resolved, err := methods.New(name, spec)
@@ -55,8 +92,13 @@ func ExtStream(o Options) error {
 		if srcRun.Err != nil {
 			return fmt.Errorf("%s source: %w", name, srcRun.Err)
 		}
+		pipedRun := bench.ExecuteSourcePiped(o.ctx(), name, src, spec)
+		if pipedRun.Err != nil {
+			return fmt.Errorf("%s pipelined: %w", name, pipedRun.Err)
+		}
 		identical := "no"
-		if memRun.Checksum == srcRun.Checksum && memRun.Quality == srcRun.Quality {
+		if memRun.Checksum == srcRun.Checksum && memRun.Quality == srcRun.Quality &&
+			srcRun.Checksum == pipedRun.Checksum && srcRun.Quality == pipedRun.Quality {
 			identical = "yes"
 		}
 		ratio := 0.0
@@ -65,8 +107,109 @@ func ExtStream(o Options) error {
 		}
 		t.Add(name, srcRun.Quality.ReplicationFactor,
 			float64(memRun.MemBytes)/(1<<20), float64(srcRun.MemBytes)/(1<<20),
-			ratio, srcRun.Elapsed, identical)
+			ratio, srcRun.Elapsed, pipedRun.Elapsed, identical)
 	}
 	t.Print(o.out())
+
+	snap := StreamSnapshot{Method: "hdrf", Parts: parts, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rungs := []int{16 + o.Shift, 20 + o.Shift}
+	if o.Quick {
+		rungs = []int{11}
+	}
+	fmt.Fprintf(o.out(), "\nRaw stream throughput (%s, %d partitions, GOMAXPROCS=%d):\n",
+		snap.Method, parts, snap.GOMAXPROCS)
+	lt := &bench.Table{Header: []string{"scale", "edges", "disk MB", "zip", "seq Me/s", "piped Me/s", "speedup", "read seq/piped MB", "identical"}}
+	for _, rs := range rungs {
+		rung, err := runStreamRung(o, snap.Method, rs, parts)
+		if err != nil {
+			return err
+		}
+		snap.Ladder = append(snap.Ladder, rung)
+		identical := "no"
+		if rung.Identical {
+			identical = "yes"
+		}
+		lt.Add(rung.Scale, rung.Edges, fmt.Sprintf("%.1f", float64(rung.DiskBytes)/(1<<20)),
+			fmt.Sprintf("%.2fx", rung.Compression),
+			fmt.Sprintf("%.2f", rung.SeqEdgesPerSec/1e6), fmt.Sprintf("%.2f", rung.PipedEdgesPerSec/1e6),
+			fmt.Sprintf("%.2fx", rung.Speedup),
+			fmt.Sprintf("%.0f/%.0f", rung.SeqReadMB, rung.PipedReadMB), identical)
+	}
+	lt.Print(o.out())
+
+	if o.JSONPath != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(o.JSONPath, buf, 0o644); err != nil {
+			return fmt.Errorf("stream: write snapshot: %w", err)
+		}
+		fmt.Fprintf(o.out(), "wrote %s\n", o.JSONPath)
+	}
 	return nil
+}
+
+// runStreamRung writes compressed stripes for one RMAT scale and times the
+// sequential and pipelined stream engines over them. Each arm gets a fresh
+// DirSource so its byte meter counts that arm alone.
+func runStreamRung(o Options, method string, scale, parts int) (StreamRung, error) {
+	g := gen.RMAT(scale, 16, o.Seed)
+	dir, err := os.MkdirTemp("", "dne-stream-rung-")
+	if err != nil {
+		return StreamRung{}, err
+	}
+	defer os.RemoveAll(dir)
+	shards := 8
+	if err := graph.WriteCanonicalShardsCompressed(dir, g, shards); err != nil {
+		return StreamRung{}, err
+	}
+	stats, err := graph.ShardDirStats(dir)
+	if err != nil {
+		return StreamRung{}, err
+	}
+	rung := StreamRung{Scale: scale, Edges: g.NumEdges()}
+	var raw int64
+	for _, st := range stats {
+		rung.DiskBytes += st.DiskBytes
+		raw += int64(st.Ratio * float64(st.DiskBytes))
+	}
+	if rung.DiskBytes > 0 {
+		rung.Compression = float64(raw) / float64(rung.DiskBytes)
+	}
+	run := func(piped bool) (bench.Run, error) {
+		src, err := graph.DirSource(dir)
+		if err != nil {
+			return bench.Run{}, err
+		}
+		exec := bench.ExecuteSource
+		if piped {
+			exec = bench.ExecuteSourcePiped
+		}
+		r := exec(o.ctx(), method, src, partition.NewSpec(parts, o.Seed))
+		return r, r.Err
+	}
+	seq, err := run(false)
+	if err != nil {
+		return StreamRung{}, fmt.Errorf("scale-%d sequential: %w", scale, err)
+	}
+	piped, err := run(true)
+	if err != nil {
+		return StreamRung{}, fmt.Errorf("scale-%d pipelined: %w", scale, err)
+	}
+	edges := float64(g.NumEdges())
+	if s := seq.Elapsed.Seconds(); s > 0 {
+		rung.SeqEdgesPerSec = edges / s
+	}
+	if s := piped.Elapsed.Seconds(); s > 0 {
+		rung.PipedEdgesPerSec = edges / s
+	}
+	if rung.SeqEdgesPerSec > 0 {
+		rung.Speedup = rung.PipedEdgesPerSec / rung.SeqEdgesPerSec
+	}
+	rung.SeqReadMB = seq.Stats.Extra["source_bytes_read"] / (1 << 20)
+	rung.PipedReadMB = piped.Stats.Extra["source_bytes_read"] / (1 << 20)
+	rung.Identical = seq.Checksum == piped.Checksum && seq.Quality == piped.Quality
+	return rung, nil
 }

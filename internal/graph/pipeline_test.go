@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"io"
+	"slices"
+	"testing"
+)
+
+// countingSource wraps a source and counts how many passes (Edges calls)
+// are opened on it — the probe for the shuffle I/O-amplification fix.
+type countingSource struct {
+	inner Source
+	opens int
+}
+
+func (c *countingSource) Info() SourceInfo { return c.inner.Info() }
+func (c *countingSource) Edges() (EdgeStream, error) {
+	c.opens++
+	return c.inner.Edges()
+}
+
+func drainStream(t *testing.T, src Source) (keys []uint64, pos []int64) {
+	t.Helper()
+	st, err := src.Edges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var raw int64
+	for {
+		ck, cp, err := st.Next()
+		if err == io.EOF {
+			return keys, pos
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, k := range ck {
+			p := raw + int64(j)
+			if cp != nil {
+				p = cp[j]
+			}
+			keys = append(keys, k)
+			pos = append(pos, p)
+		}
+		raw += int64(len(ck))
+	}
+}
+
+// TestPrefetchedTransparent: the decode-ahead decorator must be invisible —
+// identical keys and positions, across multiple passes.
+func TestPrefetchedTransparent(t *testing.T) {
+	base := PackedSource("test", 1<<12, sortedTestKeys(3*SourceChunkEdges+99, 1<<12, 31))
+	pref := Prefetched(base, 3)
+	wantK, wantP := drainStream(t, base)
+	for pass := 0; pass < 2; pass++ {
+		gotK, gotP := drainStream(t, pref)
+		if !slices.Equal(gotK, wantK) || !slices.Equal(gotP, wantP) {
+			t.Fatalf("pass %d: prefetched stream differs from inner stream", pass)
+		}
+	}
+}
+
+// TestPipedShuffleMatchesShuffled is the heart of the pipeline's
+// determinism claim: for every seed, the single-pass spill-based shuffle
+// must emit the exact key and position sequence of the B-pass sequential
+// shuffle.
+func TestPipedShuffleMatchesShuffled(t *testing.T) {
+	base := PackedSource("test", 1<<12, sortedTestKeys(2*SourceChunkEdges+777, 1<<12, 13))
+	for _, seed := range []int64{1, 7, 42, 1_000_003} {
+		wantK, wantP := drainStream(t, Shuffled(base, seed))
+		gotK, gotP := drainStream(t, PipedShuffle(base, seed))
+		if !slices.Equal(gotK, wantK) {
+			t.Fatalf("seed %d: piped shuffle emits different keys", seed)
+		}
+		if !slices.Equal(gotP, wantP) {
+			t.Fatalf("seed %d: piped shuffle emits different positions", seed)
+		}
+	}
+}
+
+// TestPipedShuffleMatchesShuffledOverPrefetch: the full pipelined stack
+// (PipedShuffle over Prefetched) still matches, and Unwrap exposes the
+// prefetcher, not the raw source.
+func TestPipedShuffleMatchesShuffledOverPrefetch(t *testing.T) {
+	base := PackedSource("test", 1<<11, sortedTestKeys(20_000, 1<<11, 9))
+	piped := Piped(base, 42, true)
+	wantK, wantP := drainStream(t, Shuffled(base, 42))
+	gotK, gotP := drainStream(t, piped)
+	if !slices.Equal(gotK, wantK) || !slices.Equal(gotP, wantP) {
+		t.Fatal("piped stack differs from sequential shuffle")
+	}
+	u, ok := piped.(Unwrapper)
+	if !ok {
+		t.Fatal("piped shuffle does not unwrap")
+	}
+	if _, isPref := u.Unwrap().(*prefetchedSource); !isPref {
+		t.Fatalf("Unwrap returned %T, want the prefetched source", u.Unwrap())
+	}
+}
+
+// TestShuffleStreamOpenCounts pins the I/O amplification this PR fixes:
+// one full pass over Shuffled opens the underlying source once PER BUCKET
+// (the documented B× re-read), while PipedShuffle opens it exactly once.
+func TestShuffleStreamOpenCounts(t *testing.T) {
+	keys := sortedTestKeys(10_000, 1<<10, 3)
+
+	seq := &countingSource{inner: PackedSource("test", 1<<10, keys)}
+	drainStream(t, Shuffled(seq, 42))
+	if seq.opens != ShuffleBuckets {
+		t.Errorf("sequential shuffle opened the source %d times, want %d (one per bucket)",
+			seq.opens, ShuffleBuckets)
+	}
+
+	piped := &countingSource{inner: PackedSource("test", 1<<10, keys)}
+	drainStream(t, PipedShuffle(piped, 42))
+	if piped.opens != 1 {
+		t.Errorf("piped shuffle opened the source %d times, want 1", piped.opens)
+	}
+}
+
+// TestPipedShuffleEarlyClose: abandoning a pass mid-stream must not leak
+// the loader goroutine or spill files (Close blocks until cleanup).
+func TestPipedShuffleEarlyClose(t *testing.T) {
+	base := PackedSource("test", 1<<12, sortedTestKeys(5*SourceChunkEdges, 1<<12, 17))
+	src := PipedShuffle(base, 7)
+	st, err := src.Edges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh pass after an abandoned one must still work and match.
+	wantK, _ := drainStream(t, Shuffled(base, 7))
+	gotK, _ := drainStream(t, src)
+	if !slices.Equal(gotK, wantK) {
+		t.Fatal("pass after early close differs")
+	}
+}

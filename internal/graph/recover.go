@@ -24,6 +24,10 @@ import (
 //
 // A file whose *header* is unreadable or invalid is not recoverable — there
 // is no prefix to salvage — and returns an error.
+//
+// Compressed ESZ1 shards recover the same way: the magic selects the walk,
+// and chunks are accepted for as long as they fully decode (the per-chunk
+// delta reset is what makes each chunk independently checkable).
 func RecoverShardTail(path string) (edges uint64, droppedBytes int64, err error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -35,7 +39,12 @@ func RecoverShardTail(path string) (edges uint64, droppedBytes int64, err error)
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		return 0, 0, fmt.Errorf("graph: unrecoverable shard %s: reading header: %w", path, err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != shardMagic {
+	compressed := false
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case shardMagic:
+	case zshardMagic:
+		compressed = true
+	default:
 		return 0, 0, fmt.Errorf("graph: unrecoverable shard %s: bad magic", path)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
@@ -55,6 +64,14 @@ func RecoverShardTail(path string) (edges uint64, droppedBytes int64, err error)
 		return 0, 0, err
 	}
 	size := st.Size()
+
+	if compressed {
+		edges, droppedBytes, err = recoverZShardTail(f, info, size)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: %w", path, err)
+		}
+		return edges, droppedBytes, nil
+	}
 
 	// Walk the chunk frames, validating payloads exactly as ShardReader
 	// would. lastGood tracks the end of the longest valid chunk prefix.

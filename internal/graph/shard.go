@@ -238,10 +238,17 @@ func CreateShardFile(path string, info ShardInfo) (*ShardWriter, error) {
 // between open and close leaves a file whose header never contradicts its
 // contents (readers detect the missing terminator instead).
 func OpenShardAppend(path string) (*ShardWriter, error) {
-	info, total, err := peekShardFile(path, true)
+	sf, err := peekShardFile(path, true)
 	if err != nil {
 		return nil, err
 	}
+	if sf.compressed {
+		// Reopening a compressed shard for append would need the last chunk's
+		// delta context restored; raw append streams (the live path) use
+		// EShard, so keep this opener raw-only.
+		return nil, fmt.Errorf("graph: %s: appending to compressed (ESZ1) shards is not supported", path)
+	}
+	info, total := sf.info, sf.numEdges
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, err
@@ -293,7 +300,12 @@ type ShardReader struct {
 
 // NewShardReader parses and validates the header.
 func NewShardReader(r io.Reader) (*ShardReader, error) {
-	br := bufio.NewReader(r)
+	return newShardReaderFrom(bufio.NewReader(r))
+}
+
+// newShardReaderFrom is NewShardReader over an existing buffered reader, so
+// format-dispatching openers (NewChunkReader) can peek the magic first.
+func newShardReaderFrom(br *bufio.Reader) (*ShardReader, error) {
 	var hdr [28]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading shard header: %w", err)

@@ -7,7 +7,8 @@ import (
 	"path/filepath"
 )
 
-// ReadShardDir loads the EShard files in dir (*.esh) whose shard index
+// ReadShardDir loads the shard files in dir (*.esh raw, *.esz compressed,
+// mixed freely) whose shard index
 // satisfies keep (nil keeps all), merged into one Shard. The file set is
 // validated by scanShardDir (shared with DirSource and graphstat): same
 // vertex count, same declared shard count, each index present exactly once,
@@ -40,6 +41,12 @@ func ShardFileName(i, n int) string {
 	return fmt.Sprintf("shard-%04d-of-%04d.esh", i, n)
 }
 
+// ZShardFileName is ShardFileName for compressed ESZ1 shards
+// (shard-0000-of-0016.esz).
+func ZShardFileName(i, n int) string {
+	return fmt.Sprintf("shard-%04d-of-%04d.esz", i, n)
+}
+
 // WriteCanonicalShards stripes g's canonical edge list across count EShard
 // files in dir (the ShardsOf layout under the conventional names). Read
 // back in shard-index order — DirSource's order — the set replays the
@@ -67,14 +74,94 @@ func WriteCanonicalShards(dir string, g *Graph, count int) error {
 	return nil
 }
 
-// readShardFile streams one shard file's packed edges into memory.
+// WriteCanonicalShardsCompressed is WriteCanonicalShards in the ESZ1
+// format: the same canonical stripes under the conventional *.esz names.
+// Stripes of a canonical edge list are sorted by construction, which is
+// exactly what the compressed writer requires; read back in index order the
+// set replays the same stream, only from far fewer disk bytes.
+func WriteCanonicalShardsCompressed(dir string, g *Graph, count int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, sh := range ShardsOf(g, count) {
+		zw, err := CreateZShardFile(filepath.Join(dir, ZShardFileName(i, count)), ShardInfo{
+			NumVertices: sh.NumVertices,
+			Index:       uint32(i),
+			Count:       uint32(count),
+			NumEdges:    unknownEdgeCount,
+		})
+		if err != nil {
+			return err
+		}
+		for _, k := range sh.Packed {
+			if err := zw.AppendPacked(k); err != nil {
+				zw.Close()
+				return err
+			}
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardFileStat describes one file of a shard directory for reporting:
+// where it is, what it holds, and what that costs on disk. Ratio compares
+// the on-disk bytes against the raw 8-byte-per-edge packed encoding (plus
+// framing), so a raw EShard file reports ~1× and an ESZ1 file reports its
+// real compression factor.
+type ShardFileStat struct {
+	Path       string
+	Index      uint32
+	Compressed bool
+	Edges      uint64
+	DiskBytes  int64
+	Ratio      float64 // raw-equivalent bytes / DiskBytes
+}
+
+// rawShardBytes is the exact on-disk size of an EShard file holding the
+// given packed edges: header + per-chunk 4-byte counts at the standard chunk
+// size + 8 bytes per edge + terminator/footer.
+func rawShardBytes(edges uint64) int64 {
+	chunks := (edges + shardChunkEdges - 1) / shardChunkEdges
+	return 28 + int64(chunks)*4 + int64(edges)*8 + 12
+}
+
+// ShardDirStats validates dir like DirSource and returns one entry per
+// shard file, in index order, with exact decoded edge counts (from the
+// frame walk, not the header) and on-disk sizes. graphstat -shard-dir uses
+// it to report per-file compression.
+func ShardDirStats(dir string) ([]ShardFileStat, error) {
+	files, err := scanShardDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]ShardFileStat, len(files))
+	for i, sf := range files {
+		stats[i] = ShardFileStat{
+			Path:       sf.path,
+			Index:      sf.info.Index,
+			Compressed: sf.compressed,
+			Edges:      sf.numEdges,
+			DiskBytes:  sf.size,
+		}
+		if sf.size > 0 {
+			stats[i].Ratio = float64(rawShardBytes(sf.numEdges)) / float64(sf.size)
+		}
+	}
+	return stats, nil
+}
+
+// readShardFile streams one shard file's packed edges into memory,
+// dispatching on the magic so raw and compressed files read identically.
 func readShardFile(path string) ([]uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	sr, err := NewShardReader(f)
+	sr, err := NewChunkReader(f)
 	if err != nil {
 		return nil, err
 	}

@@ -28,12 +28,41 @@ const ShuffleBuckets = 16
 // two sources replaying the same sequence — an in-memory graph and its
 // canonical shard stripes on disk — shuffle identically, which is what keeps
 // the two partitioning paths bit-identical. Memory is the largest bucket
-// (≈|E|·16B/B); each full pass over the shuffled stream costs B passes over
-// the underlying source. Emitted chunks carry raw-stream positions, so
-// consumers index their output by raw position exactly as if they had
-// walked the stream in order.
+// (≈|E|·16B/B). Emitted chunks carry raw-stream positions, so consumers
+// index their output by raw position exactly as if they had walked the
+// stream in order.
+//
+// I/O amplification: each full pass over the shuffled stream opens and
+// re-reads the WHOLE underlying source once per bucket — the fill loop
+// below filters one bucket's ~1/B subsample out of a complete pass and
+// discards the rest — so a disk-backed source pays B× its size in reads per
+// shuffled pass. That trade buys O(|E|/B) memory with zero spill files and
+// is fine for in-memory sources, where a "pass" is a pointer walk. For
+// cold-disk runs use PipedShuffle (pipeline.go): one scatter pass spills
+// every bucket to temp files in raw order, then drains them through the
+// identical per-bucket Fisher–Yates — the same emitted order, reading the
+// source exactly once (TestShuffleStreamOpenCounts pins both counts).
 func Shuffled(src Source, seed int64) Source {
 	return &shuffledSource{inner: src, seed: seed}
+}
+
+// shuffleBucketOf routes a key to its shuffle bucket: the seed is mixed in
+// so different seeds produce unrelated bucketings (and therefore unrelated
+// final orders). Shared by Shuffled and PipedShuffle — identical routing is
+// half of what makes their emitted orders identical.
+func shuffleBucketOf(k uint64, seed int64) uint32 {
+	return ShardRoute(k^(uint64(seed)*0x9e3779b97f4a7c15+0x632be59bd9b4e019), ShuffleBuckets)
+}
+
+// shuffleBucket is the in-place per-bucket Fisher–Yates with the
+// per-(seed, bucket) rng — the other half of the shared emitted order.
+func shuffleBucket(keys []uint64, pos []int64, seed int64, bucket uint32) {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(bucket)))
+	for i := len(keys) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		keys[i], keys[j] = keys[j], keys[i]
+		pos[i], pos[j] = pos[j], pos[i]
+	}
 }
 
 type shuffledSource struct {
@@ -59,11 +88,9 @@ func (s *shuffledSource) Edges() (EdgeStream, error) {
 	return &shuffledStream{src: s}, nil
 }
 
-// bucketOf routes a key to its shuffle bucket: the seed is mixed in so
-// different seeds produce unrelated bucketings (and therefore unrelated
-// final orders).
+// bucketOf routes a key to this source's shuffle bucket.
 func (s *shuffledSource) bucketOf(k uint64) uint32 {
-	return ShardRoute(k^(uint64(s.seed)*0x9e3779b97f4a7c15+0x632be59bd9b4e019), ShuffleBuckets)
+	return shuffleBucketOf(k, s.seed)
 }
 
 type shuffledStream struct {
@@ -131,12 +158,7 @@ func (st *shuffledStream) fill() error {
 		raw += int64(len(chunk))
 	}
 	// Fisher–Yates with a per-(seed, bucket) rng: in-place, no index array.
-	rng := rand.New(rand.NewSource(s.seed*1000003 + int64(bucket)))
-	for i := len(st.keys) - 1; i > 0; i-- {
-		j := rng.Intn(i + 1)
-		st.keys[i], st.keys[j] = st.keys[j], st.keys[i]
-		st.pos[i], st.pos[j] = st.pos[j], st.pos[i]
-	}
+	shuffleBucket(st.keys, st.pos, s.seed, bucket)
 	if len(st.keys) > s.maxBuf {
 		s.maxBuf = len(st.keys)
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+	"sync/atomic"
 )
 
 // Source is the input side of the partitioner API: a re-streamable supply of
@@ -212,46 +213,55 @@ func DirSource(dir string) (Source, error) {
 }
 
 type shardDirFile struct {
-	path     string
-	info     ShardInfo
-	numEdges uint64 // authoritative count from the footer
+	path       string
+	info       ShardInfo
+	numEdges   uint64 // authoritative count from the footer
+	size       int64  // on-disk bytes
+	compressed bool   // ESZ1 rather than raw ESH1
 }
 
 // scanShardDir validates a shard directory without streaming edge payloads:
-// every header is read and cross-checked. With exact set, each file's frame
-// structure is additionally walked (seek-based, payloads untouched) to
-// recover its exact edge count — the basis of DirSource's |E| hint;
-// without it only the 28-byte headers are read, which is all ReadShardDir
-// needs. It is the shared validation under ReadShardDir, DirSource and
-// graphstat -shard-dir.
+// every header is read and cross-checked. Both raw EShard files (*.esh) and
+// compressed ESZ1 files (*.esz) are recognized, and a directory may mix
+// them — the formats yield identical edge streams, only the bytes differ.
+// With exact set, each file's frame structure is additionally walked
+// (seek-based, payloads untouched) to recover its exact edge count — the
+// basis of DirSource's |E| hint; without it only the 28-byte headers are
+// read, which is all ReadShardDir needs. It is the shared validation under
+// ReadShardDir, DirSource, ShardDirStats and graphstat -shard-dir.
 func scanShardDir(dir string, exact bool) ([]shardDirFile, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.esh"))
 	if err != nil {
 		return nil, err
 	}
+	zpaths, err := filepath.Glob(filepath.Join(dir, "*.esz"))
+	if err != nil {
+		return nil, err
+	}
+	paths = append(paths, zpaths...)
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("graph: no *.esh shard files in %s", dir)
+		return nil, fmt.Errorf("graph: no *.esh or *.esz shard files in %s", dir)
 	}
 	slices.Sort(paths)
 	files := make([]shardDirFile, 0, len(paths))
 	seen := make(map[uint32]string)
 	for _, path := range paths {
-		info, numEdges, err := peekShardFile(path, exact)
+		sf, err := peekShardFile(path, exact)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		if prev, dup := seen[info.Index]; dup {
-			return nil, fmt.Errorf("graph: shard index %d in both %s and %s", info.Index, prev, path)
+		if prev, dup := seen[sf.info.Index]; dup {
+			return nil, fmt.Errorf("graph: shard index %d in both %s and %s", sf.info.Index, prev, path)
 		}
-		seen[info.Index] = path
+		seen[sf.info.Index] = path
 		if len(files) > 0 {
 			first := files[0]
-			if info.NumVertices != first.info.NumVertices || info.Count != first.info.Count {
+			if sf.info.NumVertices != first.info.NumVertices || sf.info.Count != first.info.Count {
 				return nil, fmt.Errorf("graph: %s header (|V|=%d, %d shards) inconsistent with %s (|V|=%d, %d shards)",
-					path, info.NumVertices, info.Count, first.path, first.info.NumVertices, first.info.Count)
+					path, sf.info.NumVertices, sf.info.Count, first.path, first.info.NumVertices, first.info.Count)
 			}
 		}
-		files = append(files, shardDirFile{path: path, info: info, numEdges: numEdges})
+		files = append(files, sf)
 	}
 	if uint32(len(paths)) != files[0].info.Count {
 		return nil, fmt.Errorf("graph: %s holds %d shard files but headers declare %d shards",
@@ -263,27 +273,33 @@ func scanShardDir(dir string, exact bool) ([]shardDirFile, error) {
 
 // peekShardFile reads one shard file's header and, with exact set,
 // recovers its exact edge count by walking the chunk frames — reading each
-// 4-byte chunk length and seeking past the payload — without ever loading
-// edges. The walk validates the frame structure end to end: bounded chunk
-// lengths, a footer matching the summed counts, and nothing after the
-// terminator, so the count the DirSource hint advertises is exactly what a
-// streaming pass will yield (a hostile tail appended to a valid file
-// cannot skew it).
-func peekShardFile(path string, exact bool) (ShardInfo, uint64, error) {
+// chunk header and seeking past the payload — without ever loading edges.
+// It dispatches on the magic, so raw EShard and compressed ESZ1 files walk
+// under one code path. The walk validates the frame structure end to end:
+// bounded chunk lengths, a footer matching the summed counts, and nothing
+// after the terminator, so the count the DirSource hint advertises is
+// exactly what a streaming pass will yield (a hostile tail appended to a
+// valid file cannot skew it).
+func peekShardFile(path string, exact bool) (shardDirFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return ShardInfo{}, 0, err
+		return shardDirFile{}, err
 	}
 	defer f.Close()
 	var hdr [28]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return ShardInfo{}, 0, fmt.Errorf("graph: reading shard header: %w", err)
+		return shardDirFile{}, fmt.Errorf("graph: reading shard header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != shardMagic {
-		return ShardInfo{}, 0, fmt.Errorf("graph: bad magic in edge shard")
+	var compressed bool
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case shardMagic:
+	case zshardMagic:
+		compressed = true
+	default:
+		return shardDirFile{}, fmt.Errorf("graph: bad magic in edge shard")
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
-		return ShardInfo{}, 0, fmt.Errorf("graph: unsupported shard version %d", v)
+		return shardDirFile{}, fmt.Errorf("graph: unsupported shard version %d", v)
 	}
 	info := ShardInfo{
 		NumVertices: binary.LittleEndian.Uint32(hdr[8:]),
@@ -292,17 +308,22 @@ func peekShardFile(path string, exact bool) (ShardInfo, uint64, error) {
 		NumEdges:    binary.LittleEndian.Uint64(hdr[20:]),
 	}
 	if err := info.validate(); err != nil {
-		return ShardInfo{}, 0, err
+		return shardDirFile{}, err
 	}
+	st, err := f.Stat()
+	if err != nil {
+		return shardDirFile{}, err
+	}
+	sf := shardDirFile{path: path, info: info, size: st.Size(), compressed: compressed}
 	if !exact {
-		return info, 0, nil
+		return sf, nil
 	}
 	var total uint64
 	offset := int64(28)
 	for {
 		var cnt [4]byte
 		if _, err := f.ReadAt(cnt[:], offset); err != nil {
-			return ShardInfo{}, 0, fmt.Errorf("graph: reading shard chunk header at edge %d: %w", total, err)
+			return shardDirFile{}, fmt.Errorf("graph: reading shard chunk header at edge %d: %w", total, err)
 		}
 		offset += 4
 		n := binary.LittleEndian.Uint32(cnt[:])
@@ -310,36 +331,56 @@ func peekShardFile(path string, exact bool) (ShardInfo, uint64, error) {
 			break
 		}
 		if n > maxShardChunkEdges {
-			return ShardInfo{}, 0, fmt.Errorf("graph: shard chunk of %d edges exceeds cap %d", n, maxShardChunkEdges)
+			return shardDirFile{}, fmt.Errorf("graph: shard chunk of %d edges exceeds cap %d", n, maxShardChunkEdges)
 		}
 		total += uint64(n)
-		offset += int64(n) * 8
+		if compressed {
+			var bl [4]byte
+			if _, err := f.ReadAt(bl[:], offset); err != nil {
+				return shardDirFile{}, fmt.Errorf("graph: reading compressed shard chunk header at edge %d: %w", total, err)
+			}
+			offset += 4
+			blen := binary.LittleEndian.Uint32(bl[:])
+			if blen == 0 || blen > n*maxZChunkPayloadPerEdge {
+				return shardDirFile{}, fmt.Errorf("graph: compressed shard chunk payload of %d bytes outside (0,%d]", blen, n*maxZChunkPayloadPerEdge)
+			}
+			offset += int64(blen)
+		} else {
+			offset += int64(n) * 8
+		}
 	}
 	var foot [8]byte
 	if _, err := f.ReadAt(foot[:], offset); err != nil {
-		return ShardInfo{}, 0, fmt.Errorf("graph: reading shard footer: %w", err)
+		return shardDirFile{}, fmt.Errorf("graph: reading shard footer: %w", err)
 	}
 	offset += 8
 	if got := binary.LittleEndian.Uint64(foot[:]); got != total {
-		return ShardInfo{}, 0, fmt.Errorf("graph: shard footer declares %d edges, chunks hold %d", got, total)
+		return shardDirFile{}, fmt.Errorf("graph: shard footer declares %d edges, chunks hold %d", got, total)
 	}
 	if info.NumEdges != unknownEdgeCount && info.NumEdges != total {
-		return ShardInfo{}, 0, fmt.Errorf("graph: shard header declares %d edges, chunks hold %d", info.NumEdges, total)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		return ShardInfo{}, 0, err
+		return shardDirFile{}, fmt.Errorf("graph: shard header declares %d edges, chunks hold %d", info.NumEdges, total)
 	}
 	if st.Size() != offset {
-		return ShardInfo{}, 0, fmt.Errorf("graph: %d trailing bytes after shard terminator", st.Size()-offset)
+		return shardDirFile{}, fmt.Errorf("graph: %d trailing bytes after shard terminator", st.Size()-offset)
 	}
-	return info, total, nil
+	sf.numEdges = total
+	return sf, nil
+}
+
+// ByteMeter is implemented by sources that can report the total bytes read
+// from underlying storage across every pass opened so far. dnepart and the
+// stream experiment use it to report on-disk traffic next to edges/sec —
+// the number that shows compressed shards moving fewer bytes for the same
+// stream.
+type ByteMeter interface {
+	BytesRead() int64
 }
 
 type dirSource struct {
 	dir      string
 	files    []shardDirFile
 	numEdges int64
+	bytes    atomic.Int64 // storage bytes read across all passes
 }
 
 func (s *dirSource) Info() SourceInfo {
@@ -350,20 +391,41 @@ func (s *dirSource) Info() SourceInfo {
 	}
 }
 
+// BytesRead reports storage bytes consumed by this source's streams so far.
+func (s *dirSource) BytesRead() int64 { return s.bytes.Load() }
+
 func (s *dirSource) Edges() (EdgeStream, error) {
-	return &dirStream{files: s.files}, nil
+	return &dirStream{files: s.files, bytes: &s.bytes}, nil
+}
+
+// meteredReader counts bytes pulled from the underlying file into both the
+// owning source's meter and the package-wide stream counter behind
+// dne_stream_bytes_read_total.
+type meteredReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (mr meteredReader) Read(p []byte) (int, error) {
+	n, err := mr.r.Read(p)
+	if n > 0 {
+		mr.n.Add(int64(n))
+		streamBytesRead.Add(int64(n))
+	}
+	return n, err
 }
 
 type dirStream struct {
 	files []shardDirFile
 	next  int
 	f     *os.File
-	sr    *ShardReader
+	cr    ChunkReader
+	bytes *atomic.Int64
 }
 
 func (st *dirStream) Next() ([]uint64, []int64, error) {
 	for {
-		if st.sr == nil {
+		if st.cr == nil {
 			if st.next >= len(st.files) {
 				return nil, nil, io.EOF
 			}
@@ -371,18 +433,18 @@ func (st *dirStream) Next() ([]uint64, []int64, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			sr, err := NewShardReader(f)
+			cr, err := NewChunkReader(meteredReader{r: f, n: st.bytes})
 			if err != nil {
 				f.Close()
 				return nil, nil, fmt.Errorf("%s: %w", st.files[st.next].path, err)
 			}
-			st.f, st.sr = f, sr
+			st.f, st.cr = f, cr
 			st.next++
 		}
-		chunk, err := st.sr.Next()
+		chunk, err := st.cr.Next()
 		if err == io.EOF {
 			cerr := st.f.Close()
-			st.f, st.sr = nil, nil
+			st.f, st.cr = nil, nil
 			if cerr != nil {
 				return nil, nil, cerr
 			}
@@ -398,7 +460,7 @@ func (st *dirStream) Next() ([]uint64, []int64, error) {
 func (st *dirStream) Close() error {
 	if st.f != nil {
 		err := st.f.Close()
-		st.f, st.sr = nil, nil
+		st.f, st.cr = nil, nil
 		return err
 	}
 	return nil
