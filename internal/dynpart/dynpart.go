@@ -287,6 +287,7 @@ func (d *Partitioner) Rebalance(budget int) int {
 			continue
 		}
 		keys := make([]uint64, 0, d.sizes[q])
+		//lint:ordered keys filtered into a slice and sorted before any move
 		for e, o := range d.owner {
 			if o == q {
 				keys = append(keys, graph.PackEdge(e.U, e.V))
@@ -385,6 +386,7 @@ func (d *Partitioner) Snapshot(g *graph.Graph) (*partition.Partitioning, error) 
 // downstream consumers — snapshot graphs, checksums — are deterministic.
 func (d *Partitioner) Edges() []graph.Edge {
 	keys := make([]uint64, 0, len(d.owner))
+	//lint:ordered keys packed into a slice and sorted before use
 	for e := range d.owner {
 		keys = append(keys, graph.PackEdge(e.U, e.V))
 	}
@@ -401,6 +403,7 @@ func (d *Partitioner) Edges() []graph.Edge {
 // bit-identity assertions on seeded runs.
 func (d *Partitioner) Checksum() uint64 {
 	keys := make([]uint64, 0, len(d.owner))
+	//lint:ordered keys packed into a slice and sorted before use
 	for e := range d.owner {
 		keys = append(keys, graph.PackEdge(e.U, e.V))
 	}
@@ -425,6 +428,7 @@ func (d *Partitioner) Checksum() uint64 {
 func (d *Partitioner) CheckInvariants() error {
 	sizes := make([]int64, d.numParts)
 	counts := make(map[graph.Vertex]map[int32]int32)
+	//lint:ordered commutative recount of sizes and replicas; no ordered output
 	for e, q := range d.owner {
 		if q < 0 || int(q) >= d.numParts {
 			return fmt.Errorf("dynpart: edge %v has invalid owner %d", e, q)
@@ -451,6 +455,7 @@ func (d *Partitioner) CheckInvariants() error {
 		return fmt.Errorf("dynpart: %d live vertices, recorded %d", len(counts), len(d.verts))
 	}
 	var replicas int64
+	//lint:ordered error-path diagnostics only; any violating vertex is a valid report
 	for v, m := range counts {
 		st := d.verts[v]
 		if st == nil {
@@ -459,6 +464,7 @@ func (d *Partitioner) CheckInvariants() error {
 		if len(m) != len(st.counts) {
 			return fmt.Errorf("dynpart: vertex %d has %d parts, recorded %d", v, len(m), len(st.counts))
 		}
+		//lint:ordered error-path diagnostics only; any mismatching part is a valid report
 		for q, c := range m {
 			if st.counts[q] != c {
 				return fmt.Errorf("dynpart: vertex %d part %d count %d, recorded %d", v, q, c, st.counts[q])

@@ -253,6 +253,7 @@ func (e *Engine) LabelPropagation(maxIters int) []graph.Vertex {
 				if counts[gv] == nil {
 					counts[gv] = make(map[graph.Vertex]int32)
 				}
+				//lint:ordered commutative count merge; += is order-insensitive
 				for l, c := range partial[q][i] {
 					counts[gv][l] += c
 				}
@@ -267,6 +268,7 @@ func (e *Engine) LabelPropagation(maxIters int) []graph.Vertex {
 			if c, ok := counts[v][label[v]]; ok {
 				best.c = c
 			}
+			//lint:ordered argmax with a total-order tie-break is iteration-order-insensitive
 			for l, c := range counts[v] {
 				if c > best.c || (c == best.c && l < best.l) {
 					best = pair{l: l, c: c}

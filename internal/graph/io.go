@@ -69,6 +69,29 @@ const binaryMagic = 0x444e4531 // "DNE1"
 // short read instead of attempting a huge up-front allocation.
 const maxPrealloc = 1 << 20
 
+// Vertex-claim bounds for untrusted headers (found by FuzzBinarySource): a
+// graph is O(|V|) to materialize, so a 16-byte file declaring 4G vertices
+// and no edges would otherwise command a multi-GiB adjacency allocation.
+// Claims up to maxFreeVertices are always accepted; beyond that the file
+// must have paid for the claim with real edge bytes, at most
+// maxVerticesPerEdge vertices per edge read. Both bounds are far outside
+// anything a legitimate writer produces (gengraph emits |E| ≥ |V|/2; road
+// networks sit near |E| ≈ 1.2·|V|).
+const (
+	maxFreeVertices    = 1 << 20
+	maxVerticesPerEdge = 256
+)
+
+// checkVertexClaim validates an untrusted vertex-count claim against the
+// number of edges backing it (read from, or declared by, the stream).
+func checkVertexClaim(n uint32, edges uint64) error {
+	if uint64(n) > maxFreeVertices && uint64(n) > edges*maxVerticesPerEdge {
+		return fmt.Errorf("graph: header claims %d vertices but stream holds only %d edges; claim exceeds %d + %d per edge",
+			n, edges, maxFreeVertices, maxVerticesPerEdge)
+	}
+	return nil
+}
+
 // ioPageEdges is the number of edges batched per binary read/write (32 KiB).
 const ioPageEdges = 4096
 
@@ -142,6 +165,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			edges = append(edges, Edge{u, v})
 		}
 		done += chunk
+	}
+	if err := checkVertexClaim(n, uint64(len(edges))); err != nil {
+		return nil, err
 	}
 	return FromEdges(n, edges), nil
 }

@@ -54,6 +54,32 @@ func TestReadBinaryHostileEdgeCount(t *testing.T) {
 	}
 }
 
+// TestReadBinaryHostileVertexClaim: a 16-byte file declaring 268M vertices
+// and zero edges must be rejected — FromEdges would otherwise materialize an
+// O(|V|) adjacency index from nothing. Found by FuzzBinarySource; the
+// triggering input is pinned in testdata/fuzz/FuzzBinarySource.
+func TestReadBinaryHostileVertexClaim(t *testing.T) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 1<<28)
+	binary.LittleEndian.PutUint64(hdr[8:], 0)
+	if _, err := ReadBinary(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("unbacked 2^28 vertex claim accepted")
+	}
+	// The streaming source performs the same check at open time, before any
+	// consumer allocates partitioner state from Info().
+	if err := checkVertexClaim(1<<28, 0); err == nil {
+		t.Error("checkVertexClaim passed an unbacked 2^28 claim")
+	}
+	// Claims within the free bound, or paid for by edges, stay accepted.
+	if err := checkVertexClaim(1<<20, 0); err != nil {
+		t.Errorf("free-bound claim rejected: %v", err)
+	}
+	if err := checkVertexClaim(1<<28, 1<<22); err != nil {
+		t.Errorf("edge-backed claim rejected: %v", err)
+	}
+}
+
 func TestReadBinaryRejectsGarbage(t *testing.T) {
 	if _, err := ReadBinary(strings.NewReader("not a graph")); err == nil {
 		t.Error("garbage accepted")

@@ -488,6 +488,12 @@ func BinarySource(path string) (Source, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	// Consumers allocate O(|V|) partitioner state straight from Info(), so
+	// the vertex claim must be paid for by the declared edge count before
+	// any pass runs; a lying edge count then fails on the short read.
+	if err := checkVertexClaim(n, m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
 	src.numVertices, src.declared = n, m
 	return src, nil
 }

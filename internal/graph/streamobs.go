@@ -57,7 +57,7 @@ func RegisterStreamMetrics(reg *obs.Registry) {
 				emit(float64(v))
 			}
 		})
-	reg.CounterFunc("dne_stream_stage_stall_seconds",
+	reg.CounterFunc("dne_stream_stage_stall_seconds_total",
 		"Seconds each pipeline stage spent blocked on its neighbor (stage=decode: producer waited for the consumer; stage=consume: consumer waited for decoded chunks; stage=scatter/drain: the piped shuffle's two sides).",
 		func(emit func(v float64, kv ...string)) {
 			for _, e := range []struct {

@@ -58,6 +58,7 @@ func LargestComponent(g *Graph) (*Graph, []Vertex) {
 	}
 	var best Vertex
 	var bestSize int64 = -1
+	//lint:ordered argmax with a total-order tie-break is iteration-order-insensitive
 	for c, s := range sizes {
 		if s > bestSize || (s == bestSize && c < best) {
 			best, bestSize = c, s

@@ -1,0 +1,23 @@
+package lint
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapRange, SeedRand, CappedAlloc, CtxLoop, ObsName}
+}
+
+// ByName resolves a comma-separated analyzer selection; an empty selection
+// means the full suite.
+func ByName(names []string) []*Analyzer {
+	if len(names) == 0 {
+		return All()
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

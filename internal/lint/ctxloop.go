@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxLoop enforces cancellation discipline on the partitioning hot paths:
+// a Partition/PartitionCtx/PartitionStream implementation walks every edge
+// of an arbitrarily large graph, so a ctx that is never polled means an
+// unkillable multi-minute loop behind a dead client.
+//
+// Two shapes are flagged in deterministic packages:
+//
+//  1. a function whose name starts with "Partition" that takes a
+//     context.Context and contains loops, but never touches ctx.Err(),
+//     ctx.Done(), or a select over the context;
+//  2. any condition-less `for {` loop in a function that has a
+//     context.Context parameter, when the loop body itself neither polls
+//     the context nor selects — the unbounded-superstep shape.
+//
+// Polling every N iterations (the bound/epoch pattern) satisfies the check:
+// it only requires the poll to exist, not to run on every iteration.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "flags unbounded loops in Partition implementations that never poll " +
+		"ctx.Err()/ctx.Done()",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	if !pass.Det {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcTakesContext(pass, fd) {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Partition") &&
+				containsLoop(fd.Body) && !pollsContext(pass, fd.Body) {
+				pass.Reportf(fd.Pos(), "%s takes a context and loops but never polls ctx.Err()/ctx.Done(); an edge/superstep loop here is uncancellable", fd.Name.Name)
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				fs, ok := n.(*ast.ForStmt)
+				if !ok || fs.Cond != nil || fs.Init != nil || fs.Post != nil {
+					return true
+				}
+				if !pollsContext(pass, fs.Body) {
+					pass.Reportf(fs.For, "condition-less for loop without a ctx poll or select in its body; poll ctx.Err()/ctx.Done() so the loop stays cancellable")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func funcTakesContext(pass *Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && tv.Type != nil && IsContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// pollsContext reports whether node consults the context: ctx.Err()/
+// ctx.Done() on a context.Context value, a select statement (the channel
+// form of the same poll), or forwarding the context into a call — the
+// callee then carries the cancellation responsibility (the checkAt/
+// runMachine delegation pattern).
+func pollsContext(pass *Pass, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil && IsContextType(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name != "Err" && n.Sel.Name != "Done" {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil && IsContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

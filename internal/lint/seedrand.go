@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SeedRand enforces the repository's RNG discipline in deterministic
+// packages: all randomness must flow from an explicit seed (ultimately
+// Spec.Seed), threaded through rand.New(rand.NewSource(seed)).
+//
+// Three violations are flagged:
+//
+//  1. calls to math/rand's global convenience functions (rand.Intn,
+//     rand.Shuffle, rand.Seed, …) — they draw from the shared, racy,
+//     program-global source;
+//  2. RNG sources seeded from the clock: any rand.NewSource/rand.New
+//     argument whose expression contains a time.Now() call;
+//  3. un-threaded construction: a rand.NewSource argument whose expression
+//     mentions no identifier or field named like "seed", which is how an
+//     ad-hoc constant or loop counter sneaks in as a source.
+var SeedRand = &Analyzer{
+	Name: "seedrand",
+	Doc: "flags global math/rand functions, time.Now()-derived seeds, and RNG " +
+		"construction whose seed does not flow from an explicit seed value",
+	Run: runSeedRand,
+}
+
+// randGlobalOK lists the math/rand package-level functions that do NOT draw
+// from the global source and stay legal in deterministic code.
+var randGlobalOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeedRand(pass *Pass) error {
+	if !pass.Det {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			qual, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case pass.PkgQualifier(qual, "math/rand") || pass.PkgQualifier(qual, "math/rand/v2"):
+				name := sel.Sel.Name
+				if !randGlobalOK[name] {
+					pass.Reportf(call.Pos(), "math/rand global %s draws from the shared program-global source; construct rand.New(rand.NewSource(seed)) with a seed threaded from Spec.Seed", name)
+					return true
+				}
+				if name == "NewSource" && len(call.Args) == 1 {
+					arg := call.Args[0]
+					if exprCallsTimeNow(pass, arg) {
+						pass.Reportf(call.Pos(), "RNG seeded from time.Now(): partition output becomes run-dependent; thread the seed from Spec.Seed")
+					} else if !exprMentionsSeed(arg) {
+						pass.Reportf(call.Pos(), "rand.NewSource argument does not mention a seed; thread an explicit seed (ultimately Spec.Seed) into RNG construction")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exprCallsTimeNow reports whether expr's subtree contains a call to
+// time.Now (resolved through the type checker, not by selector text).
+func exprCallsTimeNow(pass *Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if qual, ok := sel.X.(*ast.Ident); ok && sel.Sel.Name == "Now" && pass.PkgQualifier(qual, "time") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprMentionsSeed reports whether any identifier or selector field in
+// expr's subtree has a name containing "seed" (case-insensitive).
+func exprMentionsSeed(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "seed") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,81 @@
+// Package det is the ctxloop golden corpus.
+//
+//lint:corpus deterministic
+package det
+
+import "context"
+
+type edge struct{ u, v uint32 }
+
+func PartitionNoPoll(ctx context.Context, edges []edge) []int32 { // want `PartitionNoPoll takes a context and loops but never polls`
+	out := make([]int32, len(edges))
+	for i, e := range edges {
+		out[i] = int32(e.u % 4)
+	}
+	return out
+}
+
+func PartitionPolled(ctx context.Context, edges []edge) ([]int32, error) {
+	out := make([]int32, len(edges))
+	for i, e := range edges {
+		if i&1023 == 0 { // poll every N edges satisfies the check
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = int32(e.u % 4)
+	}
+	return out, nil
+}
+
+func checkAt(ctx context.Context, i int) error {
+	if i&1023 == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
+
+func PartitionDelegated(ctx context.Context, edges []edge) ([]int32, error) {
+	out := make([]int32, len(edges))
+	for i, e := range edges {
+		if err := checkAt(ctx, i); err != nil { // forwarding ctx delegates the poll
+			return nil, err
+		}
+		out[i] = int32(e.u % 4)
+	}
+	return out, nil
+}
+
+func supersteps(ctx context.Context, work chan edge) {
+	for { // want `condition-less for loop without a ctx poll`
+		e, ok := <-work
+		if !ok {
+			return
+		}
+		_ = e
+	}
+}
+
+func superstepsSelect(ctx context.Context, work chan edge) {
+	for {
+		select { // select is the channel form of the poll: clean
+		case <-ctx.Done():
+			return
+		case e, ok := <-work:
+			if !ok {
+				return
+			}
+			_ = e
+		}
+	}
+}
+
+// helpers with a ctx param but bounded loops and non-Partition names are
+// out of scope unless they contain a condition-less for.
+func quality(ctx context.Context, owners []int32) map[int32]int64 {
+	sizes := map[int32]int64{}
+	for _, o := range owners {
+		sizes[o]++
+	}
+	return sizes
+}

@@ -1,0 +1,11 @@
+// Package nondet shows maprange staying silent outside the deterministic
+// package set: no corpus pragma, so map iteration is unconstrained here.
+package nondet
+
+func unscoped(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

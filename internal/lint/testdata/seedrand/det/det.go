@@ -1,0 +1,40 @@
+// Package det is the seedrand golden corpus.
+//
+//lint:corpus deterministic
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `math/rand global Intn draws from the shared program-global source`
+}
+
+func globalShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `math/rand global Shuffle`
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from time.Now\(\)`
+}
+
+func unthreaded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `does not mention a seed`
+}
+
+func threaded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // seed flows in explicitly: clean
+}
+
+type spec struct{ Seed int64 }
+
+func threadedField(s spec, bucket int64) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed*1000003 + bucket)) // derived from Spec.Seed: clean
+}
+
+func suppressedDraw() int {
+	//dnelint:ignore seedrand demo-only path, output never checksummed
+	return rand.Intn(10)
+}

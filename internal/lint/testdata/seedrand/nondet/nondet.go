@@ -1,0 +1,7 @@
+// Package nondet shows seedrand staying silent outside the deterministic
+// package set (load generators and benchmarks may draw freely).
+package nondet
+
+import "math/rand"
+
+func free() int { return rand.Intn(10) }

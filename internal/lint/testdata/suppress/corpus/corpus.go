@@ -1,0 +1,26 @@
+// Package corpus exercises the suppression audit: a suppression comment
+// must justify itself and name a real analyzer, or it becomes a finding —
+// and a malformed suppression never silences anything.
+//
+//lint:corpus deterministic
+package corpus
+
+func bareOrdered(m map[string]int) int {
+	total := 0
+	//lint:ordered
+	// want(-1) `suppression comment carries no justification`
+	for _, v := range m { // want `range over map in deterministic package`
+		total += v
+	}
+	return total
+}
+
+func unknownAnalyzer(m map[string]int) int {
+	total := 0
+	//dnelint:ignore nosuchcheck because reasons
+	// want(-1) `suppression names unknown analyzer "nosuchcheck"`
+	for _, v := range m { // want `range over map in deterministic package`
+		total += v
+	}
+	return total
+}

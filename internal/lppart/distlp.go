@@ -168,6 +168,7 @@ func (d *DistLP) runMachine(ctx context.Context, comm cluster.Comm, g *graph.Gra
 			}
 		}
 	}
+	//lint:ordered each key written independently with a pure function of the key
 	for u := range ghosts {
 		labels[u] = initLabel(u)
 	}

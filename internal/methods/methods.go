@@ -171,7 +171,16 @@ func (d Descriptor) ResolveSpec(spec partition.Spec) (partition.Spec, error) {
 		declared[p.Name] = p
 	}
 	resolved := make(map[string]any, len(d.Params))
-	for name, value := range spec.Params {
+	// Resolve in sorted name order: with several offending params the
+	// ParamError must name the same one on every run, not whichever a map
+	// walk happens to visit first.
+	names := make([]string, 0, len(spec.Params))
+	for name := range spec.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		value := spec.Params[name]
 		p, ok := declared[name]
 		if !ok {
 			return spec, &ParamError{Method: d.Name,

@@ -36,6 +36,7 @@ func NewSpec(numParts int, seed int64) Spec {
 // is never mutated, so Specs can be shared and forked freely.
 func (s Spec) WithParam(name string, value any) Spec {
 	params := make(map[string]any, len(s.Params)+1)
+	//lint:ordered map-to-map copy; insertion order is irrelevant
 	for k, v := range s.Params {
 		params[k] = v
 	}
